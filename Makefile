@@ -1,0 +1,28 @@
+.PHONY: all build test bench examples soak clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+tables:
+	dune exec bench/main.exe -- --tables
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/document_editing.exe
+	dune exec examples/query_engine.exe
+	dune exec examples/tuning_advisor.exe
+	dune exec examples/database_sync.exe
+
+soak:
+	dune exec bin/ltree_stress.exe -- 20000 1
+
+clean:
+	dune clean

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Ltree_core Ltree_labeling Ltree_metrics Ltree_workload Printf String

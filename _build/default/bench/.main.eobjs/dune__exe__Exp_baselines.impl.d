@@ -1,0 +1,1 @@
+bench/exp_baselines.ml: Bench_util List Ltree_core Ltree_labeling Ltree_metrics Ltree_workload Params Printf Tuning

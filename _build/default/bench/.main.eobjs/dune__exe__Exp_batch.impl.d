@@ -1,0 +1,1 @@
+bench/exp_batch.ml: Analysis Bench_util List Ltree Ltree_core Ltree_metrics Ltree_workload Params Printf Virtual_ltree

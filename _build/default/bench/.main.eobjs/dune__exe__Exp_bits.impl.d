@@ -1,0 +1,1 @@
+bench/exp_bits.ml: Analysis Bench_util Float List Ltree Ltree_core Ltree_metrics Ltree_workload Params Printf

@@ -1,0 +1,1 @@
+bench/exp_cost.ml: Analysis Bench_util List Ltree Ltree_core Ltree_metrics Ltree_workload Params Printf

@@ -1,0 +1,1 @@
+bench/exp_design_space.ml: Array Bench_util List Ltree_core Ltree_labeling Ltree_metrics Ltree_workload Params

@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Bench_util Dom Format List Ltree Ltree_core Ltree_doc Ltree_metrics Ltree_workload Ltree_xml Ltree_xpath Option Params Printf String

@@ -1,0 +1,1 @@
+bench/exp_rdbms.ml: Bench_util Dom List Ltree_doc Ltree_metrics Ltree_relstore Ltree_workload Ltree_xml Pager Parser Printf Query Shredder String

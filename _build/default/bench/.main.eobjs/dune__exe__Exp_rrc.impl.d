@@ -1,0 +1,1 @@
+bench/exp_rrc.ml: Array Bench_util Dom List Ltree Ltree_core Ltree_doc Ltree_metrics Ltree_workload Ltree_xml Option Params Parser Printf

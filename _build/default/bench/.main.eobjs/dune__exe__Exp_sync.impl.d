@@ -1,0 +1,1 @@
+bench/exp_sync.ml: Bench_util Dom Label_sync List Ltree_core Ltree_doc Ltree_metrics Ltree_relstore Ltree_workload Ltree_xml Option Pager Params Parser Printf Shredder

@@ -1,0 +1,1 @@
+bench/exp_tuning.ml: Bench_util List Ltree_core Ltree_metrics Params Printf Tuning

@@ -1,0 +1,44 @@
+(* E4: label size — measured bits vs. the §3.1 formula over the (f, s)
+   lattice. *)
+
+open Ltree_core
+module Table = Ltree_metrics.Table
+module Prng = Ltree_workload.Prng
+
+let run () =
+  Bench_util.section "E4 | Bits per label: measured vs. h * log2(f-1)";
+  let grid =
+    [ (4, 2); (6, 2); (8, 2); (6, 3); (9, 3); (16, 4); (32, 2); (64, 8) ]
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (f, s) ->
+            let params = Params.make ~f ~s in
+            (* Bulk load, then churn 20% random inserts so the tree is not
+               in its freshly-packed state. *)
+            let t, leaves = Ltree.bulk_load ~params n in
+            let prng = Prng.create 11 in
+            for _ = 1 to n / 5 do
+              ignore (Ltree.insert_after t (Prng.pick prng leaves))
+            done;
+            let measured = Ltree.bits_per_label t in
+            let formula = Analysis.bits ~params ~n:(Ltree.length t) in
+            [ string_of_int n;
+              Printf.sprintf "(%d,%d)" f s;
+              string_of_int measured;
+              Table.ffloat formula;
+              (* The formula bounds the label magnitude; one extra level
+                 can appear after churn. *)
+              Table.ffloat ~decimals:2
+                (float_of_int measured /. Float.max 1. formula) ])
+          grid)
+      [ 1_000; 64_000 ]
+  in
+  Table.print ~title:"label width after bulk load + 20% churn"
+    ~header:[ "n"; "(f,s)"; "measured bits"; "formula"; "ratio" ]
+    rows;
+  print_endline
+    "Small f gives narrow labels (and taller trees); the formula tracks\n\
+     the measurement within one tree level."

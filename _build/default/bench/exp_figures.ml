@@ -1,0 +1,60 @@
+(* E1 / E2: exact reproduction of the paper's two figures. *)
+
+open Ltree_core
+open Ltree_xml
+module Labeled_doc = Ltree_doc.Labeled_doc
+module Table = Ltree_metrics.Table
+
+(* Figure 1: the labeled book/chapter/title document and the answer to
+   "book//title" read off the labels alone. *)
+let fig1 () =
+  Bench_util.section "E1 | Figure 1: order-preserving labels answer book//title";
+  let doc = Ltree_workload.Xml_gen.fig1 () in
+  let ldoc = Labeled_doc.of_document ~params:Params.fig2 doc in
+  let root = Option.get doc.root in
+  let rows = ref [] in
+  Dom.iter_preorder root (fun n ->
+      if Dom.is_element n then begin
+        let l = Labeled_doc.label ldoc n in
+        rows :=
+          [ Dom.name n;
+            string_of_int l.Labeled_doc.start_pos;
+            string_of_int l.Labeled_doc.end_pos;
+            string_of_int l.Labeled_doc.level ]
+          :: !rows
+      end);
+  Table.print ~title:"element labels (f=4, s=2)"
+    ~header:[ "element"; "start"; "end"; "level" ]
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    (List.rev !rows);
+  let engine = Ltree_xpath.Label_eval.create ldoc in
+  let titles = Ltree_xpath.Label_eval.eval_string engine "book//title" in
+  Printf.printf
+    "book//title by interval containment: %d matches (paper: the two title \
+     elements)\n"
+    (List.length titles);
+  assert (List.length titles = 2)
+
+(* Figure 2: bulk loading <A><B><C/></B><D/></A>, then inserting D and /D
+   in front of C — reproducing the exact leaf numbers of states (a), (c)
+   and (d). *)
+let fig2 () =
+  Bench_util.section "E2 | Figure 2: bulk load and incremental maintenance";
+  let t, leaves = Ltree.bulk_load ~params:Params.fig2 8 in
+  let show state expect =
+    let got = Array.to_list (Ltree.labels t) in
+    Printf.printf "%-28s %s\n" state
+      (String.concat "," (List.map string_of_int got));
+    assert (got = expect)
+  in
+  show "(a) bulk load (8 tags):" [ 0; 1; 3; 4; 9; 10; 12; 13 ];
+  print_endline
+    "(b) is the same state with the intended insertions drawn dotted.";
+  let d = Ltree.insert_before t leaves.(2) in
+  show "(c) after inserting <D>:" [ 0; 1; 3; 4; 5; 9; 10; 12; 13 ];
+  let _dend = Ltree.insert_after t d in
+  show "(d) after inserting </D>:" [ 0; 1; 3; 4; 6; 7; 9; 10; 12; 13 ];
+  Printf.printf
+    "state (d) XML labels: A=(0,13) B=(1,9) D=(3,4) C=(6,7) — matches the \
+     paper's split of node 3.\n";
+  Format.printf "%a@." Ltree.pp t

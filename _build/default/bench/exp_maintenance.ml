@@ -1,0 +1,123 @@
+(* E10 / E11: maintenance extensions beyond the paper (DESIGN.md §6):
+   tombstone compaction policy and label-preserving restarts. *)
+
+open Ltree_core
+open Ltree_xml
+module Counters = Ltree_metrics.Counters
+module Table = Ltree_metrics.Table
+module Prng = Ltree_workload.Prng
+module Labeled_doc = Ltree_doc.Labeled_doc
+module Snapshot = Ltree_doc.Snapshot
+module Xml_gen = Ltree_workload.Xml_gen
+
+(* E10: run an insert/delete churn and compact whenever tombstones exceed
+   a fraction of the slots; report total relabeling cost and final label
+   width per threshold. *)
+let compaction () =
+  Bench_util.section
+    "E10 | Compaction policy ablation (extension; paper 2.3 only marks)";
+  let n = 8_192 and ops = 8_000 in
+  let rows =
+    List.map
+      (fun threshold ->
+        let counters = Counters.create () in
+        let t, leaves = Ltree.bulk_load ~params:Params.fig2 ~counters n in
+        let prng = Prng.create 31 in
+        let pool = ref (Array.to_list leaves) in
+        let compactions = ref 0 in
+        Counters.reset counters;
+        for _ = 1 to ops do
+          let len = List.length !pool in
+          let target = List.nth !pool (Prng.int prng len) in
+          if Prng.bool prng && len > 1 then begin
+            Ltree.delete t target;
+            pool := List.filter (fun l -> l != target) !pool
+          end
+          else pool := Ltree.insert_after t target :: !pool;
+          match threshold with
+          | Some frac
+            when Ltree.length t - Ltree.live_length t
+                 > int_of_float (frac *. float_of_int (Ltree.length t)) ->
+            Ltree.compact t;
+            incr compactions
+          | Some _ | None -> ()
+        done;
+        let name =
+          match threshold with
+          | None -> "never"
+          | Some f -> Printf.sprintf "> %.0f%% dead" (100. *. f)
+        in
+        [ name;
+          string_of_int !compactions;
+          Table.ffloat
+            (float_of_int (Counters.relabels counters) /. float_of_int ops);
+          string_of_int (Ltree.length t);
+          string_of_int (Ltree.live_length t);
+          string_of_int (Ltree.bits_per_label t) ])
+      [ None; Some 0.5; Some 0.25; Some 0.1 ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "insert/delete churn (n=%d, %d ops, 1/2 deletes): compact when ..."
+         n ops)
+    ~header:
+      [ "policy"; "compactions"; "relabels/op"; "slots"; "live"; "bits" ]
+    ~align:
+      [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right ]
+    rows;
+  print_endline
+    "Never compacting leaves tombstones occupying label slots (more\n\
+     splits, wider labels); aggressive compaction buys slots back at a\n\
+     full-relabel price per compaction.  The sweet spot depends on how\n\
+     delete-heavy the stream is — exactly why the paper leaves deletes\n\
+     as tombstones and we expose compaction as a policy."
+
+(* E11: restarting from a snapshot preserves every label; relabeling from
+   scratch (bulk reload) moves almost all of them — which would
+   invalidate any label stored elsewhere (indexes, the RDBMS rows of
+   E8). *)
+let restart () =
+  Bench_util.section "E11 | Snapshot restore vs. fresh relabeling";
+  let doc =
+    Xml_gen.generate ~seed:77 (Xml_gen.default_profile ~target_nodes:5_000 ())
+  in
+  let ldoc = Labeled_doc.of_document ~params:Params.fig2 doc in
+  (* Age the labels a little. *)
+  let root = Option.get doc.root in
+  let prng = Prng.create 5 in
+  for i = 1 to 200 do
+    let elements = List.filter Dom.is_element (Dom.descendants root) in
+    let target = List.nth elements (Prng.int prng (List.length elements)) in
+    Labeled_doc.insert_subtree ldoc ~parent:target
+      ~index:(Prng.int prng (Dom.child_count target + 1))
+      (Parser.parse_fragment (Printf.sprintf "<edit n=\"%d\"/>" i))
+  done;
+  let before = List.map snd (Labeled_doc.labeled_events ldoc) in
+  (* Path A: snapshot round trip. *)
+  let restored = Snapshot.load (Snapshot.save ldoc) in
+  let after_restore = List.map snd (Labeled_doc.labeled_events restored) in
+  (* Path B: re-labeling the same document from scratch. *)
+  let fresh =
+    Labeled_doc.of_document ~params:Params.fig2
+      (Labeled_doc.document restored)
+  in
+  let after_fresh = List.map snd (Labeled_doc.labeled_events fresh) in
+  let changed a b =
+    List.fold_left2 (fun acc x y -> if x <> y then acc + 1 else acc) 0 a b
+  in
+  Table.print ~title:"labels changed across a restart (5k-node document)"
+    ~header:[ "restart path"; "labels changed"; "of" ]
+    ~align:[ Table.Left; Table.Right; Table.Right ]
+    [ [ "snapshot restore (of_labels)";
+        string_of_int (changed before after_restore);
+        string_of_int (List.length before) ];
+      [ "re-label from scratch";
+        string_of_int (changed before after_fresh);
+        string_of_int (List.length before) ] ];
+  assert (changed before after_restore = 0);
+  print_endline
+    "The snapshot path rebuilds the whole L-Tree from the stored labels\n\
+     (4.2: the structure is implicit in them) and changes none; bulk\n\
+     relabeling would invalidate every label consumers persisted."

@@ -1,0 +1,63 @@
+(* E5: §3.2 parameter tuning — the three optimization modes. *)
+
+open Ltree_core
+module Table = Ltree_metrics.Table
+
+let choice_row label (c : Tuning.choice) =
+  [ label;
+    Printf.sprintf "(%d,%d)" c.params.Params.f c.params.Params.s;
+    Table.ffloat c.cost;
+    Table.ffloat c.bits ]
+
+let run () =
+  Bench_util.section "E5 | Tuning (f, s) per application (paper 3.2)";
+  (* Mode 1: minimize the update cost alone. *)
+  let rows =
+    List.map
+      (fun n ->
+        choice_row (Printf.sprintf "n=%d" n)
+          (Tuning.minimize_cost ~max_f:512 ~n ()))
+      [ 1_000; 100_000; 10_000_000 ]
+  in
+  Table.print ~title:"mode 1: minimize update cost"
+    ~header:[ "document"; "best (f,s)"; "cost"; "bits" ]
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    rows;
+  (* Mode 2: minimize cost under a label-size budget. *)
+  let n = 10_000_000 in
+  let rows =
+    List.filter_map
+      (fun budget ->
+        match
+          Tuning.minimize_cost_bounded ~max_f:512 ~n ~max_bits:budget ()
+        with
+        | Some c -> Some (choice_row (Printf.sprintf "%.0f bits" budget) c)
+        | None -> Some [ Printf.sprintf "%.0f bits" budget; "-"; "-"; "-" ])
+      [ 16.; 24.; 32.; 48.; 64. ]
+  in
+  Table.print
+    ~title:(Printf.sprintf "mode 2: minimize cost given bits (n=%d)" n)
+    ~header:[ "budget"; "best (f,s)"; "cost"; "bits" ]
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    rows;
+  (* Mode 3: minimize a weighted query+update mix. *)
+  let n = 1_000_000 in
+  let rows =
+    List.map
+      (fun (qw, uw) ->
+        choice_row
+          (Printf.sprintf "%g:%g" qw uw)
+          (Tuning.minimize_overall ~max_f:512 ~word_bits:32 ~n
+             ~query_weight:qw ~update_weight:uw ()))
+      [ (1., 100.); (1., 1.); (100., 1.); (10_000., 1.) ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "mode 3: minimize query:update mix (n=%d, 32-bit words)" n)
+    ~header:[ "query:update"; "best (f,s)"; "cost"; "bits" ]
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    rows;
+  print_endline
+    "Query-heavy mixes push labels under the word size (small f); update-\n\
+     heavy mixes tolerate wider labels for cheaper maintenance."

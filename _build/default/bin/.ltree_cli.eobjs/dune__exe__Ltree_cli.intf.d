@@ -1,0 +1,1 @@
+bin/ltree_cli.mli:

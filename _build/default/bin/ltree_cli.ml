@@ -1,0 +1,522 @@
+(* ltree: a command-line front end to the library.
+
+   Subcommands:
+     generate   synthesize an XML document
+     label      parse a document and print its L-Tree labels
+     query      run an XPath over a document (dom or label engine)
+     tune       recommend (f, s) for a workload (paper 3.2)
+     bench      measure insertion cost for a scheme and pattern
+     check      parse, label and verify every invariant *)
+
+open Cmdliner
+open Ltree_core
+open Ltree_xml
+module Labeled_doc = Ltree_doc.Labeled_doc
+module Counters = Ltree_metrics.Counters
+module Xml_gen = Ltree_workload.Xml_gen
+module Driver = Ltree_workload.Driver
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_out path content =
+  match path with
+  | None -> print_string content
+  | Some p ->
+    let oc = open_out_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content)
+
+let parse_doc path =
+  try Parser.parse_string (read_file path) with
+  | Parser.Error (msg, pos) ->
+    Printf.eprintf "%s: parse error at %s: %s\n" path
+      (Format.asprintf "%a" Token.pp_position pos)
+      msg;
+    exit 2
+  | Sys_error e ->
+    Printf.eprintf "%s\n" e;
+    exit 2
+
+(* Shared options *)
+
+let f_arg =
+  Arg.(value & opt int 4 & info [ "f" ] ~docv:"F" ~doc:"L-Tree parameter f.")
+
+let s_arg =
+  Arg.(value & opt int 2 & info [ "s" ] ~docv:"S" ~doc:"L-Tree parameter s.")
+
+let params_of f s =
+  try Params.make ~f ~s
+  with Invalid_argument msg ->
+    Printf.eprintf "invalid parameters: %s\n" msg;
+    exit 2
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"XML document.")
+
+(* generate *)
+
+let generate_cmd =
+  let nodes =
+    Arg.(value & opt int 1000 & info [ "nodes"; "n" ] ~docv:"N"
+           ~doc:"Approximate DOM node count.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Generator seed (deterministic).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Output path (stdout by default).")
+  in
+  let xmark_arg =
+    Arg.(value & opt (some float) None & info [ "xmark" ] ~docv:"SCALE"
+           ~doc:"Generate a structured XMark-style auction site at this \
+                 scale instead of a random tree (1.0 is ~4-5k nodes).")
+  in
+  let run nodes seed out xmark =
+    let doc =
+      match xmark with
+      | Some scale -> Xml_gen.xmark ~seed ~scale ()
+      | None ->
+        Xml_gen.generate ~seed
+          (Xml_gen.default_profile ~target_nodes:nodes ())
+    in
+    write_out out (Serializer.to_string ~indent:2 doc ^ "\n")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize an XMark-like XML document.")
+    Term.(const run $ nodes $ seed $ out $ xmark_arg)
+
+(* label *)
+
+let label_cmd =
+  let elements_only =
+    Arg.(value & flag & info [ "elements" ]
+           ~doc:"Print element (start, end, level) rows instead of stats.")
+  in
+  let run file f s elements_only =
+    let doc = parse_doc file in
+    let params = params_of f s in
+    let counters = Counters.create () in
+    let ldoc = Labeled_doc.of_document ~params ~counters doc in
+    if elements_only then
+      Dom.iter_preorder (Option.get doc.root) (fun n ->
+          if Dom.is_element n then begin
+            let l = Labeled_doc.label ldoc n in
+            Printf.printf "%-20s %8d %8d %4d\n" (Dom.name n)
+              l.Labeled_doc.start_pos l.Labeled_doc.end_pos
+              l.Labeled_doc.level
+          end)
+    else begin
+      let tree = Labeled_doc.tree ldoc in
+      Printf.printf "tags:            %d\n" (Ltree.length tree);
+      Printf.printf "tree height:     %d\n" (Ltree.height tree);
+      Printf.printf "max label:       %d\n" (Ltree.max_label tree);
+      Printf.printf "bits per label:  %d\n" (Ltree.bits_per_label tree);
+      Printf.printf "internal nodes:  %d\n" (Ltree.internal_node_count tree);
+      Printf.printf "formula bits:    %.2f\n"
+        (Analysis.bits ~params ~n:(Ltree.length tree))
+    end
+  in
+  Cmd.v
+    (Cmd.info "label" ~doc:"Label a document and print labels or stats.")
+    Term.(const run $ file_arg $ f_arg $ s_arg $ elements_only)
+
+(* query *)
+
+let query_cmd =
+  let path_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH"
+           ~doc:"Query, e.g. 'book//title'.")
+  in
+  let engine_arg =
+    Arg.(value & opt (enum [ ("label", `Label); ("dom", `Dom) ]) `Label
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Evaluation strategy: label joins or DOM navigation.")
+  in
+  let show =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print matching subtrees.")
+  in
+  let run file path engine show f s =
+    let doc = parse_doc file in
+    let ast =
+      try Ltree_xpath.Xpath_parser.parse path
+      with Ltree_xpath.Xpath_parser.Error (msg, off) ->
+        Printf.eprintf "bad XPath (offset %d): %s\n" off msg;
+        exit 2
+    in
+    let results =
+      match engine with
+      | `Dom -> Ltree_xpath.Dom_eval.eval doc ast
+      | `Label ->
+        let ldoc = Labeled_doc.of_document ~params:(params_of f s) doc in
+        let eng = Ltree_xpath.Label_eval.create ldoc in
+        Ltree_xpath.Label_eval.eval eng ast
+    in
+    Printf.printf "%d matches\n" (List.length results);
+    if show then
+      List.iter
+        (fun n -> print_endline (Serializer.node_to_string n))
+        results
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XPath over a document.")
+    Term.(const run $ file_arg $ path_arg $ engine_arg $ show $ f_arg $ s_arg)
+
+(* tune *)
+
+let tune_cmd =
+  let n_arg =
+    Arg.(value & opt int 1_000_000 & info [ "n" ] ~docv:"N"
+           ~doc:"Expected number of tags.")
+  in
+  let bits_arg =
+    Arg.(value & opt (some float) None & info [ "max-bits" ] ~docv:"BITS"
+           ~doc:"Optional label size budget.")
+  in
+  let run n bits =
+    let c = Tuning.minimize_cost ~max_f:512 ~n () in
+    Printf.printf "min update cost:  f=%d s=%d (cost %.1f, %.1f bits)\n"
+      c.Tuning.params.Params.f c.Tuning.params.Params.s c.Tuning.cost
+      c.Tuning.bits;
+    match bits with
+    | None -> ()
+    | Some budget -> (
+        match
+          Tuning.minimize_cost_bounded ~max_f:512 ~n ~max_bits:budget ()
+        with
+        | Some c ->
+          Printf.printf
+            "within %.0f bits:  f=%d s=%d (cost %.1f, %.1f bits)\n" budget
+            c.Tuning.params.Params.f c.Tuning.params.Params.s c.Tuning.cost
+            c.Tuning.bits
+        | None ->
+          Printf.printf "no parameters fit %.0f bits at n=%d\n" budget n)
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Recommend (f, s) for a document size.")
+    Term.(const run $ n_arg $ bits_arg)
+
+(* bench *)
+
+let bench_cmd =
+  let n_arg =
+    Arg.(value & opt int 16_384 & info [ "n" ] ~docv:"N"
+           ~doc:"Initial bulk-loaded size.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"OPS"
+           ~doc:"Number of insertions.")
+  in
+  let pattern_arg =
+    let patterns =
+      List.map (fun p -> (Driver.pattern_name p, p)) Driver.all_patterns
+    in
+    Arg.(value & opt (enum patterns) Driver.Uniform
+         & info [ "pattern" ] ~docv:"PATTERN"
+             ~doc:"uniform, hotspot, append or prepend.")
+  in
+  let scheme_arg =
+    Arg.(value
+         & opt (enum [ ("ltree", `Ltree); ("virtual", `Virtual);
+                       ("sequential", `Seq); ("gap", `Gap);
+                       ("list-label", `List) ])
+             `Ltree
+         & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Labeling scheme.")
+  in
+  let run n ops pattern scheme f s =
+    let params = params_of f s in
+    let m : (module Ltree_labeling.Scheme.S) =
+      match scheme with
+      | `Ltree ->
+        (module Ltree_core.Scheme_adapter.Make (struct
+          let params = params
+        end))
+      | `Virtual ->
+        (module Ltree_core.Scheme_adapter.Make_virtual (struct
+          let params = params
+        end))
+      | `Seq -> (module Ltree_labeling.Sequential)
+      | `Gap -> (module Ltree_labeling.Gap)
+      | `List -> (module Ltree_labeling.List_label)
+    in
+    let module S = (val m) in
+    let module D = Driver.Make (S) in
+    let counters = Counters.create () in
+    let d = D.init ~counters ~n () in
+    let prng = Ltree_workload.Prng.create 7 in
+    Counters.reset counters;
+    let t0 = Sys.time () in
+    D.run d prng pattern ~ops;
+    let dt = Sys.time () -. t0 in
+    Printf.printf "scheme=%s n=%d ops=%d pattern=%s\n" S.name n ops
+      (Driver.pattern_name pattern);
+    Printf.printf "relabels/op:  %.2f\n"
+      (float_of_int (Counters.relabels counters) /. float_of_int ops);
+    Printf.printf "accesses/op:  %.2f\n"
+      (float_of_int (Counters.node_accesses counters) /. float_of_int ops);
+    Printf.printf "bits:         %d\n" (S.bits_per_label (D.scheme d));
+    Printf.printf "wall:         %.1f ms (%.2f us/op)\n" (dt *. 1e3)
+      (dt *. 1e6 /. float_of_int ops)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Measure insertion cost for a labeling scheme.")
+    Term.(const run $ n_arg $ ops_arg $ pattern_arg $ scheme_arg $ f_arg
+          $ s_arg)
+
+(* shell: an interactive session over one labeled document *)
+
+let shell_cmd =
+  let run file f s =
+    let doc = parse_doc file in
+    let params = params_of f s in
+    let counters = Counters.create () in
+    let ldoc = Labeled_doc.of_document ~params ~counters doc in
+    let engine = Ltree_xpath.Label_eval.create ldoc in
+    let eval path = Ltree_xpath.Label_eval.eval_string engine path in
+    let eval_or_err path =
+      try Some (eval path)
+      with Ltree_xpath.Xpath_parser.Error (msg, off) ->
+        Printf.printf "bad XPath (offset %d): %s\n" off msg;
+        None
+    in
+    let help () =
+      print_string
+        "commands:\n\
+        \  q <xpath>              run a query (label joins)\n\
+        \  show <xpath>           print matching subtrees\n\
+        \  label <xpath>          print (start, end, level) of matches\n\
+        \  append <xpath> <xml>   insert a fragment as last child of the \
+         first match\n\
+        \  delete <xpath>         delete the first match's subtree\n\
+        \  stats                  tree height / labels / cost counters\n\
+        \  save <path>            snapshot (document + labels)\n\
+        \  write <path>           serialize the document only\n\
+        \  help | quit\n"
+    in
+    let first_match path =
+      match eval_or_err path with
+      | Some (n :: _) -> Some n
+      | Some [] ->
+        print_endline "no matches";
+        None
+      | None -> None
+    in
+    help ();
+    let continue_ = ref true in
+    while !continue_ do
+      print_string "ltree> ";
+      match input_line stdin with
+      | exception End_of_file -> continue_ := false
+      | line -> (
+          let line = String.trim line in
+          let cmd, rest =
+            match String.index_opt line ' ' with
+            | None -> (line, "")
+            | Some i ->
+              ( String.sub line 0 i,
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1)) )
+          in
+          try
+            match cmd with
+            | "" -> ()
+            | "quit" | "exit" -> continue_ := false
+            | "help" -> help ()
+            | "q" -> (
+                match eval_or_err rest with
+                | Some results ->
+                  Printf.printf "%d matches\n" (List.length results)
+                | None -> ())
+            | "show" -> (
+                match eval_or_err rest with
+                | Some results ->
+                  List.iter
+                    (fun n ->
+                      print_endline (Serializer.node_to_string ~indent:2 n))
+                    results
+                | None -> ())
+            | "label" -> (
+                match eval_or_err rest with
+                | Some results ->
+                  List.iter
+                    (fun n ->
+                      let l = Labeled_doc.label ldoc n in
+                      Printf.printf "%-20s (%d, %d) level %d\n"
+                        (match Dom.kind n with
+                         | Dom.Element name -> name
+                         | _ -> "#text")
+                        l.Labeled_doc.start_pos l.Labeled_doc.end_pos
+                        l.Labeled_doc.level)
+                    results
+                | None -> ())
+            | "append" -> (
+                match String.index_opt rest '<' with
+                | None -> print_endline "usage: append <xpath> <xml>"
+                | Some i ->
+                  let path = String.trim (String.sub rest 0 i) in
+                  let xml =
+                    String.sub rest i (String.length rest - i)
+                  in
+                  (match first_match path with
+                   | None -> ()
+                   | Some target ->
+                     let sub = Parser.parse_fragment xml in
+                     Labeled_doc.insert_subtree ldoc ~parent:target
+                       ~index:(Dom.child_count target) sub;
+                     Ltree_xpath.Label_eval.refresh engine;
+                     print_endline "inserted"))
+            | "delete" -> (
+                match first_match rest with
+                | None -> ()
+                | Some target ->
+                  Labeled_doc.delete_subtree ldoc target;
+                  Ltree_xpath.Label_eval.refresh engine;
+                  print_endline "deleted")
+            | "stats" ->
+              let tree = Labeled_doc.tree ldoc in
+              Printf.printf
+                "slots %d (live %d), height %d, max label %d (%d bits)\n"
+                (Ltree.length tree) (Ltree.live_length tree)
+                (Ltree.height tree) (Ltree.max_label tree)
+                (Ltree.bits_per_label tree);
+              Format.printf "counters: %a@." Counters.pp counters
+            | "save" ->
+              Ltree_doc.Snapshot.save_file ldoc rest;
+              Printf.printf "snapshot written to %s\n" rest
+            | "write" ->
+              let oc = open_out_bin rest in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc
+                    (Serializer.to_string ~indent:2
+                       (Labeled_doc.document ldoc)));
+              Printf.printf "document written to %s\n" rest
+            | other -> Printf.printf "unknown command %S (try help)\n" other
+          with
+          | Parser.Error (msg, _) -> Printf.printf "bad XML: %s\n" msg
+          | Invalid_argument msg | Failure msg -> print_endline msg)
+    done
+  in
+  Cmd.v
+    (Cmd.info "shell"
+       ~doc:"Interactively query and edit a labeled document.")
+    Term.(const run $ file_arg $ f_arg $ s_arg)
+
+(* compare: run a query under both engines and report parity + timing *)
+
+let compare_cmd =
+  let path_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH"
+           ~doc:"Query to race between the two engines.")
+  in
+  let run file path f s =
+    let doc = parse_doc file in
+    let ast =
+      try Ltree_xpath.Xpath_parser.parse path
+      with Ltree_xpath.Xpath_parser.Error (msg, off) ->
+        Printf.eprintf "bad XPath (offset %d): %s\n" off msg;
+        exit 2
+    in
+    let time fn =
+      let t0 = Sys.time () in
+      let r = fn () in
+      (r, (Sys.time () -. t0) *. 1e3)
+    in
+    let dom_result, dom_ms = time (fun () -> Ltree_xpath.Dom_eval.eval doc ast) in
+    let ldoc = Labeled_doc.of_document ~params:(params_of f s) doc in
+    let engine = Ltree_xpath.Label_eval.create ldoc in
+    let label_result, label_ms =
+      time (fun () -> Ltree_xpath.Label_eval.eval engine ast)
+    in
+    let same =
+      List.map Dom.id dom_result = List.map Dom.id label_result
+    in
+    Printf.printf "dom navigation:   %4d matches in %6.2f ms\n"
+      (List.length dom_result) dom_ms;
+    Printf.printf "label joins:      %4d matches in %6.2f ms\n"
+      (List.length label_result) label_ms;
+    Printf.printf "engines agree:    %b\n" same;
+    if not same then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Evaluate a query with both engines and check parity.")
+    Term.(const run $ file_arg $ path_arg $ f_arg $ s_arg)
+
+(* snapshot / restore *)
+
+let snapshot_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ]
+           ~docv:"PATH" ~doc:"Snapshot output path.")
+  in
+  let run file f s out =
+    let doc = parse_doc file in
+    let ldoc = Labeled_doc.of_document ~params:(params_of f s) doc in
+    Ltree_doc.Snapshot.save_file ldoc out;
+    Printf.printf "%s: %d labeled tags snapshotted to %s\n" file
+      (Ltree.length (Labeled_doc.tree ldoc))
+      out
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Label a document and persist labels + document to a snapshot.")
+    Term.(const run $ file_arg $ f_arg $ s_arg $ out)
+
+let restore_cmd =
+  let snap_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SNAPSHOT"
+           ~doc:"Snapshot file produced by `ltree snapshot`.")
+  in
+  let run snap =
+    match Ltree_doc.Snapshot.load_file snap with
+    | ldoc ->
+      Labeled_doc.check ldoc;
+      let tree = Labeled_doc.tree ldoc in
+      Printf.printf
+        "%s: restored %d slots (%d live), height %d, max label %d — all \
+         labels preserved\n"
+        snap (Ltree.length tree)
+        (Ltree.live_length tree)
+        (Ltree.height tree) (Ltree.max_label tree)
+    | exception Ltree_doc.Snapshot.Corrupt msg ->
+      Printf.eprintf "%s: corrupt snapshot: %s\n" snap msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:"Load a snapshot, rebuilding the L-Tree from its labels (4.2).")
+    Term.(const run $ snap_arg)
+
+(* check *)
+
+let check_cmd =
+  let run file f s =
+    let doc = parse_doc file in
+    let ldoc = Labeled_doc.of_document ~params:(params_of f s) doc in
+    Labeled_doc.check ldoc;
+    let tree = Labeled_doc.tree ldoc in
+    Printf.printf "%s: well-formed; %d tags labeled; all invariants hold\n"
+      file (Ltree.length tree)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse, label and verify a document.")
+    Term.(const run $ file_arg $ f_arg $ s_arg)
+
+let () =
+  let doc = "L-Tree: dynamic order-preserving labels for XML documents" in
+  let info = Cmd.info "ltree" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; label_cmd; query_cmd; compare_cmd; tune_cmd;
+            bench_cmd; snapshot_cmd; restore_cmd; check_cmd; shell_cmd ]))

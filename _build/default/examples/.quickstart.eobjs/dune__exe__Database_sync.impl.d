@@ -1,0 +1,1 @@
+examples/database_sync.ml: Dom Label_sync List Ltree_core Ltree_doc Ltree_metrics Ltree_relstore Ltree_workload Ltree_xml Option Pager Parser Printf Query Rel_table Shredder

@@ -1,0 +1,1 @@
+examples/database_sync.mli:

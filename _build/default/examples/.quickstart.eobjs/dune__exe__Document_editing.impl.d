@@ -1,0 +1,1 @@
+examples/document_editing.ml: Dom List Ltree Ltree_core Ltree_doc Ltree_metrics Ltree_workload Ltree_xml Ltree_xpath Option Params Parser Printf

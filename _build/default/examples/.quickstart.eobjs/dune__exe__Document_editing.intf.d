@@ -1,0 +1,1 @@
+examples/document_editing.mli:

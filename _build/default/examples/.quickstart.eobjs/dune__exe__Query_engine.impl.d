@@ -1,0 +1,1 @@
+examples/query_engine.ml: Dom List Ltree_doc Ltree_workload Ltree_xml Ltree_xpath Option Printf Unix

@@ -1,0 +1,1 @@
+examples/query_engine.mli:

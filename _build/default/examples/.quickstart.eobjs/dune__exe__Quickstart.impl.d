@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dom List Ltree_core Ltree_doc Ltree_xml Ltree_xpath Option Params Parser Printf

@@ -1,0 +1,1 @@
+examples/tuning_advisor.ml: Analysis Array List Ltree_core Params Printf Scanf Sys Tuning

@@ -1,0 +1,81 @@
+(* A realistic editing session: an auction catalogue that receives a
+   steady stream of subtree insertions and deletions while its labels
+   keep answering order queries — the scenario the paper's introduction
+   motivates.
+
+   Run with: dune exec examples/document_editing.exe *)
+
+open Ltree_core
+open Ltree_xml
+module Labeled_doc = Ltree_doc.Labeled_doc
+module Counters = Ltree_metrics.Counters
+module Prng = Ltree_workload.Prng
+
+let new_item prng i =
+  Parser.parse_fragment
+    (Printf.sprintf
+       "<item id=\"i%d\"><name>Lot %d</name><description>%s \
+        condition</description></item>"
+       i i
+       (if Prng.bool prng then "mint" else "good"))
+
+let () =
+  let counters = Counters.create () in
+  let doc =
+    Parser.parse_string
+      "<site><open_auctions></open_auctions><closed_auctions>\
+       </closed_auctions></site>"
+  in
+  let ldoc =
+    Labeled_doc.of_document ~params:(Params.make ~f:8 ~s:2) ~counters doc
+  in
+  let root = Option.get doc.root in
+  let open_auctions = List.nth (Dom.children root) 0 in
+  let closed_auctions = List.nth (Dom.children root) 1 in
+
+  let prng = Prng.create 2024 in
+  let live = ref [] in
+
+  (* Insert 500 items; each is one batch insertion of a whole subtree. *)
+  for i = 1 to 500 do
+    let item = new_item prng i in
+    let index = Prng.int prng (Dom.child_count open_auctions + 1) in
+    Labeled_doc.insert_subtree ldoc ~parent:open_auctions ~index item;
+    live := item :: !live
+  done;
+  Printf.printf "inserted 500 items: %d label slots, %d relabels total\n"
+    (Labeled_doc.size ldoc) (Counters.relabels counters);
+
+  (* Close ~half the auctions: move item = delete + reinsert under
+     closed_auctions. *)
+  let moved = ref 0 in
+  live :=
+    List.filter
+      (fun item ->
+        if Prng.bool prng then begin
+          Labeled_doc.delete_subtree ldoc item;
+          Labeled_doc.insert_subtree ldoc ~parent:closed_auctions
+            ~index:(Dom.child_count closed_auctions) item;
+          incr moved
+        end;
+        true)
+      !live;
+  Printf.printf "moved %d items to closed_auctions\n" !moved;
+  Labeled_doc.check ldoc;
+
+  (* Order queries keep working off the labels. *)
+  let engine = Ltree_xpath.Label_eval.create ldoc in
+  let q path = List.length (Ltree_xpath.Label_eval.eval_string engine path) in
+  Printf.printf "//item = %d, open_auctions//item = %d, closed_auctions//item = %d\n"
+    (q "//item") (q "site/open_auctions//item") (q "site/closed_auctions//item");
+
+  (* Tombstones accumulate; compaction reclaims the slots. *)
+  Printf.printf "before compact: %d live of %d slots\n"
+    (Ltree.live_length (Labeled_doc.tree ldoc))
+    (Ltree.length (Labeled_doc.tree ldoc));
+  Labeled_doc.compact ldoc;
+  Labeled_doc.check ldoc;
+  Printf.printf "after compact: %d slots, max label %d bits\n"
+    (Ltree.length (Labeled_doc.tree ldoc))
+    (Ltree.bits_per_label (Labeled_doc.tree ldoc));
+  print_endline "document editing session OK"

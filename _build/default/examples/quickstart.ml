@@ -1,0 +1,54 @@
+(* Quickstart: label an XML document with an L-Tree, test structural
+   predicates from the labels alone, and survive an update.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ltree_core
+open Ltree_xml
+module Labeled_doc = Ltree_doc.Labeled_doc
+
+let () =
+  (* 1. Parse a document. *)
+  let doc =
+    Parser.parse_string
+      "<book><chapter><title>Intro</title></chapter><title>Book \
+       title</title></book>"
+  in
+
+  (* 2. Wire it to an L-Tree (the paper's Figure-2 parameters f=4, s=2).
+        Every begin/end tag gets an order-preserving integer label. *)
+  let ldoc = Labeled_doc.of_document ~params:(Params.make ~f:4 ~s:2) doc in
+
+  let root = Option.get doc.root in
+  let chapter = List.nth (Dom.children root) 0 in
+  let title = List.nth (Dom.children chapter) 0 in
+
+  let show name node =
+    let l = Labeled_doc.label ldoc node in
+    Printf.printf "%-8s -> (%d, %d) at level %d\n" name
+      l.Labeled_doc.start_pos l.Labeled_doc.end_pos l.Labeled_doc.level
+  in
+  show "book" root;
+  show "chapter" chapter;
+  show "title" title;
+
+  (* 3. Ancestor tests are interval containment — no tree navigation. *)
+  Printf.printf "book is an ancestor of title: %b\n"
+    (Labeled_doc.is_ancestor ldoc ~anc:root ~desc:title);
+
+  (* 4. Updates relabel only a local region; handles stay valid. *)
+  let appendix = Parser.parse_fragment "<appendix><title>A</title></appendix>" in
+  Labeled_doc.insert_subtree ldoc ~parent:root
+    ~index:(Dom.child_count root) appendix;
+  Printf.printf "after inserting an appendix:\n";
+  show "book" root;
+  show "appendix" appendix;
+
+  (* 5. Query with the label-based XPath engine. *)
+  let engine = Ltree_xpath.Label_eval.create ldoc in
+  let titles = Ltree_xpath.Label_eval.eval_string engine "book//title" in
+  Printf.printf "book//title now matches %d elements\n" (List.length titles);
+
+  (* 6. Everything stays consistent. *)
+  Labeled_doc.check ldoc;
+  print_endline "quickstart OK"

@@ -1,0 +1,48 @@
+(* The §3.2 tuning advisor as a tiny tool: describe your document size
+   and workload, get (f, s) recommendations under each of the paper's
+   three objectives.
+
+   Run with:
+     dune exec examples/tuning_advisor.exe -- [n] [max-bits] [query:update]
+   e.g. dune exec examples/tuning_advisor.exe -- 5000000 32 100:1 *)
+
+open Ltree_core
+
+let () =
+  let argv = Sys.argv in
+  let n = if Array.length argv > 1 then int_of_string argv.(1) else 1_000_000 in
+  let max_bits =
+    if Array.length argv > 2 then float_of_string argv.(2) else 32.
+  in
+  let qw, uw =
+    if Array.length argv > 3 then
+      Scanf.sscanf argv.(3) "%f:%f" (fun a b -> (a, b))
+    else (10., 1.)
+  in
+  Printf.printf
+    "workload: n = %d tags, label budget = %.0f bits, query:update = %g:%g\n\n"
+    n max_bits qw uw;
+  let report label (c : Tuning.choice) =
+    Printf.printf
+      "%-34s f=%-3d s=%-2d  (amortized cost %.1f nodes, labels %.1f bits)\n"
+      label c.params.Params.f c.params.Params.s c.cost c.bits
+  in
+  report "fastest updates:" (Tuning.minimize_cost ~max_f:512 ~n ());
+  (match Tuning.minimize_cost_bounded ~max_f:512 ~n ~max_bits () with
+   | Some c -> report (Printf.sprintf "fastest within %.0f bits:" max_bits) c
+   | None ->
+     Printf.printf "no (f, s) fits %.0f bits at n = %d — raise the budget\n"
+       max_bits n);
+  report "best for the query:update mix:"
+    (Tuning.minimize_overall ~max_f:512 ~word_bits:64 ~n ~query_weight:qw
+       ~update_weight:uw ());
+  print_newline ();
+  (* Show the landscape briefly: cost of a few fixed choices. *)
+  Printf.printf "for reference, fixed parameter points at n = %d:\n" n;
+  List.iter
+    (fun (f, s) ->
+      let params = Params.make ~f ~s in
+      Printf.printf "  f=%-3d s=%-2d cost %-8.1f bits %.1f\n" f s
+        (Analysis.amortized_cost ~params ~n)
+        (Analysis.bits ~params ~n))
+    [ (4, 2); (8, 2); (16, 4); (64, 8); (128, 2) ]

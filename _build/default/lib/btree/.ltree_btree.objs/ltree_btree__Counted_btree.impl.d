@@ -1,0 +1,1 @@
+lib/btree/counted_btree.ml: Array Format List Ltree_metrics Printf

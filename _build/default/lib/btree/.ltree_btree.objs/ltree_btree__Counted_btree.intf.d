@@ -1,0 +1,1 @@
+lib/btree/counted_btree.mli: Format Ltree_metrics

@@ -1,0 +1,1 @@
+lib/core/label.ml: List Params

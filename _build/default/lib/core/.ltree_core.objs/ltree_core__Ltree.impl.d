@@ -1,0 +1,1 @@
+lib/core/ltree.ml: Array Format Layout List Ltree_metrics Params Printf Stdlib

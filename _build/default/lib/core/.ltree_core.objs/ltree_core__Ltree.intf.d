@@ -1,0 +1,1 @@
+lib/core/ltree.mli: Format Ltree_metrics Params

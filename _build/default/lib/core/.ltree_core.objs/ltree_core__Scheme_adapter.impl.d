@@ -1,0 +1,1 @@
+lib/core/scheme_adapter.ml: Ltree Ltree_labeling Params Printf Virtual_ltree

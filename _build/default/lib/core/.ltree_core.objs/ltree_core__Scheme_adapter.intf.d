@@ -1,0 +1,1 @@
+lib/core/scheme_adapter.mli: Ltree_labeling Params

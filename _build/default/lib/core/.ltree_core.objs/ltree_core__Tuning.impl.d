@@ -1,0 +1,1 @@
+lib/core/tuning.ml: Analysis List Params

@@ -1,0 +1,1 @@
+lib/core/tuning.mli: Params

@@ -1,0 +1,1 @@
+lib/core/virtual_ltree.ml: Array Hashtbl Layout List Ltree_btree Ltree_metrics Params Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/virtual_ltree.mli: Ltree_metrics Params

@@ -1,0 +1,31 @@
+let height ~(params : Params.t) ~n =
+  if n <= 1 then 0.
+  else log (float_of_int n) /. log (float_of_int params.m)
+
+let amortized_cost ~(params : Params.t) ~n =
+  let h = height ~params ~n in
+  let f = float_of_int params.f and s = float_of_int params.s in
+  (h *. (1. +. (2. *. f /. (s -. 1.)))) +. f
+
+let bits ~(params : Params.t) ~n =
+  let h = height ~params ~n in
+  h *. (log (float_of_int params.radix) /. log 2.)
+
+let batch_h0 ~(params : Params.t) ~k =
+  if k < 1 then invalid_arg "Analysis.batch_h0: k must be >= 1";
+  let per_level = float_of_int k /. float_of_int (params.s - 1) in
+  if per_level < 1. then 0
+  else int_of_float (log per_level /. log (float_of_int params.m))
+
+let batch_amortized_cost ~(params : Params.t) ~n ~k =
+  let h = height ~params ~n in
+  let h0 = float_of_int (batch_h0 ~params ~k) in
+  let f = float_of_int params.f and s = float_of_int params.s in
+  let k = float_of_int k in
+  (h /. k) +. (f /. k)
+  +. (2. *. f /. (s -. 1.)) *. (Float.max 0. (h -. h0) +. 1.)
+
+let query_cost ~params ~n ~word_bits =
+  let b = bits ~params ~n in
+  if b <= float_of_int word_bits then 1.
+  else b /. float_of_int word_bits

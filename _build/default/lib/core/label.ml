@@ -1,0 +1,25 @@
+let digits (params : Params.t) ~height label =
+  if label < 0 then invalid_arg "Label.digits: negative label";
+  let rec go h v acc =
+    if h = height then begin
+      if v <> 0 then invalid_arg "Label.digits: label too large for height";
+      List.rev acc
+    end
+    else go (h + 1) (v / params.radix) ((v mod params.radix) :: acc)
+  in
+  go 0 label []
+
+let ancestor_num params ~at label =
+  let p = Params.pow_radix params at in
+  label - (label mod p)
+
+let ancestors params ~height label =
+  List.init height (fun i -> ancestor_num params ~at:(i + 1) label)
+
+let interval params ~at label =
+  let base = ancestor_num params ~at label in
+  (base, base + Params.pow_radix params at - 1)
+
+let sibling_index params ~at label =
+  let within_parent = label mod Params.pow_radix params (at + 1) in
+  within_parent / Params.pow_radix params at

@@ -1,0 +1,33 @@
+(** Label arithmetic (paper §4.2).
+
+    Leaf labels are radix-(f-1) numerals whose digits encode the leaf's
+    ancestors: "the base (f-1) digits of num(u) provide an encoding of all
+    the ancestors of u".  These helpers decode that structure without any
+    materialized tree — they are what the virtual L-Tree builds on, and
+    they let external systems (e.g. the relational store) reason about
+    ancestry directly on stored labels. *)
+
+(** [digits params ~height label] is the radix-(f-1) digit expansion of
+    [label], least significant first, padded to [height] digits — digit
+    [h] is the child index of the height-[h] ancestor within its parent.
+    Raises [Invalid_argument] when the label does not fit the height. *)
+val digits : Params.t -> height:int -> int -> int list
+
+(** [ancestor_num params ~at label] is the number of the height-[at]
+    virtual ancestor of [label]: the label with its [at] low digits
+    cleared. *)
+val ancestor_num : Params.t -> at:int -> int -> int
+
+(** [ancestors params ~height label] lists the numbers of all ancestors
+    of a leaf labeled [label] in a height-[height] tree, from the parent
+    (height 1) up to the root (always 0). *)
+val ancestors : Params.t -> height:int -> int -> int list
+
+(** [interval params ~at label] is the inclusive number interval covered
+    by the height-[at] virtual ancestor of [label] — the range the §4.2
+    counting B-tree queries. *)
+val interval : Params.t -> at:int -> int -> int * int
+
+(** [sibling_index params ~at label] is the child index of the
+    height-[at] ancestor within its parent (0-based). *)
+val sibling_index : Params.t -> at:int -> int -> int

@@ -1,0 +1,162 @@
+(** The materialized L-Tree (paper §2).
+
+    An L-Tree is an ordered, balanced tree whose leaves carry, in document
+    order, the tags of an XML document (or any ordered list).  Leaf numbers
+    are the labels; they obey [num(child_i) = num(parent) + i * (f-1)^h]
+    and are strictly increasing left to right (Prop. 1), so label order is
+    document order.
+
+    Invariants maintained across every operation (Prop. 2):
+    - all leaves are at depth [height t];
+    - every internal node [v] has [m^h(v) <= leaves(v) < s * m^h(v)]
+      (the root is exempt from the lower bound) and
+      [m <= children(v) <= f - 1] (the root is exempt from the lower
+      bound);
+    - one insertion triggers at most one split (Prop. 3).
+
+    Handles ([leaf]) stay valid across relabelings, splits and [compact].
+
+    Cost accounting on the {!Ltree_metrics.Counters.t}: one node access per
+    ancestor whose leaf count is updated and per internal node built during
+    a split; one relabel per node whose number actually changes. *)
+
+type t
+type leaf
+
+(** [create ?params ?counters ()] is an empty L-Tree (default parameters:
+    {!Params.fig2}). *)
+val create : ?params:Params.t -> ?counters:Ltree_metrics.Counters.t ->
+  unit -> t
+
+(** [bulk_load ?params ?counters n] builds the §2.2 bulk-loaded tree over
+    [n] fresh leaves and returns them in order. *)
+val bulk_load : ?params:Params.t -> ?counters:Ltree_metrics.Counters.t ->
+  int -> t * leaf array
+
+(** [of_labels ?params ?counters ~height labels] reconstructs the
+    materialized L-Tree whose leaves carry exactly [labels] (strictly
+    increasing), at the given [height].  This realizes the §4.2
+    observation that "all the structural information of the L-Tree is
+    implicit in the labels themselves": each label's radix-(f-1) digits
+    name its ancestors, so the tree is rebuilt without any further input
+    — and continuing to update the rebuilt tree behaves identically to
+    updating the original (property-tested).
+
+    Raises [Invalid_argument] when [labels] is not a valid leaf sequence
+    for a height-[height] L-Tree (unsorted, out of range, non-contiguous
+    child positions, or occupancies outside the paper's windows). *)
+val of_labels :
+  ?params:Params.t -> ?counters:Ltree_metrics.Counters.t -> height:int ->
+  int array -> t * leaf array
+
+val params : t -> Params.t
+val counters : t -> Ltree_metrics.Counters.t
+
+(** [length t] counts label slots, including tombstoned leaves;
+    [live_length t] excludes them. *)
+val length : t -> int
+
+val live_length : t -> int
+
+(** [height t] is the height of the root (>= 1). *)
+val height : t -> int
+
+(** {1 Updates} *)
+
+(** [insert_after t w] / [insert_before t w] insert one leaf next to [w]
+    (paper Algorithm 1).  Raise {!Params.Label_overflow} when the labels
+    would exceed the native integer range. *)
+val insert_after : t -> leaf -> leaf
+
+val insert_before : t -> leaf -> leaf
+
+(** [insert_first t] inserts in front of everything (or into an empty
+    tree). *)
+val insert_first : t -> leaf
+
+(** [insert_batch_after t w k] inserts [k] consecutive leaves right after
+    [w] with a single region rebuild (paper §4.1); cheaper per leaf than
+    [k] separate insertions.  [insert_batch_first] is the analogue of
+    {!insert_first}. *)
+val insert_batch_after : t -> leaf -> int -> leaf array
+
+val insert_batch_before : t -> leaf -> int -> leaf array
+val insert_batch_first : t -> int -> leaf array
+
+(** [delete t w] tombstones the leaf: no relabeling happens (§2.3), the
+    slot keeps its label and still counts toward node occupancy. *)
+val delete : t -> leaf -> unit
+
+val is_deleted : leaf -> bool
+
+(** [compact t] rebuilds the tree over the live leaves only, dropping
+    tombstones (an extension beyond the paper; see DESIGN.md §6).  Handles
+    of live leaves remain valid. *)
+val compact : t -> unit
+
+(** {1 Labels} *)
+
+(** [label t w] is the current number of leaf [w]: O(1). *)
+val label : t -> leaf -> int
+
+(** [leaf_id w] is a process-unique identity for the slot, stable across
+    relabelings — key external tables with it. *)
+val leaf_id : leaf -> int
+
+(** [on_relabel t f] registers [f] to run whenever a leaf's number
+    changes (initial numbering at [bulk_load]/[of_labels] excluded).
+    Storage layers use this to know which persisted labels went stale.
+    The previous callback, if any, is replaced. *)
+val on_relabel : t -> (leaf -> unit) -> unit
+
+(** [compare t a b] orders live handles by document order. *)
+val compare : t -> leaf -> leaf -> int
+
+(** [max_label t] is the largest label currently assigned (0 when empty);
+    [bits_per_label t] the bits needed to store it. *)
+val max_label : t -> int
+
+val bits_per_label : t -> int
+
+(** {1 Traversal} *)
+
+(** [leaves t] lists all slots in label order (tombstones included). *)
+val leaves : t -> leaf array
+
+val iter_leaves : t -> (leaf -> unit) -> unit
+
+(** [labels t] is the label sequence, in order, tombstones included. *)
+val labels : t -> int array
+
+(** [find_by_label t lab] locates the leaf currently numbered [lab] in
+    O(height) time by descending the tree along [lab]'s radix-(f-1)
+    digits (§4.2) — no auxiliary index needed. *)
+val find_by_label : t -> int -> leaf option
+
+(** [first t] / [last t] are the outermost slots. *)
+val first : t -> leaf option
+
+val last : t -> leaf option
+
+val next : t -> leaf -> leaf option
+val prev : t -> leaf -> leaf option
+
+(** {1 Validation and debugging} *)
+
+(** [check t] verifies every structural invariant listed above plus label
+    consistency; raises [Failure] with a diagnostic otherwise. *)
+val check : t -> unit
+
+(** [pp ppf t] draws the tree with its numbers, in the style of the
+    paper's Figure 2. *)
+val pp : Format.formatter -> t -> unit
+
+(** [internal_node_count t] sizes the materialized structure (for the §4.2
+    space-vs-time comparison). *)
+val internal_node_count : t -> int
+
+(** [ancestor_numbers t w] is the chain of internal-node numbers above
+    [w], from its parent up to the root.  By the §4.2 digit property this
+    equals [Label.ancestors params ~height:(height t) (label t w)]
+    (property-tested). *)
+val ancestor_numbers : t -> leaf -> int list

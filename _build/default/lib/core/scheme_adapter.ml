@@ -1,0 +1,55 @@
+module Make (P : sig
+  val params : Params.t
+end) : Ltree_labeling.Scheme.S = struct
+  type t = Ltree.t
+  type handle = Ltree.leaf
+
+  let name =
+    Printf.sprintf "ltree-f%d-s%d" P.params.Params.f P.params.Params.s
+
+  let create ?counters () = Ltree.create ~params:P.params ?counters ()
+  let bulk_load ?counters n = Ltree.bulk_load ~params:P.params ?counters n
+  let insert_first = Ltree.insert_first
+  let insert_after = Ltree.insert_after
+  let insert_before = Ltree.insert_before
+  let delete = Ltree.delete
+  let label = Ltree.label
+  let length = Ltree.length
+  let compare = Ltree.compare
+  let bits_per_label = Ltree.bits_per_label
+  let check = Ltree.check
+end
+
+module Make_virtual (P : sig
+  val params : Params.t
+end) : Ltree_labeling.Scheme.S = struct
+  type t = Virtual_ltree.t
+  type handle = Virtual_ltree.handle
+
+  let name =
+    Printf.sprintf "vltree-f%d-s%d" P.params.Params.f P.params.Params.s
+
+  let create ?counters () =
+    Virtual_ltree.create ~params:P.params ?counters ()
+
+  let bulk_load ?counters n =
+    Virtual_ltree.bulk_load ~params:P.params ?counters n
+
+  let insert_first = Virtual_ltree.insert_first
+  let insert_after = Virtual_ltree.insert_after
+  let insert_before = Virtual_ltree.insert_before
+  let delete = Virtual_ltree.delete
+  let label = Virtual_ltree.label
+  let length = Virtual_ltree.length
+  let compare = Virtual_ltree.compare
+  let bits_per_label = Virtual_ltree.bits_per_label
+  let check = Virtual_ltree.check
+end
+
+module Default = Make (struct
+  let params = Params.fig2
+end)
+
+module Default_virtual = Make_virtual (struct
+  let params = Params.fig2
+end)

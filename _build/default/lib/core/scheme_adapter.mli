@@ -1,0 +1,18 @@
+(** Adapters exposing both L-Tree variants through the common
+    {!Ltree_labeling.Scheme.S} signature, so the benchmark harness can race
+    them against the baseline schemes (experiment E9). *)
+
+(** [Make (P)] is the materialized L-Tree as a labeling scheme. *)
+module Make (_ : sig
+  val params : Params.t
+end) : Ltree_labeling.Scheme.S
+
+(** [Make_virtual (P)] is the virtual L-Tree as a labeling scheme. *)
+module Make_virtual (_ : sig
+  val params : Params.t
+end) : Ltree_labeling.Scheme.S
+
+(** The two variants at the paper's Figure-2 parameters (f = 4, s = 2). *)
+module Default : Ltree_labeling.Scheme.S
+
+module Default_virtual : Ltree_labeling.Scheme.S

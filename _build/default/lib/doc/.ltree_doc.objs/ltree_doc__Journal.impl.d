@@ -1,0 +1,1 @@
+lib/doc/journal.ml: Buffer Dom Labeled_doc Lexer List Ltree_xml Parser Printf Serializer String

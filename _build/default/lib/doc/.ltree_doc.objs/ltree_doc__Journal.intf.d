@@ -1,0 +1,1 @@
+lib/doc/journal.mli: Dom Labeled_doc Ltree_xml

@@ -1,0 +1,1 @@
+lib/doc/labeled_doc.ml: Array Dom Hashtbl List Ltree Ltree_core Ltree_xml Params Printf

@@ -1,0 +1,1 @@
+lib/doc/labeled_doc.mli: Dom Ltree Ltree_core Ltree_metrics Ltree_xml Params

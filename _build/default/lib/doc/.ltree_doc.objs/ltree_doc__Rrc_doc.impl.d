@@ -1,0 +1,1 @@
+lib/doc/rrc_doc.ml: Dom Hashtbl List Ltree_metrics Ltree_xml

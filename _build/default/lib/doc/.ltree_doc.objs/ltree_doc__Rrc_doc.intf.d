@@ -1,0 +1,1 @@
+lib/doc/rrc_doc.mli: Dom Ltree_metrics Ltree_xml

@@ -1,0 +1,1 @@
+lib/doc/snapshot.ml: Array Buffer Dom Format Fun Labeled_doc List Ltree Ltree_core Ltree_xml Params Parser Printf Serializer String Token

@@ -1,0 +1,1 @@
+lib/doc/snapshot.mli: Labeled_doc Ltree_metrics

@@ -1,0 +1,149 @@
+open Ltree_xml
+
+exception Corrupt of string
+
+type entry =
+  | Insert of { anchor : int; index : int; xml : string }
+  | Delete of { anchor : int }
+  | Set_text of { anchor : int; text : string }
+
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+let length t = List.length t.entries
+let clear t = t.entries <- []
+
+let magic = "ltree-journal 1"
+
+(* One-line-safe encoding: XML entities plus numeric escapes for the
+   line breaks; decoded with the lexer's entity decoder. *)
+let encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '\n' -> Buffer.add_string buf "&#10;"
+      | '\r' -> Buffer.add_string buf "&#13;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let decode s =
+  try Lexer.decode_entities s
+  with Lexer.Error (msg, _) -> raise (Corrupt ("bad escape: " ^ msg))
+
+let start_label_of ldoc node =
+  (Labeled_doc.label ldoc node).Labeled_doc.start_pos
+
+(* A fragment is journal-safe when serializing and reparsing it yields
+   the same tag list (no adjacent/empty text nodes). *)
+let serialize_fragment sub =
+  let xml = Serializer.node_to_string sub in
+  (match Parser.parse_fragment xml with
+   | reparsed ->
+     if not (Dom.equal_structure sub reparsed) then
+       invalid_arg
+         "Journal: fragment does not survive serialization (adjacent or \
+          empty text nodes?)"
+   | exception Parser.Error (msg, _) ->
+     invalid_arg ("Journal: fragment not serializable: " ^ msg));
+  xml
+
+let insert_subtree t ldoc ~parent ~index sub =
+  let xml = serialize_fragment sub in
+  let anchor = start_label_of ldoc parent in
+  Labeled_doc.insert_subtree ldoc ~parent ~index sub;
+  t.entries <- Insert { anchor; index; xml } :: t.entries
+
+let delete_subtree t ldoc node =
+  let anchor = start_label_of ldoc node in
+  Labeled_doc.delete_subtree ldoc node;
+  t.entries <- Delete { anchor } :: t.entries
+
+let set_text t ldoc node s =
+  if not (Labeled_doc.mem ldoc node) then
+    invalid_arg "Journal.set_text: node is not labeled";
+  let anchor = start_label_of ldoc node in
+  Dom.set_text node s;
+  t.entries <- Set_text { anchor; text = s } :: t.entries
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun entry ->
+      (match entry with
+       | Insert { anchor; index; xml } ->
+         Buffer.add_string buf
+           (Printf.sprintf "I %d %d %s" anchor index (encode xml))
+       | Delete { anchor } ->
+         Buffer.add_string buf (Printf.sprintf "D %d" anchor)
+       | Set_text { anchor; text } ->
+         Buffer.add_string buf
+           (Printf.sprintf "T %d %s" anchor (encode text)));
+      Buffer.add_char buf '\n')
+    (List.rev t.entries);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | first :: rest when first = magic ->
+    let entries =
+      List.filter_map
+        (fun line ->
+          if line = "" then None
+          else
+            match String.split_on_char ' ' line with
+            | "I" :: anchor :: index :: xml_parts -> (
+                match
+                  (int_of_string_opt anchor, int_of_string_opt index)
+                with
+                | Some anchor, Some index ->
+                  Some
+                    (Insert
+                       { anchor; index;
+                         xml = decode (String.concat " " xml_parts) })
+                | _ -> raise (Corrupt ("bad insert entry: " ^ line)))
+            | [ "D"; anchor ] -> (
+                match int_of_string_opt anchor with
+                | Some anchor -> Some (Delete { anchor })
+                | None -> raise (Corrupt ("bad delete entry: " ^ line)))
+            | "T" :: anchor :: text_parts -> (
+                match int_of_string_opt anchor with
+                | Some anchor ->
+                  Some
+                    (Set_text
+                       { anchor; text = decode (String.concat " " text_parts) })
+                | None -> raise (Corrupt ("bad set_text entry: " ^ line)))
+            | _ -> raise (Corrupt ("bad journal entry: " ^ line)))
+        rest
+    in
+    { entries = List.rev entries }
+  | _ -> raise (Corrupt "bad journal magic")
+
+let resolve ldoc anchor what =
+  match Labeled_doc.node_by_start_label ldoc anchor with
+  | Some node -> node
+  | None ->
+    failwith
+      (Printf.sprintf "Journal.replay: %s anchor %d does not resolve" what
+         anchor)
+
+let replay t ldoc =
+  List.iter
+    (fun entry ->
+      match entry with
+      | Insert { anchor; index; xml } ->
+        let parent = resolve ldoc anchor "insert" in
+        Labeled_doc.insert_subtree ldoc ~parent ~index
+          (Parser.parse_fragment xml)
+      | Delete { anchor } ->
+        Labeled_doc.delete_subtree ldoc (resolve ldoc anchor "delete")
+      | Set_text { anchor; text } ->
+        Dom.set_text (resolve ldoc anchor "set_text") text)
+    (List.rev t.entries)

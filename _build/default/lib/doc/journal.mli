@@ -1,0 +1,56 @@
+(** An operation journal for labeled documents: write-ahead logging of
+    structural updates, replayable on top of a {!Snapshot}.
+
+    The classic recovery pair: persist a snapshot occasionally, append
+    every update to a journal, and after a crash reload the snapshot and
+    replay the tail.  What makes replay exact here is label determinism:
+    the L-Tree assigns the same labels for the same operations, so a
+    journal entry can address its target by the {e label} of the
+    anchoring tag — replay resolves it in O(height) with
+    {!Ltree_core.Ltree.find_by_label} and re-produces bit-identical
+    labels (property-tested).
+
+    Entries are recorded by performing updates {e through} the journal
+    ([insert_subtree], [delete_subtree], [set_text]); mixing in direct
+    {!Labeled_doc} updates would desynchronize the log. *)
+
+open Ltree_xml
+
+type t
+
+(** [create ()] is an empty journal. *)
+val create : unit -> t
+
+val length : t -> int
+
+(** {1 Journaled updates} — same semantics as the {!Labeled_doc}
+    operations they wrap. *)
+
+val insert_subtree :
+  t -> Labeled_doc.t -> parent:Dom.node -> index:int -> Dom.node -> unit
+
+val delete_subtree : t -> Labeled_doc.t -> Dom.node -> unit
+
+(** [set_text j ldoc node s] journals a text replacement (label-free: the
+    slot keeps its label). *)
+val set_text : t -> Labeled_doc.t -> Dom.node -> string -> unit
+
+(** {1 Persistence and replay} *)
+
+(** [to_string j] serializes the journal (one entry per line; fragments
+    are XML-escaped). *)
+val to_string : t -> string
+
+exception Corrupt of string
+
+(** [of_string s] parses a serialized journal.  Raises {!Corrupt}. *)
+val of_string : string -> t
+
+(** [replay j ldoc] applies the journal to a document restored from the
+    snapshot taken when the journal was started.  Raises [Failure] when
+    an entry's anchor label cannot be resolved (journal/snapshot
+    mismatch). *)
+val replay : t -> Labeled_doc.t -> unit
+
+(** [clear j] empties the journal (call after taking a fresh snapshot). *)
+val clear : t -> unit

@@ -1,0 +1,280 @@
+open Ltree_xml
+open Ltree_core
+
+type entry = {
+  start_leaf : Ltree.leaf;
+  end_leaf : Ltree.leaf;
+  level : int;
+  node : Dom.node;
+}
+
+type t = {
+  doc : Dom.document;
+  tree : Ltree.t;
+  table : (int, entry) Hashtbl.t; (* keyed by Dom.id *)
+  node_of_leaf : (int, int) Hashtbl.t; (* Ltree leaf id -> Dom id *)
+  dirty : (int, unit) Hashtbl.t;
+      (* Dom ids whose externally stored labels went stale (relabeled,
+         created or deleted) since the last [drain_dirty] *)
+}
+
+type label = { start_pos : int; end_pos : int; level : int }
+
+let root_exn (doc : Dom.document) =
+  match doc.root with
+  | Some r -> r
+  | None -> invalid_arg "Labeled_doc: document has no root"
+
+(* Attach leaves to the nodes of [sub], reading them in tag-list order
+   from [leaves] starting at [!i]; register the reverse leaf -> node
+   mapping and mark the fresh nodes dirty for storage sync. *)
+let assign_leaves ?reverse ?dirty table leaves i ~base_level sub =
+  let bind node e =
+    Hashtbl.replace table (Dom.id node) e;
+    (match reverse with
+     | Some rev ->
+       Hashtbl.replace rev (Ltree.leaf_id e.start_leaf) (Dom.id node);
+       if e.end_leaf != e.start_leaf then
+         Hashtbl.replace rev (Ltree.leaf_id e.end_leaf) (Dom.id node)
+     | None -> ());
+    match dirty with
+    | Some d -> Hashtbl.replace d (Dom.id node) ()
+    | None -> ()
+  in
+  let rec go node level =
+    match Dom.kind node with
+    | Dom.Element _ ->
+      let start_leaf = leaves.(!i) in
+      incr i;
+      List.iter (fun c -> go c (level + 1)) (Dom.children node);
+      let end_leaf = leaves.(!i) in
+      incr i;
+      bind node { start_leaf; end_leaf; level; node }
+    | Dom.Text _ | Dom.Comment _ | Dom.Pi _ ->
+      let leaf = leaves.(!i) in
+      incr i;
+      bind node { start_leaf = leaf; end_leaf = leaf; level; node }
+  in
+  go sub base_level
+
+(* Wire the relabel hook: any leaf whose number changes marks its node
+   stale. *)
+let install_hook t =
+  Ltree.on_relabel t.tree (fun leaf ->
+      match Hashtbl.find_opt t.node_of_leaf (Ltree.leaf_id leaf) with
+      | Some dom_id -> Hashtbl.replace t.dirty dom_id ()
+      | None -> ())
+
+let make_t doc tree =
+  { doc; tree;
+    table = Hashtbl.create 64;
+    node_of_leaf = Hashtbl.create 128;
+    dirty = Hashtbl.create 16 }
+
+let of_document ?(params = Params.fig2) ?counters doc =
+  let root = root_exn doc in
+  let count = Dom.event_count root in
+  let tree, leaves = Ltree.bulk_load ~params ?counters count in
+  let t = make_t doc tree in
+  let i = ref 0 in
+  assign_leaves ~reverse:t.node_of_leaf t.table leaves i ~base_level:0 root;
+  assert (!i = count);
+  (* Bulk loading is initial state, not staleness. *)
+  Hashtbl.reset t.dirty;
+  install_hook t;
+  t
+
+let restore ?counters ~params ~height ~labels ~deleted doc =
+  let root = root_exn doc in
+  let tree, leaves = Ltree.of_labels ~params ?counters ~height labels in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length leaves then
+        invalid_arg "Labeled_doc.restore: deleted slot out of range";
+      Ltree.delete tree leaves.(i))
+    deleted;
+  let live =
+    Array.of_list
+      (List.filter
+         (fun l -> not (Ltree.is_deleted l))
+         (Array.to_list leaves))
+  in
+  let expected = Dom.event_count root in
+  if Array.length live <> expected then
+    invalid_arg
+      (Printf.sprintf
+         "Labeled_doc.restore: %d live slots for a document with %d tags"
+         (Array.length live) expected);
+  let t = make_t doc tree in
+  let i = ref 0 in
+  assign_leaves ~reverse:t.node_of_leaf t.table live i ~base_level:0 root;
+  assert (!i = expected);
+  Hashtbl.reset t.dirty;
+  install_hook t;
+  t
+
+let document t = t.doc
+let tree t = t.tree
+let counters t = Ltree.counters t.tree
+
+let entry t n =
+  match Hashtbl.find_opt t.table (Dom.id n) with
+  | Some e -> e
+  | None -> raise Not_found
+
+let mem t n = Hashtbl.mem t.table (Dom.id n)
+
+let label t n =
+  let e = entry t n in
+  { start_pos = Ltree.label t.tree e.start_leaf;
+    end_pos = Ltree.label t.tree e.end_leaf;
+    level = e.level }
+
+let is_ancestor t ~anc ~desc =
+  let a = label t anc and d = label t desc in
+  a.start_pos < d.start_pos && d.end_pos < a.end_pos
+
+let is_parent t ~parent ~child =
+  is_ancestor t ~anc:parent ~desc:child
+  && (label t child).level = (label t parent).level + 1
+
+let precedes t a b = (label t a).start_pos < (label t b).start_pos
+
+let insert_subtree t ~parent ~index sub =
+  (match Dom.parent sub with
+   | Some _ -> invalid_arg "Labeled_doc.insert_subtree: subtree is attached"
+   | None -> ());
+  let pe = entry t parent in
+  let children = Dom.children parent in
+  if index < 0 || index > List.length children then
+    invalid_arg "Labeled_doc.insert_subtree: bad index";
+  let anchor =
+    if index = 0 then pe.start_leaf
+    else (entry t (List.nth children (index - 1))).end_leaf
+  in
+  let k = Dom.event_count sub in
+  let fresh = Ltree.insert_batch_after t.tree anchor k in
+  Dom.insert_child parent ~index sub;
+  let i = ref 0 in
+  assign_leaves ~reverse:t.node_of_leaf ~dirty:t.dirty t.table fresh i
+    ~base_level:(pe.level + 1) sub;
+  assert (!i = k)
+
+let insert_subtree_before t ~anchor sub =
+  match Dom.parent anchor with
+  | None -> invalid_arg "Labeled_doc.insert_subtree_before: detached anchor"
+  | Some p -> insert_subtree t ~parent:p ~index:(Dom.index_in_parent anchor) sub
+
+let insert_subtree_after t ~anchor sub =
+  match Dom.parent anchor with
+  | None -> invalid_arg "Labeled_doc.insert_subtree_after: detached anchor"
+  | Some p ->
+    insert_subtree t ~parent:p ~index:(Dom.index_in_parent anchor + 1) sub
+
+let delete_subtree t n =
+  if not (mem t n) then
+    invalid_arg "Labeled_doc.delete_subtree: node is not labeled";
+  (match t.doc.root with
+   | Some r when r == n ->
+     invalid_arg "Labeled_doc.delete_subtree: cannot delete the root"
+   | Some _ | None -> ());
+  Dom.iter_preorder n (fun x ->
+      match Hashtbl.find_opt t.table (Dom.id x) with
+      | Some e ->
+        Ltree.delete t.tree e.start_leaf;
+        if e.end_leaf != e.start_leaf then Ltree.delete t.tree e.end_leaf;
+        Hashtbl.remove t.table (Dom.id x);
+        Hashtbl.remove t.node_of_leaf (Ltree.leaf_id e.start_leaf);
+        Hashtbl.remove t.node_of_leaf (Ltree.leaf_id e.end_leaf);
+        Hashtbl.replace t.dirty (Dom.id x) ()
+      | None -> ());
+  Dom.remove n
+
+let move_subtree t ~node ~parent ~index =
+  let rec inside p =
+    p == node || match Dom.parent p with None -> false | Some q -> inside q
+  in
+  if inside parent then
+    invalid_arg "Labeled_doc.move_subtree: target inside the moved subtree";
+  delete_subtree t node;
+  insert_subtree t ~parent ~index node
+
+let compact t = Ltree.compact t.tree
+
+let drain_dirty t =
+  let out =
+    Hashtbl.fold
+      (fun dom_id () acc ->
+        let node =
+          match Hashtbl.find_opt t.table dom_id with
+          | Some e -> Some e.node
+          | None -> None
+        in
+        (dom_id, node) :: acc)
+      t.dirty []
+  in
+  Hashtbl.reset t.dirty;
+  out
+
+let node_by_id t dom_id =
+  match Hashtbl.find_opt t.table dom_id with
+  | Some e -> Some e.node
+  | None -> None
+
+let node_by_start_label t lab =
+  match Ltree.find_by_label t.tree lab with
+  | None -> None
+  | Some leaf -> (
+      match Hashtbl.find_opt t.node_of_leaf (Ltree.leaf_id leaf) with
+      | None -> None
+      | Some dom_id -> (
+          match Hashtbl.find_opt t.table dom_id with
+          | Some e when e.start_leaf == leaf -> Some e.node
+          | Some _ | None -> None))
+
+let labeled_events t =
+  let root = root_exn t.doc in
+  List.map
+    (fun ev ->
+      let pos =
+        match ev with
+        | Dom.E_start n -> Ltree.label t.tree (entry t n).start_leaf
+        | Dom.E_end n -> Ltree.label t.tree (entry t n).end_leaf
+        | Dom.E_atom n -> Ltree.label t.tree (entry t n).start_leaf
+      in
+      (ev, pos))
+    (Dom.events root)
+
+let size t = Ltree.live_length t.tree
+
+let check t =
+  Ltree.check t.tree;
+  let root = root_exn t.doc in
+  (* The live leaves, in order, must be exactly the document's tag list. *)
+  let live = ref [] in
+  Ltree.iter_leaves t.tree (fun l ->
+      if not (Ltree.is_deleted l) then live := l :: !live);
+  let live = List.rev !live in
+  let expected =
+    List.map
+      (fun ev ->
+        match ev with
+        | Dom.E_start n -> (entry t n).start_leaf
+        | Dom.E_end n -> (entry t n).end_leaf
+        | Dom.E_atom n -> (entry t n).start_leaf)
+      (Dom.events root)
+  in
+  if List.length live <> List.length expected then
+    failwith "Labeled_doc: live leaf count differs from the tag list";
+  List.iter2
+    (fun a b ->
+      if a != b then failwith "Labeled_doc: leaf order diverges from tags")
+    live expected;
+  (* Labels must strictly increase along the tag list. *)
+  let prev = ref (-1) in
+  List.iter
+    (fun l ->
+      let v = Ltree.label t.tree l in
+      if v <= !prev then failwith "Labeled_doc: labels out of order";
+      prev := v)
+    expected

@@ -1,0 +1,125 @@
+(** An XML document wired to an L-Tree.
+
+    This is the paper's end-to-end object: every element owns two L-Tree
+    leaves (its begin and end tags), every text/comment/PI node owns one,
+    and the leaf numbers are the element's [(start, end)] label pair of §1.
+    Ancestor/descendant tests become interval containment; document-order
+    comparison becomes integer comparison; and updates are subtree
+    insertions/deletions that the L-Tree absorbs with local relabeling
+    (single-leaf inserts via Algorithm 1, subtree inserts via the §4.1
+    batch path).
+
+    Levels (root = 0) are also tracked, which lets the query layer answer
+    the child axis from labels alone. *)
+
+open Ltree_xml
+open Ltree_core
+
+type t
+
+type label = {
+  start_pos : int; (** begin-tag leaf number *)
+  end_pos : int; (** end-tag leaf number (= start for non-elements) *)
+  level : int; (** depth below the root (root = 0) *)
+}
+
+(** [of_document ?params ?counters doc] bulk-loads the L-Tree from the
+    document's tag list (paper §2.2). *)
+val of_document :
+  ?params:Params.t -> ?counters:Ltree_metrics.Counters.t -> Dom.document ->
+  t
+
+(** [restore ?counters ~params ~height ~labels ~deleted doc] rebuilds a
+    labeled document from persisted label state (see {!Snapshot}):
+    [labels] lists every slot's label in order (tombstones included),
+    [deleted] the tombstoned slot positions.  Labels are reconstructed
+    into a full L-Tree via {!Ltree.of_labels} — no relabeling happens, so
+    previously handed-out label values stay valid.  Raises
+    [Invalid_argument] when the live slots do not match the document's
+    tag list or the labels are not a valid L-Tree leaf sequence. *)
+val restore :
+  ?counters:Ltree_metrics.Counters.t -> params:Params.t -> height:int ->
+  labels:int array -> deleted:int list -> Dom.document -> t
+
+val document : t -> Dom.document
+val tree : t -> Ltree.t
+val counters : t -> Ltree_metrics.Counters.t
+
+(** [label t n] is the current label of a labeled node.
+    Raises [Not_found] for nodes outside the document. *)
+val label : t -> Dom.node -> label
+
+val mem : t -> Dom.node -> bool
+
+(** {1 The §1 query predicates} *)
+
+(** [is_ancestor t ~anc ~desc]: interval containment
+    [start(anc) < start(desc) && end(desc) < end(anc)]. *)
+val is_ancestor : t -> anc:Dom.node -> desc:Dom.node -> bool
+
+(** [is_parent t ~parent ~child] adds the level test. *)
+val is_parent : t -> parent:Dom.node -> child:Dom.node -> bool
+
+(** [precedes t a b]: [a]'s begin tag is before [b]'s in document order. *)
+val precedes : t -> Dom.node -> Dom.node -> bool
+
+(** {1 Updates} *)
+
+(** [insert_subtree t ~parent ~index sub] attaches the detached DOM
+    subtree [sub] as [parent]'s [index]-th child and labels all its tags
+    with one §4.1 batch insertion.  Raises [Invalid_argument] when [sub]
+    is attached or [parent] is not a labeled element. *)
+val insert_subtree : t -> parent:Dom.node -> index:int -> Dom.node -> unit
+
+val insert_subtree_before : t -> anchor:Dom.node -> Dom.node -> unit
+val insert_subtree_after : t -> anchor:Dom.node -> Dom.node -> unit
+
+(** [delete_subtree t n] detaches [n] and tombstones its leaves — no
+    relabeling, per §2.3. *)
+val delete_subtree : t -> Dom.node -> unit
+
+(** [move_subtree t ~node ~parent ~index] relocates a labeled subtree:
+    tombstone the old slots, batch-insert fresh ones at the target.
+    Raises [Invalid_argument] when [parent] lies inside [node]'s subtree
+    (the move would create a cycle), when [node] is the root, or when
+    [index] is out of range. *)
+val move_subtree : t -> node:Dom.node -> parent:Dom.node -> index:int -> unit
+
+(** [compact t] rebuilds the L-Tree without tombstones (extension). *)
+val compact : t -> unit
+
+(** {1 Storage synchronization}
+
+    External stores (e.g. the relational label table of
+    {!Ltree_relstore}) persist labels; they go stale whenever the L-Tree
+    relabels.  The document tracks exactly which nodes' stored labels
+    changed — via the L-Tree's relabel hook — so a store can refresh only
+    those rows. *)
+
+(** [drain_dirty t] returns the nodes whose persisted labels became stale
+    since the last drain (relabeled, newly inserted, or deleted —
+    deleted ones carry [None]), and clears the set.  Draining is
+    destructive: a document feeds exactly one synchronized store. *)
+val drain_dirty : t -> (int * Dom.node option) list
+
+(** [node_by_id t id] finds a labeled node by its {!Dom.id}. *)
+val node_by_id : t -> int -> Dom.node option
+
+(** [node_by_start_label t lab] finds the node whose begin tag currently
+    carries label [lab], in O(height) (digit descent, §4.2).  [None] for
+    unused labels, end-tag labels, and tombstoned slots. *)
+val node_by_start_label : t -> int -> Dom.node option
+
+(** {1 Introspection} *)
+
+(** [check t] asserts that the leaf sequence of the L-Tree matches the
+    document's tag list exactly (and checks the L-Tree's own
+    invariants). *)
+val check : t -> unit
+
+(** [labeled_events t] pairs the document's tag list with leaf numbers,
+    in order — the flattened view used by the storage layer. *)
+val labeled_events : t -> (Dom.event * int) list
+
+val size : t -> int
+(** Number of live label slots. *)

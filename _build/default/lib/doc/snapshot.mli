@@ -1,0 +1,43 @@
+(** Persistence for labeled documents.
+
+    A snapshot stores the document text together with its current label
+    state (parameters, tree height, every slot's label, tombstone
+    positions).  Loading reconstructs the L-Tree from the labels alone
+    ({!Ltree.of_labels}, the §4.2 implicit-structure property), so label
+    values survive process restarts — the "persistent labels" concern of
+    the paper's related-work discussion.
+
+    The format is a small versioned text header followed by the XML:
+
+    {v
+    ltree-snapshot 1
+    params <f> <s>
+    height <h>
+    labels <n> <l1> <l2> ... <ln>
+    deleted <k> <i1> ... <ik>
+    texts <k> <len1> ... <lenk>
+    ---
+    <serialized XML document>
+    v}
+
+    The [texts] line records the decoded length of every text node in
+    document order: DOM edits can leave adjacent text siblings, which an
+    XML reparse would merge into one node (changing the tag count), so
+    the loader re-splits them to the recorded lengths.  Documents
+    containing {e empty} text nodes cannot be snapshotted (they would
+    vanish entirely in the serialization); [save] raises
+    [Invalid_argument] for those. *)
+
+exception Corrupt of string
+
+(** [save ldoc] serializes the document and its label state. *)
+val save : Labeled_doc.t -> string
+
+(** [load s] reconstructs the labeled document.
+    Raises {!Corrupt} on a malformed snapshot and propagates
+    [Invalid_argument] when the label state is inconsistent with the
+    document. *)
+val load : ?counters:Ltree_metrics.Counters.t -> string -> Labeled_doc.t
+
+val save_file : Labeled_doc.t -> string -> unit
+val load_file : ?counters:Ltree_metrics.Counters.t -> string -> Labeled_doc.t

@@ -1,0 +1,1 @@
+lib/labeling/bitstring_label.ml: Array Bytes Char Stdlib String

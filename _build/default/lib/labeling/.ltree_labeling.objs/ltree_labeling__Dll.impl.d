@@ -1,0 +1,1 @@
+lib/labeling/dll.ml: List Printf

@@ -1,0 +1,1 @@
+lib/labeling/gap.ml: Array Dll Ltree_metrics Printf Scheme Stdlib

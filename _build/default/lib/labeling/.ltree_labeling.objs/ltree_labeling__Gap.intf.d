@@ -1,0 +1,1 @@
+lib/labeling/gap.mli: Scheme

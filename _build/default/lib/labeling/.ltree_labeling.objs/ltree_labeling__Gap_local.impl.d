@@ -1,0 +1,1 @@
+lib/labeling/gap_local.ml: Array Dll List Ltree_metrics Option Printf Scheme Stdlib

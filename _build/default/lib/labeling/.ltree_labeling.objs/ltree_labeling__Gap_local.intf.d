@@ -1,0 +1,1 @@
+lib/labeling/gap_local.mli: Scheme

@@ -1,0 +1,1 @@
+lib/labeling/list_label.ml: Array Dll List Ltree_metrics Printf Scheme Stdlib

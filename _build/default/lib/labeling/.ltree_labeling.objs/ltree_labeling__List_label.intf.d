@@ -1,0 +1,1 @@
+lib/labeling/list_label.mli: Scheme

@@ -1,0 +1,1 @@
+lib/labeling/scheme.ml: Ltree_metrics

@@ -1,0 +1,1 @@
+lib/labeling/sequential.ml: Array Dll Ltree_metrics Scheme Stdlib

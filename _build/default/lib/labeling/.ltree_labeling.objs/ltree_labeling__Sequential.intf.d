@@ -1,0 +1,1 @@
+lib/labeling/sequential.mli: Scheme

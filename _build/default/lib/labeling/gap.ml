@@ -1,0 +1,91 @@
+module Counters = Ltree_metrics.Counters
+
+module Make (P : sig
+  val gap : int
+end) : Scheme.S = struct
+  let () = if P.gap < 2 then invalid_arg "Gap.Make: gap must be >= 2"
+
+  type handle = Dll.cell
+
+  type t = {
+    list : Dll.t;
+    counters : Counters.t;
+    mutable max_seen : int; (* largest label ever handed out, for bits *)
+  }
+
+  let name = Printf.sprintf "gap-%d" P.gap
+
+  let create ?(counters = Counters.create ()) () =
+    { list = Dll.create (); counters; max_seen = 0 }
+
+  let see t l = if l > t.max_seen then t.max_seen <- l
+
+  let bulk_load ?counters n =
+    let t = create ?counters () in
+    let handles = Array.init n (fun i -> Dll.append t.list (i * P.gap)) in
+    if n > 0 then see t ((n - 1) * P.gap);
+    (t, handles)
+
+  (* Renumber every cell to multiples of the gap (starting at one gap, so
+     the front keeps room too); the escape hatch when a local gap is
+     exhausted. *)
+  let renumber t =
+    let i = ref 0 in
+    Dll.iter t.list (fun c ->
+        c.label <- (!i + 1) * P.gap;
+        incr i;
+        Counters.add_relabel t.counters 1);
+    if !i > 0 then see t (!i * P.gap)
+
+  (* A label strictly between [lo] and [hi], when one exists. *)
+  let midpoint lo hi =
+    if hi - lo >= 2 then Some (lo + ((hi - lo) / 2)) else None
+
+  let insert_between t ~left ~right =
+    let bounds () =
+      let lo = match left with Some (c : Dll.cell) -> c.label | None -> -1 in
+      let hi =
+        match right with
+        | Some (c : Dll.cell) -> c.label
+        | None -> (
+            (* Appending: leave a full gap after the last cell. *)
+            match left with Some c -> c.label + (2 * P.gap) | None -> P.gap)
+      in
+      (lo, hi)
+    in
+    let lo, hi = bounds () in
+    let label =
+      match midpoint lo hi with
+      | Some l -> l
+      | None ->
+        renumber t;
+        let lo, hi = bounds () in
+        (match midpoint lo hi with
+         | Some l -> l
+         | None -> assert false (* a fresh renumbering always has room *))
+    in
+    see t label;
+    match (left, right) with
+    | _, Some r -> Dll.insert_before t.list r label
+    | Some l, None -> Dll.insert_after t.list l label
+    | None, None -> Dll.append t.list label
+
+  let insert_first t = insert_between t ~left:None ~right:(Dll.first t.list)
+
+  let insert_after t (h : handle) =
+    insert_between t ~left:(Some h) ~right:h.next
+
+  let insert_before t (h : handle) =
+    insert_between t ~left:h.prev ~right:(Some h)
+
+  let delete t h = Dll.remove t.list h
+  let label _ (h : handle) = h.label
+  let length t = Dll.length t.list
+  let compare _ (a : handle) (b : handle) = Stdlib.compare a.label b.label
+  let bits_per_label t = Scheme.bits_for_value t.max_seen
+  let check t = Dll.check t.list
+end
+
+include Make (struct
+  let gap = 64
+end)

@@ -1,0 +1,133 @@
+module Counters = Ltree_metrics.Counters
+
+module Make (P : sig
+  val gap : int
+end) : Scheme.S = struct
+  let () = if P.gap < 2 then invalid_arg "Gap_local.Make: gap must be >= 2"
+
+  type handle = Dll.cell
+
+  type t = {
+    list : Dll.t;
+    counters : Counters.t;
+    mutable max_seen : int;
+  }
+
+  let name = Printf.sprintf "gap-local-%d" P.gap
+
+  let create ?(counters = Counters.create ()) () =
+    { list = Dll.create (); counters; max_seen = 0 }
+
+  let see t l = if l > t.max_seen then t.max_seen <- l
+
+  let bulk_load ?counters n =
+    let t = create ?counters () in
+    let handles =
+      Array.init n (fun i -> Dll.append t.list ((i + 1) * P.gap))
+    in
+    if n > 0 then see t (n * P.gap);
+    (t, handles)
+
+  let midpoint lo hi =
+    if hi - lo >= 2 then Some (lo + ((hi - lo) / 2)) else None
+
+  (* Grow a window around the exhausted gap until its label range can
+     host its cells plus the new one at [gap] spacing, then spread them
+     evenly.  Returns the new cell. *)
+  let renumber_window t ~left ~right =
+    let lcells = ref [] (* window cells left of the hole, leftmost first *)
+    and rcells = ref [] (* right of the hole, in order *) in
+    let lptr = ref left and rptr = ref right in
+    let result = ref None in
+    while !result = None do
+      (* Expand one step on each side that still has cells. *)
+      (match !lptr with
+       | Some (c : Dll.cell) ->
+         lcells := c :: !lcells;
+         lptr := c.prev
+       | None -> ());
+      (match !rptr with
+       | Some (c : Dll.cell) ->
+         rcells := !rcells @ [ c ];
+         rptr := c.next
+       | None -> ());
+      let lo_bound =
+        match !lptr with Some c -> c.label | None -> -1
+      in
+      let k = List.length !lcells + List.length !rcells in
+      let hi_bound =
+        match !rptr with
+        | Some c -> c.label
+        | None ->
+          (* The window reaches the back: the range is ours to extend. *)
+          lo_bound + ((k + 2) * P.gap)
+      in
+      if hi_bound - lo_bound - 1 >= (k + 1) * P.gap then begin
+        (* Spread the k existing cells and the hole across the range. *)
+        let step = (hi_bound - lo_bound) / (k + 2) in
+        let j = ref 0 in
+        let place (c : Dll.cell) =
+          incr j;
+          let l = lo_bound + (!j * step) in
+          if c.label <> l then begin
+            c.label <- l;
+            Counters.add_relabel t.counters 1
+          end;
+          see t l
+        in
+        List.iter place !lcells;
+        incr j;
+        let fresh_label = lo_bound + (!j * step) in
+        see t fresh_label;
+        let fresh =
+          match (left, right) with
+          | _, Some r -> Dll.insert_before t.list r fresh_label
+          | Some l, None -> Dll.insert_after t.list l fresh_label
+          | None, None -> Dll.append t.list fresh_label
+        in
+        (* [place] numbers by window position; the hole already consumed
+           position !j, so continue with the right side. *)
+        List.iter place !rcells;
+        result := Some fresh
+      end
+    done;
+    Option.get !result
+
+  let insert_between t ~left ~right =
+    let lo = match left with Some (c : Dll.cell) -> c.label | None -> -1 in
+    let hi =
+      match right with
+      | Some (c : Dll.cell) -> c.label
+      | None -> (
+          match left with
+          | Some c -> c.label + (2 * P.gap)
+          | None -> 2 * P.gap)
+    in
+    match midpoint lo hi with
+    | Some label ->
+      see t label;
+      (match (left, right) with
+       | _, Some r -> Dll.insert_before t.list r label
+       | Some l, None -> Dll.insert_after t.list l label
+       | None, None -> Dll.append t.list label)
+    | None -> renumber_window t ~left ~right
+
+  let insert_first t = insert_between t ~left:None ~right:(Dll.first t.list)
+
+  let insert_after t (h : handle) =
+    insert_between t ~left:(Some h) ~right:h.next
+
+  let insert_before t (h : handle) =
+    insert_between t ~left:h.prev ~right:(Some h)
+
+  let delete t h = Dll.remove t.list h
+  let label _ (h : handle) = h.label
+  let length t = Dll.length t.list
+  let compare _ (a : handle) (b : handle) = Stdlib.compare a.label b.label
+  let bits_per_label t = Scheme.bits_for_value t.max_seen
+  let check t = Dll.check t.list
+end
+
+include Make (struct
+  let gap = 64
+end)

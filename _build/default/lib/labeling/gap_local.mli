@@ -1,0 +1,17 @@
+(** Gap labeling with {e local} renumbering — the practical variant of
+    {!Gap} (à la Tatarinov et al., SIGMOD 2002): when an insertion finds
+    no room, instead of renumbering the whole list it renumbers the
+    smallest window around the insertion point whose label range has
+    enough slack, doubling the window until one fits.  Behaviour sits
+    between the naive gap scheme (global bursts) and the dyadic
+    {!List_label} (which fixes the universe a priori); unlike the L-Tree
+    there is no bound relating window growth to label width.
+
+    [Make] fixes the gap; [default] uses 64. *)
+
+module Make (_ : sig
+  val gap : int
+  (** Must be at least 2. *)
+end) : Scheme.S
+
+include Scheme.S

@@ -1,0 +1,23 @@
+(** Order maintenance in a fixed label universe — the Dietz/Sleator and
+    Itai-style algorithms the paper builds on (its refs [8, 9, 16]).
+
+    Labels live in [0, 2^bits).  An insertion takes the midpoint of its
+    neighbours' labels; when no integer fits, the scheme walks up the
+    enclosing dyadic ranges of the insertion point until it finds one whose
+    density (after the insertion) is at most [tau^level], and relabels that
+    range evenly.  This is the classic O(log^2 n) amortized-relabel list
+    labeling; the L-Tree's pitch is beating its constant factors with
+    tunable (f, s).
+
+    [Make] fixes the universe size and density threshold; [default] uses 60
+    bits and tau = 3/4. *)
+
+module Make (_ : sig
+  val bits : int
+  (** Universe is [0, 2^bits); 4 <= bits <= 61. *)
+
+  val tau : float
+  (** Density threshold base, in (0.5, 1). *)
+end) : Scheme.S
+
+include Scheme.S

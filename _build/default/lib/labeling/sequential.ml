@@ -1,0 +1,55 @@
+module Counters = Ltree_metrics.Counters
+
+type handle = Dll.cell
+
+type t = { list : Dll.t; counters : Counters.t }
+
+let name = "sequential"
+
+let create ?(counters = Counters.create ()) () =
+  { list = Dll.create (); counters }
+
+let bulk_load ?counters n =
+  let t = create ?counters () in
+  let handles = Array.init n (fun i -> Dll.append t.list i) in
+  (t, handles)
+
+(* Shift the labels of [cell] and everything after it up by one. *)
+let shift_suffix t cell =
+  let rec go = function
+    | None -> ()
+    | Some (c : Dll.cell) ->
+      c.label <- c.label + 1;
+      Counters.add_relabel t.counters 1;
+      go c.next
+  in
+  go (Some cell)
+
+let insert_first t =
+  match Dll.first t.list with
+  | None -> Dll.append t.list 0
+  | Some f ->
+    let label = f.label in
+    shift_suffix t f;
+    Dll.insert_before t.list f label
+
+let insert_after t (h : handle) =
+  (match h.next with Some n -> shift_suffix t n | None -> ());
+  Dll.insert_after t.list h (h.label + 1)
+
+let insert_before t (h : handle) =
+  let label = h.label in
+  shift_suffix t h;
+  Dll.insert_before t.list h label
+
+let delete t h = Dll.remove t.list h
+let label _ (h : handle) = h.label
+let length t = Dll.length t.list
+let compare _ (a : handle) (b : handle) = Stdlib.compare a.label b.label
+
+let bits_per_label t =
+  match Dll.last t.list with
+  | None -> 1
+  | Some l -> Scheme.bits_for_value l.label
+
+let check t = Dll.check t.list

@@ -1,0 +1,6 @@
+(** The naive scheme the paper's introduction criticizes: labels are the
+    consecutive integers [0 .. n-1] in document order, so an insertion
+    relabels the whole suffix after the insertion point — "relabeling of
+    half the nodes on average, even for a single node insertion". *)
+
+include Scheme.S

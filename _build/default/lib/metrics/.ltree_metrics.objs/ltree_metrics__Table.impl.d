@@ -1,0 +1,1 @@
+lib/metrics/table.ml: Buffer Float List Printf String

@@ -1,0 +1,61 @@
+type t = {
+  mutable node_accesses : int;
+  mutable relabels : int;
+  mutable splits : int;
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable comparisons : int;
+}
+
+let create () =
+  { node_accesses = 0;
+    relabels = 0;
+    splits = 0;
+    page_reads = 0;
+    page_writes = 0;
+    comparisons = 0 }
+
+let reset t =
+  t.node_accesses <- 0;
+  t.relabels <- 0;
+  t.splits <- 0;
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.comparisons <- 0
+
+let copy t =
+  { node_accesses = t.node_accesses;
+    relabels = t.relabels;
+    splits = t.splits;
+    page_reads = t.page_reads;
+    page_writes = t.page_writes;
+    comparisons = t.comparisons }
+
+let diff a b =
+  { node_accesses = a.node_accesses - b.node_accesses;
+    relabels = a.relabels - b.relabels;
+    splits = a.splits - b.splits;
+    page_reads = a.page_reads - b.page_reads;
+    page_writes = a.page_writes - b.page_writes;
+    comparisons = a.comparisons - b.comparisons }
+
+let add_node_access t n = t.node_accesses <- t.node_accesses + n
+let add_relabel t n = t.relabels <- t.relabels + n
+let add_split t n = t.splits <- t.splits + n
+let add_page_read t n = t.page_reads <- t.page_reads + n
+let add_page_write t n = t.page_writes <- t.page_writes + n
+let add_comparison t n = t.comparisons <- t.comparisons + n
+
+let node_accesses t = t.node_accesses
+let relabels t = t.relabels
+let splits t = t.splits
+let page_reads t = t.page_reads
+let page_writes t = t.page_writes
+let comparisons t = t.comparisons
+let total_maintenance t = t.node_accesses + t.relabels
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>accesses=%d relabels=%d splits=%d page_r=%d page_w=%d cmp=%d@]"
+    t.node_accesses t.relabels t.splits t.page_reads t.page_writes
+    t.comparisons

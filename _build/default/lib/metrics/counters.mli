@@ -1,0 +1,51 @@
+(** Cost counters for labeling structures and storage simulators.
+
+    The paper measures maintenance cost as "the number of nodes accessed for
+    searching or relabeling" and query cost as the number of disk accesses.
+    Every structure in this repository therefore threads a [t] through its
+    operations and bumps the relevant counter; benchmarks read the counters
+    instead of (or in addition to) wall-clock time, which makes the
+    experiments deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** [reset t] zeroes every counter. *)
+val reset : t -> unit
+
+(** [copy t] is an independent snapshot of [t]. *)
+val copy : t -> t
+
+(** [diff a b] is the counter-wise [a - b]; useful to measure one phase. *)
+val diff : t -> t -> t
+
+(** {1 Bumping} *)
+
+val add_node_access : t -> int -> unit
+(** Nodes touched while searching or updating ancestor bookkeeping. *)
+
+val add_relabel : t -> int -> unit
+(** Nodes whose label was overwritten. *)
+
+val add_split : t -> int -> unit
+(** Structural splits performed. *)
+
+val add_page_read : t -> int -> unit
+val add_page_write : t -> int -> unit
+val add_comparison : t -> int -> unit
+
+(** {1 Reading} *)
+
+val node_accesses : t -> int
+val relabels : t -> int
+val splits : t -> int
+val page_reads : t -> int
+val page_writes : t -> int
+val comparisons : t -> int
+
+(** [total_maintenance t] is the paper's update cost:
+    node accesses plus relabelings. *)
+val total_maintenance : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable sum : float;
+  mutable samples : float array;
+  (* [samples.(0 .. count-1)] retains every observation for percentiles. *)
+}
+
+let create () =
+  { count = 0;
+    mean = 0.;
+    m2 = 0.;
+    min = infinity;
+    max = neg_infinity;
+    sum = 0.;
+    samples = Array.make 16 0. }
+
+let add t x =
+  if t.count = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.count) 0. in
+    Array.blit t.samples 0 bigger 0 t.count;
+    t.samples <- bigger
+  end;
+  t.samples.(t.count) <- x;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+let mean t = t.mean
+
+let variance t =
+  if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+let sum t = t.sum
+
+let percentile t p =
+  if t.count = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.sub t.samples 0 t.count in
+  Array.sort compare sorted;
+  let rank =
+    int_of_float (ceil (p /. 100. *. float_of_int t.count)) - 1
+  in
+  let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
+  sorted.(rank)
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f@]"
+    t.count t.mean (stddev t) t.min t.max

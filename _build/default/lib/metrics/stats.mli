@@ -1,0 +1,24 @@
+(** Running statistics over float samples (Welford's online algorithm) and
+    exact percentiles over retained samples. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+
+(** [percentile t p] with [p] in [0,100]; exact over all retained samples
+    (nearest-rank). Raises [Invalid_argument] when empty or [p] is out of
+    range. *)
+val percentile : t -> float -> float
+
+(** [of_list xs] accumulates all of [xs]. *)
+val of_list : float list -> t
+
+val pp : Format.formatter -> t -> unit

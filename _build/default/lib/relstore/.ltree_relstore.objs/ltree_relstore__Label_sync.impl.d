@@ -1,0 +1,1 @@
+lib/relstore/label_sync.ml: Dom Hashtbl List Ltree_doc Ltree_xml Option Pager Rel_table Shredder

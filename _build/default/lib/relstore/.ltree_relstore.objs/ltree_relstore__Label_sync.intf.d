@@ -1,0 +1,1 @@
+lib/relstore/label_sync.mli: Ltree_doc Pager Shredder

@@ -1,0 +1,1 @@
+lib/relstore/pager.ml: Hashtbl Ltree_metrics

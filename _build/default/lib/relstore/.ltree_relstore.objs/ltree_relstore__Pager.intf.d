@@ -1,0 +1,1 @@
+lib/relstore/pager.mli: Ltree_metrics

@@ -1,0 +1,1 @@
+lib/relstore/query.ml: Array Hashtbl List Ltree_metrics Option Pager Rel_table Shredder Stdlib

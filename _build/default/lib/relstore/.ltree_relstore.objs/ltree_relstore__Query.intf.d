@@ -1,0 +1,1 @@
+lib/relstore/query.mli: Pager Shredder

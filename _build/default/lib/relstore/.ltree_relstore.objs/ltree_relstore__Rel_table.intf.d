@@ -1,0 +1,1 @@
+lib/relstore/rel_table.mli: Pager

@@ -1,0 +1,1 @@
+lib/relstore/shredder.ml: Dom Hashtbl List Ltree_doc Ltree_xml Option Rel_table

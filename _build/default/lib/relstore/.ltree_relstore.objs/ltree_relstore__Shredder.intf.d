@@ -1,0 +1,1 @@
+lib/relstore/shredder.mli: Dom Hashtbl Ltree_doc Ltree_xml Pager Rel_table

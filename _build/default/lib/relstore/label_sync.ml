@@ -1,0 +1,96 @@
+open Ltree_xml
+module Labeled_doc = Ltree_doc.Labeled_doc
+open Shredder
+
+type t = {
+  pager : Pager.t;
+  store : label_store;
+  ldoc : Labeled_doc.t;
+}
+
+type stats = {
+  rows_updated : int;
+  rows_inserted : int;
+  rows_tombstoned : int;
+}
+
+let create pager store ldoc = { pager; store; ldoc }
+
+let row_of_node ldoc node =
+  match Shredder.tag_of node with
+  | None -> None
+  | Some tag ->
+    let l = Labeled_doc.label ldoc node in
+    Some
+      { l_id = Dom.id node; l_tag = tag;
+        l_start = l.Labeled_doc.start_pos;
+        l_end = l.Labeled_doc.end_pos;
+        l_level = l.Labeled_doc.level;
+        l_dead = false }
+
+let flush t =
+  let updated = ref 0 and inserted = ref 0 and tombstoned = ref 0 in
+  List.iter
+    (fun (dom_id, node) ->
+      match (Hashtbl.find_opt t.store.label_by_node dom_id, node) with
+      | Some rid, Some node -> (
+          match row_of_node t.ldoc node with
+          | Some row ->
+            if Rel_table.get t.store.label_table rid <> row then begin
+              Rel_table.set t.store.label_table rid row;
+              incr updated
+            end
+          | None -> ())
+      | Some rid, None ->
+        let old = Rel_table.get t.store.label_table rid in
+        if not old.l_dead then begin
+          Rel_table.set t.store.label_table rid { old with l_dead = true };
+          Hashtbl.remove t.store.label_by_node dom_id;
+          incr tombstoned
+        end
+      | None, Some node -> (
+          match row_of_node t.ldoc node with
+          | Some row ->
+            let rid = Rel_table.append t.store.label_table row in
+            Hashtbl.replace t.store.label_by_node dom_id rid;
+            Hashtbl.replace t.store.label_by_tag row.l_tag
+              (rid
+              :: Option.value ~default:[]
+                   (Hashtbl.find_opt t.store.label_by_tag row.l_tag));
+            incr inserted
+          | None -> ())
+      | None, None -> () (* created and deleted between flushes *))
+    (Labeled_doc.drain_dirty t.ldoc);
+  if !updated + !inserted + !tombstoned > 0 then
+    (* Labels moved: the sorted secondary index is stale. *)
+    t.store.label_sorted <- None;
+  { rows_updated = !updated;
+    rows_inserted = !inserted;
+    rows_tombstoned = !tombstoned }
+
+let check t =
+  (* Every labeled node must have an exact live row; every live row must
+     describe a labeled node. *)
+  (match (Labeled_doc.document t.ldoc).root with
+   | None -> ()
+   | Some root ->
+     Dom.iter_preorder root (fun node ->
+         match Shredder.tag_of node with
+         | None -> ()
+         | Some _ -> (
+             match Hashtbl.find_opt t.store.label_by_node (Dom.id node) with
+             | None -> failwith "Label_sync: labeled node without a row"
+             | Some rid ->
+               let row = Rel_table.get t.store.label_table rid in
+               let l = Labeled_doc.label t.ldoc node in
+               if
+                 row.l_dead
+                 || row.l_start <> l.Labeled_doc.start_pos
+                 || row.l_end <> l.Labeled_doc.end_pos
+                 || row.l_level <> l.Labeled_doc.level
+               then failwith "Label_sync: stale row after flush")));
+  Rel_table.iter t.store.label_table (fun _ row ->
+      if not row.l_dead then
+        match Labeled_doc.node_by_id t.ldoc row.l_id with
+        | Some _ -> ()
+        | None -> failwith "Label_sync: live row for a vanished node")

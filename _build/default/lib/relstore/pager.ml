@@ -1,0 +1,65 @@
+module Counters = Ltree_metrics.Counters
+
+type t = {
+  capacity : int;
+  counters : Counters.t;
+  resident : (int * int, int) Hashtbl.t; (* (table, page) -> last use *)
+  dirty : (int * int, unit) Hashtbl.t;
+  mutable clock : int;
+  mutable next_table : int;
+}
+
+let create ?(capacity = 64) counters =
+  if capacity < 1 then invalid_arg "Pager.create: capacity must be >= 1";
+  { capacity; counters; resident = Hashtbl.create 128;
+    dirty = Hashtbl.create 16; clock = 0; next_table = 0 }
+
+let counters t = t.counters
+
+let write_back t key =
+  if Hashtbl.mem t.dirty key then begin
+    Counters.add_page_write t.counters 1;
+    Hashtbl.remove t.dirty key
+  end
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key used ->
+      match !victim with
+      | Some (_, u) when u <= used -> ()
+      | Some _ | None -> victim := Some (key, used))
+    t.resident;
+  match !victim with
+  | Some (key, _) ->
+    write_back t key;
+    Hashtbl.remove t.resident key
+  | None -> ()
+
+let touch ?(write = false) t ~table ~page =
+  let key = (table, page) in
+  t.clock <- t.clock + 1;
+  if Hashtbl.mem t.resident key then Hashtbl.replace t.resident key t.clock
+  else begin
+    Counters.add_page_read t.counters 1;
+    if Hashtbl.length t.resident >= t.capacity then evict_oldest t;
+    Hashtbl.replace t.resident key t.clock
+  end;
+  if write then Hashtbl.replace t.dirty key ()
+
+let flush_dirty t =
+  let n = Hashtbl.length t.dirty in
+  Counters.add_page_write t.counters n;
+  Hashtbl.reset t.dirty;
+  n
+
+let flush t =
+  ignore (flush_dirty t);
+  Hashtbl.reset t.resident
+
+let fresh_table_id t =
+  let id = t.next_table in
+  t.next_table <- id + 1;
+  id
+
+let resident t = Hashtbl.length t.resident

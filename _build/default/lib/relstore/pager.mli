@@ -1,0 +1,38 @@
+(** A miniature paged-storage simulator.
+
+    The paper measures query and maintenance cost "as the number of disk
+    accesses".  This module provides that yardstick: rows live in fixed
+    size pages; a bounded LRU buffer pool tracks residency; a page touch
+    that misses the pool counts as one [page_read] on the shared
+    {!Ltree_metrics.Counters.t}.  Nothing is actually written to disk —
+    the simulator is deterministic and measures exactly what the paper's
+    cost model talks about. *)
+
+type t
+
+(** [create ?capacity counters] makes a pool holding up to [capacity]
+    pages (default 64). *)
+val create : ?capacity:int -> Ltree_metrics.Counters.t -> t
+
+val counters : t -> Ltree_metrics.Counters.t
+
+(** [touch ?write t ~table ~page] records a logical access to a page;
+    counts a [page_read] when the page was not resident.  With
+    [~write:true] the page is additionally marked dirty: its eventual
+    write-back (at eviction or {!flush_dirty}) counts one
+    [page_write]. *)
+val touch : ?write:bool -> t -> table:int -> page:int -> unit
+
+(** [flush_dirty t] writes back every dirty page (one [page_write] each)
+    and returns how many there were. *)
+val flush_dirty : t -> int
+
+(** [flush t] writes back dirty pages, then empties the pool (e.g.
+    between query plans, so each plan is measured cold). *)
+val flush : t -> unit
+
+(** [fresh_table_id t] allocates a table namespace. *)
+val fresh_table_id : t -> int
+
+(** Number of resident pages. *)
+val resident : t -> int

@@ -1,0 +1,188 @@
+module Counters = Ltree_metrics.Counters
+open Shredder
+
+let ids_of_tag tbl tag = Option.value ~default:[] (Hashtbl.find_opt tbl tag)
+
+(* BFS from a set of node ids: each level is one parent-child self-join
+   (probe the parent index, fetch every child row to learn its tag). *)
+let edge_descendants_from (store : edge_store) seed desc =
+  let result = ref [] in
+  let frontier = ref seed in
+  while !frontier <> [] do
+    let next = ref [] in
+    List.iter
+      (fun parent_id ->
+        List.iter
+          (fun rid ->
+            let row = Rel_table.get store.edge_table rid in
+            if row.e_tag = desc then result := row.e_id :: !result;
+            if row.e_tag <> "#text" then next := row.e_id :: !next)
+          (ids_of_tag store.edge_by_parent parent_id))
+      !frontier;
+    frontier := !next
+  done;
+  List.sort_uniq Stdlib.compare !result
+
+(* Fetch the node ids of a tag's rows (one input-side scan). *)
+let edge_seed (store : edge_store) tag =
+  List.map
+    (fun rid -> (Rel_table.get store.edge_table rid).e_id)
+    (ids_of_tag store.edge_by_tag tag)
+
+let edge_descendants (store : edge_store) ~anc ~desc =
+  edge_descendants_from store (edge_seed store anc) desc
+
+let edge_path (store : edge_store) = function
+  | [] -> []
+  | first :: rest ->
+    List.fold_left
+      (fun ids tag -> edge_descendants_from store ids tag)
+      (List.sort_uniq Stdlib.compare (edge_seed store first))
+      rest
+
+let edge_children (store : edge_store) ~parent ~child =
+  let result = ref [] in
+  List.iter
+    (fun rid ->
+      let row = Rel_table.get store.edge_table rid in
+      List.iter
+        (fun crid ->
+          let crow = Rel_table.get store.edge_table crid in
+          if crow.e_tag = child then result := crow.e_id :: !result)
+        (ids_of_tag store.edge_by_parent row.e_id))
+    (ids_of_tag store.edge_by_tag parent);
+  List.sort_uniq Stdlib.compare !result
+
+(* Fetch the live rows for a tag, in ascending start-label order (labels
+   may have moved since shredding, so sort on fetch). *)
+let fetch_rows (store : label_store) tag =
+  List.map (Rel_table.get store.label_table) (ids_of_tag store.label_by_tag tag)
+  |> List.filter (fun r -> not r.l_dead)
+  |> List.sort (fun a b -> Stdlib.compare a.l_start b.l_start)
+
+(* The single label self-join: stack-based interval-containment merge. *)
+let structural_pairs pager ancs descs ~extra =
+  let counters = Pager.counters pager in
+  let out = ref [] in
+  let stack = ref [] in
+  let rec push_opens ancs d_start =
+    match ancs with
+    | (a : label_row) :: rest when a.l_start < d_start ->
+      Counters.add_comparison counters 1;
+      stack := a :: List.filter (fun s -> s.l_end > a.l_start) !stack;
+      push_opens rest d_start
+    | ancs ->
+      Counters.add_comparison counters 1;
+      ancs
+  in
+  let rec go ancs descs =
+    match descs with
+    | [] -> ()
+    | (d : label_row) :: drest ->
+      let ancs = push_opens ancs d.l_start in
+      stack := List.filter (fun s -> s.l_end > d.l_start) !stack;
+      List.iter
+        (fun a ->
+          Counters.add_comparison counters 1;
+          if d.l_end < a.l_end && extra a d then out := d :: !out)
+        !stack;
+      go ancs drest
+  in
+  go ancs descs;
+  !out
+
+let label_query pager store ~anc ~desc ~extra =
+  let ancs = fetch_rows store anc in
+  let descs = fetch_rows store desc in
+  structural_pairs pager ancs descs ~extra
+  |> List.map (fun (r : label_row) -> r.l_id)
+  |> List.sort_uniq Stdlib.compare
+
+let label_descendants pager store ~anc ~desc =
+  label_query pager store ~anc ~desc ~extra:(fun _ _ -> true)
+
+(* Build (or reuse) the per-tag sorted (start, row id) secondary index. *)
+let sorted_index (store : label_store) =
+  match store.label_sorted with
+  | Some idx -> idx
+  | None ->
+    let idx = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun tag ids ->
+        let entries =
+          List.filter_map
+            (fun rid ->
+              let row = Rel_table.get store.label_table rid in
+              if row.l_dead then None else Some (row.l_start, rid))
+            ids
+        in
+        let arr = Array.of_list entries in
+        Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) arr;
+        Hashtbl.replace idx tag arr)
+      store.label_by_tag;
+    store.label_sorted <- Some idx;
+    idx
+
+let label_descendants_inl pager store ~anc ~desc =
+  let counters = Pager.counters pager in
+  let idx = sorted_index store in
+  let entries =
+    Option.value ~default:[||] (Hashtbl.find_opt idx desc)
+  in
+  (* First index position with start > key. *)
+  let upper_bound key =
+    let lo = ref 0 and hi = ref (Array.length entries) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      Counters.add_comparison counters 1;
+      if fst entries.(mid) <= key then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let out = ref [] in
+  List.iter
+    (fun (a : label_row) ->
+      let i = ref (upper_bound a.l_start) in
+      while
+        !i < Array.length entries && fst entries.(!i) < a.l_end
+      do
+        let row = Rel_table.get store.label_table (snd entries.(!i)) in
+        if not row.l_dead then out := row.l_id :: !out;
+        incr i
+      done)
+    (fetch_rows store anc);
+  List.sort_uniq Stdlib.compare !out
+
+(* Dedup join output back into ascending-start order so it can feed the
+   next pipelined join. *)
+let dedup_rows rows =
+  let sorted =
+    List.sort
+      (fun (a : label_row) b -> Stdlib.compare a.l_start b.l_start)
+      rows
+  in
+  let rec squeeze = function
+    | a :: b :: rest when a.l_id = b.l_id -> squeeze (b :: rest)
+    | a :: rest -> a :: squeeze rest
+    | [] -> []
+  in
+  squeeze sorted
+
+let label_path pager store = function
+  | [] -> []
+  | first :: rest ->
+    let final =
+      List.fold_left
+        (fun ancs tag ->
+          let descs = fetch_rows store tag in
+          dedup_rows
+            (structural_pairs pager ancs descs ~extra:(fun _ _ -> true)))
+        (fetch_rows store first)
+        rest
+    in
+    List.sort_uniq Stdlib.compare
+      (List.map (fun (r : label_row) -> r.l_id) final)
+
+let label_children pager store ~parent ~child =
+  label_query pager store ~anc:parent ~desc:child ~extra:(fun a d ->
+      d.l_level = a.l_level + 1)

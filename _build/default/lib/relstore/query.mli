@@ -1,0 +1,51 @@
+(** The two relational plans for the motivating query shape [a//b]
+    (paper §1: "to answer descendant-axis '//' ... many self-joins are
+    needed" vs. "exactly one self-join with label comparisons").
+
+    Both return the Dom ids of matching [b] nodes, sorted; both charge
+    row fetches to the shared pager, so [page_reads] are comparable. *)
+
+(** [edge_descendants store ~anc ~desc] evaluates [anc//desc] by iterated
+    parent-child self-joins (BFS from the [anc] rows through the
+    parent-id index, fetching every intermediate row). *)
+val edge_descendants :
+  Shredder.edge_store -> anc:string -> desc:string -> int list
+
+(** [label_descendants store ~anc ~desc] evaluates [anc//desc] with one
+    structural join over the label index: fetches only the [anc] and
+    [desc] rows and merges them with interval-containment comparisons
+    (counted as [comparisons] on the pager's counters). *)
+val label_descendants :
+  Pager.t -> Shredder.label_store -> anc:string -> desc:string -> int list
+
+(** [label_descendants_inl pager store ~anc ~desc] evaluates the same
+    query with the {e index-nested-loop} plan: for each [anc] row, probe
+    a sorted (start label) secondary index on [desc] and fetch only the
+    rows whose start falls inside the ancestor's interval (XML intervals
+    nest, so start containment implies full containment).  Cheaper than
+    the merge when the anchors are few and selective, more expensive
+    when they blanket the document — the crossover is experiment E8d.
+    The index is built lazily (page reads are charged to the build) and
+    dropped by {!Label_sync.flush}. *)
+val label_descendants_inl :
+  Pager.t -> Shredder.label_store -> anc:string -> desc:string -> int list
+
+(** [edge_children store ~parent ~child] and
+    [label_children pager store ~parent ~child] evaluate the single-step
+    [parent/child] under both layouts. *)
+val edge_children :
+  Shredder.edge_store -> parent:string -> child:string -> int list
+
+val label_children :
+  Pager.t -> Shredder.label_store -> parent:string -> child:string ->
+  int list
+
+(** [edge_path store tags] and [label_path pager store tags] evaluate a
+    multi-step descendant path [t1//t2//…//tk] (k >= 1), returning the
+    ids of the final step's matches.  The edge plan re-runs its BFS from
+    every intermediate result; the label plan pipelines stack joins, one
+    per step — the paper's "exactly one self-join per location step". *)
+val edge_path : Shredder.edge_store -> string list -> int list
+
+val label_path :
+  Pager.t -> Shredder.label_store -> string list -> int list

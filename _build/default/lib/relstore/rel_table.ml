@@ -1,0 +1,51 @@
+type 'a t = {
+  pager : Pager.t;
+  table_id : int;
+  name : string;
+  rows_per_page : int;
+  mutable rows : 'a array;
+  mutable n : int;
+  mutable witness : 'a option; (* fill value for array growth *)
+}
+
+let create pager ~name ~rows_per_page =
+  if rows_per_page < 1 then
+    invalid_arg "Rel_table.create: rows_per_page must be >= 1";
+  { pager; table_id = Pager.fresh_table_id pager; name; rows_per_page;
+    rows = [||]; n = 0; witness = None }
+
+let name t = t.name
+let length t = t.n
+
+let append t row =
+  if t.n = Array.length t.rows then begin
+    let cap = max 16 (2 * t.n) in
+    let bigger = Array.make cap row in
+    Array.blit t.rows 0 bigger 0 t.n;
+    t.rows <- bigger
+  end;
+  t.rows.(t.n) <- row;
+  t.witness <- Some row;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let page_of t id = id / t.rows_per_page
+
+let get t id =
+  if id < 0 || id >= t.n then invalid_arg "Rel_table.get: bad row id";
+  Pager.touch t.pager ~table:t.table_id ~page:(page_of t id);
+  t.rows.(id)
+
+let set t id row =
+  if id < 0 || id >= t.n then invalid_arg "Rel_table.set: bad row id";
+  Pager.touch ~write:true t.pager ~table:t.table_id ~page:(page_of t id);
+  t.rows.(id) <- row
+
+let iter t f =
+  for id = 0 to t.n - 1 do
+    if id mod t.rows_per_page = 0 then
+      Pager.touch t.pager ~table:t.table_id ~page:(page_of t id);
+    f id t.rows.(id)
+  done
+
+let pages t = if t.n = 0 then 0 else page_of t (t.n - 1) + 1

@@ -1,0 +1,60 @@
+(** Shredding a labeled XML document into relations.
+
+    Two storage layouts from the paper's §1 survey:
+
+    - the {e edge table} (Florescu–Kossmann): one row per node carrying its
+      parent id, so every navigation step is a self-join;
+    - the {e label table}: one row per node carrying its L-Tree
+      [(start, end, level)] label, so ancestor-descendant navigation is a
+      single label-predicate join.
+
+    Both are built over the same {!Pager} so their page-read counts are
+    directly comparable (experiment E8). *)
+
+open Ltree_xml
+
+type edge_row = {
+  e_id : int; (** Dom node id *)
+  e_parent : int; (** parent's Dom id, -1 for the root *)
+  e_tag : string; (** element name, or ["#text"] for text nodes *)
+  e_pos : int; (** position among siblings *)
+}
+
+type label_row = {
+  l_id : int;
+  l_tag : string;
+  l_start : int;
+  l_end : int;
+  l_level : int;
+  l_dead : bool; (** tombstoned by {!Label_sync} after a node deletion *)
+}
+
+type edge_store = {
+  edge_table : edge_row Rel_table.t;
+  edge_by_tag : (string, int list) Hashtbl.t; (* tag -> row ids *)
+  edge_by_parent : (int, int list) Hashtbl.t; (* node id -> child row ids *)
+}
+
+type label_store = {
+  label_table : label_row Rel_table.t;
+  label_by_tag : (string, int list) Hashtbl.t; (* tag -> row ids *)
+  label_by_node : (int, int) Hashtbl.t; (* Dom id -> row id *)
+  mutable label_sorted : (string, (int * int) array) Hashtbl.t option;
+      (* per-tag (start label, row id) sorted by start — the secondary
+         index behind the index-nested-loop plan; lazily built, dropped
+         by {!Label_sync.flush} when labels move *)
+}
+
+(** [tag_of n] is the relational tag of a node: its element name,
+    ["#text"] for text, [None] for comments/PIs (not stored). *)
+val tag_of : Dom.node -> string option
+
+(** [shred_edge pager ?rows_per_page doc] builds the edge relation
+    (documents only need the DOM, not the labels). *)
+val shred_edge :
+  Pager.t -> ?rows_per_page:int -> Dom.document -> edge_store
+
+(** [shred_label pager ?rows_per_page ldoc] builds the label relation from
+    a labeled document. *)
+val shred_label :
+  Pager.t -> ?rows_per_page:int -> Ltree_doc.Labeled_doc.t -> label_store

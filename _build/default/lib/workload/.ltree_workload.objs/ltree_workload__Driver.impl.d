@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Ltree_labeling Prng

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Ltree_labeling Ltree_metrics Prng

@@ -1,0 +1,1 @@
+lib/workload/xml_gen.ml: Array Dom List Ltree_xml Printf Prng String Zipf

@@ -1,0 +1,1 @@
+lib/workload/xml_gen.mli: Dom Ltree_xml

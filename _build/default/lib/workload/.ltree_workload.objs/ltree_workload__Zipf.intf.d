@@ -1,0 +1,1 @@
+lib/workload/zipf.mli: Prng

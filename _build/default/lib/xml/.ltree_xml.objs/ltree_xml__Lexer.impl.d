@@ -1,0 +1,1 @@
+lib/xml/lexer.ml: Buffer Char List Printf String Token

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Dom Lexer List Printf String Token

@@ -1,0 +1,1 @@
+lib/xml/serializer.ml: Buffer Dom List String

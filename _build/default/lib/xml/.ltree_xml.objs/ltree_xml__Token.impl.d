@@ -1,0 +1,1 @@
+lib/xml/token.ml: Format List

@@ -1,0 +1,209 @@
+type kind =
+  | Element of string
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+type node = {
+  node_id : int; (* process-unique, for identity-keyed tables *)
+  mutable node_kind : kind;
+  mutable node_attrs : (string * string) list;
+  mutable node_children : node list;
+  mutable node_parent : node option;
+}
+
+type document = {
+  mutable root : node option;
+  mutable xml_decl : (string * string) list option;
+  mutable doctype : string option;
+  mutable prolog_misc : node list;
+}
+
+let next_id = ref 0
+
+let make kind =
+  incr next_id;
+  { node_id = !next_id; node_kind = kind; node_attrs = [];
+    node_children = []; node_parent = None }
+
+let id n = n.node_id
+
+let element ?(attrs = []) name =
+  let n = make (Element name) in
+  n.node_attrs <- attrs;
+  n
+
+let text s = make (Text s)
+let comment s = make (Comment s)
+let pi ~target ~data = make (Pi (target, data))
+
+let document root =
+  { root = Some root; xml_decl = None; doctype = None; prolog_misc = [] }
+
+let kind n = n.node_kind
+
+let name n =
+  match n.node_kind with
+  | Element name -> name
+  | Text _ | Comment _ | Pi _ ->
+    invalid_arg "Dom.name: not an element"
+
+let attrs n = n.node_attrs
+let attr n k = List.assoc_opt k n.node_attrs
+
+let set_attr n k v =
+  n.node_attrs <- (k, v) :: List.remove_assoc k n.node_attrs
+
+let set_text n s =
+  match n.node_kind with
+  | Text _ -> n.node_kind <- Text s
+  | Element _ | Comment _ | Pi _ ->
+    invalid_arg "Dom.set_text: not a text node"
+
+let parent n = n.node_parent
+let children n = n.node_children
+let child_count n = List.length n.node_children
+
+let is_element n =
+  match n.node_kind with Element _ -> true | Text _ | Comment _ | Pi _ -> false
+
+let is_text n =
+  match n.node_kind with Text _ -> true | Element _ | Comment _ | Pi _ -> false
+
+let require_element n what =
+  match n.node_kind with
+  | Element _ -> ()
+  | Text _ | Comment _ | Pi _ ->
+    invalid_arg (what ^ ": target is not an element")
+
+let require_detached c what =
+  match c.node_parent with
+  | Some _ -> invalid_arg (what ^ ": child already attached")
+  | None -> ()
+
+let append_child p c =
+  require_element p "Dom.append_child";
+  require_detached c "Dom.append_child";
+  p.node_children <- p.node_children @ [ c ];
+  c.node_parent <- Some p
+
+let insert_child p ~index c =
+  require_element p "Dom.insert_child";
+  require_detached c "Dom.insert_child";
+  let n = List.length p.node_children in
+  if index < 0 || index > n then invalid_arg "Dom.insert_child: bad index";
+  let rec splice i = function
+    | rest when i = index -> c :: rest
+    | [] -> assert false
+    | x :: rest -> x :: splice (i + 1) rest
+  in
+  p.node_children <- splice 0 p.node_children;
+  c.node_parent <- Some p
+
+let index_in_parent n =
+  match n.node_parent with
+  | None -> invalid_arg "Dom.index_in_parent: detached node"
+  | Some p ->
+    let rec go i = function
+      | [] -> invalid_arg "Dom.index_in_parent: broken parent link"
+      | x :: rest -> if x == n then i else go (i + 1) rest
+    in
+    go 0 p.node_children
+
+let insert_before ~anchor c =
+  match anchor.node_parent with
+  | None -> invalid_arg "Dom.insert_before: anchor is detached"
+  | Some p -> insert_child p ~index:(index_in_parent anchor) c
+
+let insert_after ~anchor c =
+  match anchor.node_parent with
+  | None -> invalid_arg "Dom.insert_after: anchor is detached"
+  | Some p -> insert_child p ~index:(index_in_parent anchor + 1) c
+
+let remove n =
+  match n.node_parent with
+  | None -> invalid_arg "Dom.remove: already detached"
+  | Some p ->
+    p.node_children <- List.filter (fun c -> c != n) p.node_children;
+    n.node_parent <- None
+
+let rec iter_preorder n f =
+  f n;
+  List.iter (fun c -> iter_preorder c f) n.node_children
+
+let descendants n =
+  let acc = ref [] in
+  iter_preorder n (fun x -> acc := x :: !acc);
+  List.rev !acc
+
+let elements_by_name n tag =
+  let acc = ref [] in
+  iter_preorder n (fun x ->
+      match x.node_kind with
+      | Element name when name = tag -> acc := x :: !acc
+      | Element _ | Text _ | Comment _ | Pi _ -> ());
+  List.rev !acc
+
+let size n =
+  let c = ref 0 in
+  iter_preorder n (fun _ -> incr c);
+  !c
+
+let text_content n =
+  let buf = Buffer.create 32 in
+  iter_preorder n (fun x ->
+      match x.node_kind with
+      | Text s -> Buffer.add_string buf s
+      | Element _ | Comment _ | Pi _ -> ());
+  Buffer.contents buf
+
+type event = E_start of node | E_end of node | E_atom of node
+
+let events n =
+  let acc = ref [] in
+  let rec go n =
+    match n.node_kind with
+    | Element _ ->
+      acc := E_start n :: !acc;
+      List.iter go n.node_children;
+      acc := E_end n :: !acc
+    | Text _ | Comment _ | Pi _ -> acc := E_atom n :: !acc
+  in
+  go n;
+  List.rev !acc
+
+let event_count n =
+  let c = ref 0 in
+  iter_preorder n (fun x ->
+      match x.node_kind with
+      | Element _ -> c := !c + 2
+      | Text _ | Comment _ | Pi _ -> incr c);
+  !c
+
+let rec equal_structure a b =
+  match (a.node_kind, b.node_kind) with
+  | Element na, Element nb ->
+    na = nb
+    && List.sort compare a.node_attrs = List.sort compare b.node_attrs
+    && List.length a.node_children = List.length b.node_children
+    && List.for_all2 equal_structure a.node_children b.node_children
+  | Text x, Text y -> x = y
+  | Comment x, Comment y -> x = y
+  | Pi (t1, d1), Pi (t2, d2) -> t1 = t2 && d1 = d2
+  | (Element _ | Text _ | Comment _ | Pi _), _ -> false
+
+let rec pp ppf n =
+  match n.node_kind with
+  | Element name ->
+    Format.fprintf ppf "@[<hv 2><%s" name;
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) n.node_attrs;
+    if n.node_children = [] then Format.fprintf ppf "/>"
+    else begin
+      Format.fprintf ppf ">";
+      List.iter (fun c -> Format.fprintf ppf "@,%a" pp c) n.node_children;
+      Format.fprintf ppf "@;<0 -2></%s>" name
+    end;
+    Format.fprintf ppf "@]"
+  | Text s -> Format.fprintf ppf "%S" s
+  | Comment s -> Format.fprintf ppf "<!--%s-->" s
+  | Pi (t, d) -> Format.fprintf ppf "<?%s %s?>" t d

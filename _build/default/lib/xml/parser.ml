@@ -1,0 +1,84 @@
+exception Error of string * Token.position
+
+let err pos msg = raise (Error (msg, pos))
+
+let is_blank s = String.for_all (function
+  | ' ' | '\t' | '\n' | '\r' -> true
+  | _ -> false) s
+
+(* Build a document from the token stream with an explicit element stack. *)
+let build (tokens : Token.spanned list) : Dom.document =
+  let doc : Dom.document =
+    { root = None; xml_decl = None; doctype = None; prolog_misc = [] }
+  in
+  let stack : Dom.node list ref = ref [] in
+  let add_node pos node =
+    match !stack with
+    | top :: _ -> Dom.append_child top node
+    | [] -> (
+        match Dom.kind node with
+        | Dom.Comment _ | Dom.Pi _ ->
+          if doc.root = None then
+            doc.prolog_misc <- doc.prolog_misc @ [ node ]
+        | Dom.Text _ | Dom.Element _ ->
+          err pos "content outside the root element")
+  in
+  let open_element pos name attrs =
+    let node = Dom.element ~attrs name in
+    (match !stack with
+     | top :: _ -> Dom.append_child top node
+     | [] ->
+       if doc.root <> None then err pos "multiple root elements";
+       doc.root <- Some node);
+    node
+  in
+  List.iter
+    (fun ({ token; pos } : Token.spanned) ->
+      match token with
+      | Token.Xml_decl attrs ->
+        if doc.root <> None || !stack <> [] || doc.xml_decl <> None then
+          err pos "misplaced XML declaration"
+        else doc.xml_decl <- Some attrs
+      | Token.Doctype body ->
+        if doc.root <> None || !stack <> [] then err pos "misplaced DOCTYPE"
+        else doc.doctype <- Some body
+      | Token.Start_tag { name; attrs; self_closing } ->
+        let node = open_element pos name attrs in
+        if not self_closing then stack := node :: !stack
+      | Token.End_tag name -> (
+          match !stack with
+          | [] -> err pos (Printf.sprintf "unexpected </%s>" name)
+          | top :: rest ->
+            if Dom.name top <> name then
+              err pos
+                (Printf.sprintf "mismatched tag: <%s> closed by </%s>"
+                   (Dom.name top) name);
+            stack := rest)
+      | Token.Text s ->
+        if !stack = [] && is_blank s then ()
+        else add_node pos (Dom.text s)
+      | Token.Cdata s -> add_node pos (Dom.text s)
+      | Token.Comment s -> add_node pos (Dom.comment s)
+      | Token.Pi { target; data } -> add_node pos (Dom.pi ~target ~data))
+    tokens;
+  (match !stack with
+   | top :: _ ->
+     err { line = 0; col = 0; offset = 0 }
+       (Printf.sprintf "unclosed element <%s>" (Dom.name top))
+   | [] -> ());
+  if doc.root = None then
+    err { line = 0; col = 0; offset = 0 } "document has no root element";
+  doc
+
+let parse_string s =
+  match Lexer.tokenize s with
+  | tokens -> build tokens
+  | exception Lexer.Error (msg, pos) -> err pos msg
+
+let parse_fragment s =
+  let doc = parse_string s in
+  match doc.root with
+  | Some root ->
+    doc.root <- None;
+    root
+  | None -> assert false

@@ -1,0 +1,13 @@
+(** Well-formedness-checking XML parser: token stream → {!Dom.document}. *)
+
+exception Error of string * Token.position
+
+(** [parse_string s] parses a complete document.  Raises {!Error} on
+    malformed markup (mismatched tags, multiple roots, text outside the
+    root, trailing garbage) and re-raises lexer errors under the same
+    exception. *)
+val parse_string : string -> Dom.document
+
+(** [parse_fragment s] parses a single element (with any leading/trailing
+    whitespace ignored), for subtree insertion payloads. *)
+val parse_fragment : string -> Dom.node

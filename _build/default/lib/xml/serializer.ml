@@ -1,0 +1,110 @@
+let escape_common buf s escape_quote =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when escape_quote -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape_common buf s false;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape_common buf s true;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr v);
+      Buffer.add_char buf '"')
+    attrs
+
+let rec add_node buf ~indent ~depth n =
+  let pad () =
+    match indent with
+    | Some k ->
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (depth * k) ' ')
+    | None -> ()
+  in
+  match Dom.kind n with
+  | Dom.Element name ->
+    pad ();
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    add_attrs buf (Dom.attrs n);
+    let children = Dom.children n in
+    if children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      let only_text =
+        List.for_all Dom.is_text children && List.length children = 1
+      in
+      if only_text || indent = None then
+        List.iter (fun c -> add_node buf ~indent:None ~depth:(depth + 1) c)
+          children
+      else begin
+        List.iter (fun c -> add_node buf ~indent ~depth:(depth + 1) c)
+          children;
+        pad ()
+      end;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '>'
+    end
+  | Dom.Text s ->
+    (match indent with Some _ -> pad () | None -> ());
+    Buffer.add_string buf (escape_text s)
+  | Dom.Comment s ->
+    pad ();
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Dom.Pi (target, data) ->
+    pad ();
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf target;
+    if data <> "" then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf data
+    end;
+    Buffer.add_string buf "?>"
+
+let node_to_string ?indent n =
+  let buf = Buffer.create 256 in
+  add_node buf ~indent ~depth:0 n;
+  Buffer.contents buf
+
+let to_string ?indent (doc : Dom.document) =
+  let buf = Buffer.create 512 in
+  (match doc.xml_decl with
+   | Some attrs ->
+     Buffer.add_string buf "<?xml";
+     add_attrs buf attrs;
+     Buffer.add_string buf "?>\n"
+   | None -> ());
+  (match doc.doctype with
+   | Some body ->
+     Buffer.add_string buf "<!DOCTYPE ";
+     Buffer.add_string buf body;
+     Buffer.add_string buf ">\n"
+   | None -> ());
+  List.iter
+    (fun n ->
+      add_node buf ~indent:None ~depth:0 n;
+      Buffer.add_char buf '\n')
+    doc.prolog_misc;
+  (match doc.root with
+   | Some root -> add_node buf ~indent ~depth:0 root
+   | None -> ());
+  Buffer.contents buf

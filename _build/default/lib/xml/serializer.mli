@@ -1,0 +1,16 @@
+(** DOM → XML text. *)
+
+(** [escape_text s] escapes [& < >]; [escape_attr s] additionally escapes
+    the double quote. *)
+val escape_text : string -> string
+
+val escape_attr : string -> string
+
+(** [node_to_string ?indent n] serializes a subtree.  With [indent] (a
+    number of spaces), children are pretty-printed on their own lines —
+    only safe for data-centric documents, since it inserts whitespace. *)
+val node_to_string : ?indent:int -> Dom.node -> string
+
+(** [to_string ?indent doc] serializes the whole document, including the
+    XML declaration, DOCTYPE and prolog comments when present. *)
+val to_string : ?indent:int -> Dom.document -> string

@@ -1,0 +1,35 @@
+type position = { line : int; col : int; offset : int }
+
+type t =
+  | Start_tag of {
+      name : string;
+      attrs : (string * string) list;
+      self_closing : bool;
+    }
+  | End_tag of string
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+  | Doctype of string
+  | Xml_decl of (string * string) list
+
+type spanned = { token : t; pos : position }
+
+let pp_position ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col
+
+let pp ppf = function
+  | Start_tag { name; attrs; self_closing } ->
+    Format.fprintf ppf "<%s" name;
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) attrs;
+    Format.fprintf ppf "%s>" (if self_closing then "/" else "")
+  | End_tag name -> Format.fprintf ppf "</%s>" name
+  | Text s -> Format.fprintf ppf "text(%S)" s
+  | Cdata s -> Format.fprintf ppf "cdata(%S)" s
+  | Comment s -> Format.fprintf ppf "comment(%S)" s
+  | Pi { target; data } -> Format.fprintf ppf "<?%s %s?>" target data
+  | Doctype s -> Format.fprintf ppf "<!DOCTYPE %s>" s
+  | Xml_decl attrs ->
+    Format.fprintf ppf "<?xml";
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) attrs;
+    Format.fprintf ppf "?>"

@@ -1,0 +1,22 @@
+(** Lexical tokens of an XML document, with source positions. *)
+
+type position = { line : int; col : int; offset : int }
+
+type t =
+  | Start_tag of {
+      name : string;
+      attrs : (string * string) list;
+      self_closing : bool;
+    }
+  | End_tag of string
+  | Text of string (** entity-decoded character data *)
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+  | Doctype of string (** raw DOCTYPE body, kept verbatim *)
+  | Xml_decl of (string * string) list
+
+type spanned = { token : t; pos : position }
+
+val pp_position : Format.formatter -> position -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/xpath/dom_eval.ml: Ast Dom Hashtbl List Ltree_xml Option Stdlib

@@ -1,0 +1,1 @@
+lib/xpath/dom_eval.mli: Ast Dom Ltree_xml

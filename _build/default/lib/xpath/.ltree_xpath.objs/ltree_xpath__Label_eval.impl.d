@@ -1,0 +1,1 @@
+lib/xpath/label_eval.ml: Ast Dom Hashtbl List Ltree_doc Ltree_xml Option Stdlib Xpath_parser

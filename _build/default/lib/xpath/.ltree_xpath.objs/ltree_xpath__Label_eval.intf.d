@@ -1,0 +1,1 @@
+lib/xpath/label_eval.mli: Ast Dom Ltree_doc Ltree_xml

@@ -1,0 +1,1 @@
+lib/xpath/xpath_parser.mli: Ast

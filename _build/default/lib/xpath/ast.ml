@@ -1,0 +1,91 @@
+type axis =
+  | Child
+  | Descendant
+  | Self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Preceding
+  | Following_sibling
+  | Preceding_sibling
+
+type test = Name of string | Wildcard | Text_node
+
+type pred =
+  | Has_attr of string
+  | Attr_eq of string * string
+  | Attr_neq of string * string
+  | Position of int
+  | Last
+  | Exists of step list
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and step = { axis : axis; test : test; preds : pred list }
+
+type t = { absolute : bool; steps : step list }
+
+let is_reverse_axis = function
+  | Parent | Ancestor | Ancestor_or_self | Preceding | Preceding_sibling ->
+    true
+  | Child | Descendant | Self | Following | Following_sibling -> false
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Self -> "self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+
+let pp_test ppf = function
+  | Name s -> Format.pp_print_string ppf s
+  | Wildcard -> Format.pp_print_string ppf "*"
+  | Text_node -> Format.pp_print_string ppf "text()"
+
+(* Predicate expressions print with minimal parentheses:
+   or < and < not/atoms. *)
+let rec pp_expr prec ppf = function
+  | Or (a, b) ->
+    if prec > 0 then
+      Format.fprintf ppf "(%a or %a)" (pp_expr 0) a (pp_expr 1) b
+    else Format.fprintf ppf "%a or %a" (pp_expr 0) a (pp_expr 1) b
+  | And (a, b) ->
+    if prec > 1 then
+      Format.fprintf ppf "(%a and %a)" (pp_expr 1) a (pp_expr 2) b
+    else Format.fprintf ppf "%a and %a" (pp_expr 1) a (pp_expr 2) b
+  | Not p -> Format.fprintf ppf "not(%a)" (pp_expr 0) p
+  | Has_attr a -> Format.fprintf ppf "@%s" a
+  | Attr_eq (a, v) -> Format.fprintf ppf "@%s='%s'" a v
+  | Attr_neq (a, v) -> Format.fprintf ppf "@%s!='%s'" a v
+  | Position k -> Format.fprintf ppf "%d" k
+  | Last -> Format.pp_print_string ppf "last()"
+  | Exists steps -> pp_steps ~absolute:false ppf steps
+
+and pp_pred ppf p = Format.fprintf ppf "[%a]" (pp_expr 0) p
+
+and pp_steps ~absolute ppf steps =
+  List.iteri
+    (fun i step ->
+      let lead = i > 0 || absolute in
+      (match step.axis with
+       | Child -> if lead then Format.pp_print_string ppf "/"
+       | Descendant ->
+         if lead then Format.pp_print_string ppf "//"
+         else Format.pp_print_string ppf "descendant::"
+       | axis ->
+         if lead then Format.pp_print_string ppf "/";
+         Format.fprintf ppf "%s::" (axis_name axis));
+      pp_test ppf step.test;
+      List.iter (pp_pred ppf) step.preds)
+    steps
+
+let pp ppf t = pp_steps ~absolute:t.absolute ppf t.steps
+let to_string t = Format.asprintf "%a" pp t
+let equal (a : t) (b : t) = a = b

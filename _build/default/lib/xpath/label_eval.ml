@@ -1,0 +1,282 @@
+open Ltree_xml
+module Labeled_doc = Ltree_doc.Labeled_doc
+
+type item = { node : Dom.node; start_pos : int; end_pos : int; level : int }
+
+type t = {
+  ldoc : Labeled_doc.t;
+  mutable by_name : (string, Dom.node list) Hashtbl.t;
+  mutable elements : Dom.node list; (* reverse document order at build *)
+  mutable texts : Dom.node list;
+}
+
+let build_index t =
+  let by_name = Hashtbl.create 64 in
+  let elements = ref [] and texts = ref [] in
+  (match (Labeled_doc.document t.ldoc).root with
+   | None -> ()
+   | Some root ->
+     Dom.iter_preorder root (fun n ->
+         match Dom.kind n with
+         | Dom.Element name ->
+           elements := n :: !elements;
+           Hashtbl.replace by_name name
+             (n :: Option.value ~default:[] (Hashtbl.find_opt by_name name))
+         | Dom.Text _ -> texts := n :: !texts
+         | Dom.Comment _ | Dom.Pi _ -> ()));
+  t.by_name <- by_name;
+  t.elements <- !elements;
+  t.texts <- !texts
+
+let create ldoc =
+  let t = { ldoc; by_name = Hashtbl.create 1; elements = []; texts = [] } in
+  build_index t;
+  t
+
+let refresh = build_index
+
+let item_of t node =
+  if Labeled_doc.mem t.ldoc node then begin
+    let l = Labeled_doc.label t.ldoc node in
+    Some
+      { node;
+        start_pos = l.Labeled_doc.start_pos;
+        end_pos = l.Labeled_doc.end_pos;
+        level = l.Labeled_doc.level }
+  end
+  else None
+
+(* Fetch fresh labels, dropping nodes deleted since the index was built,
+   and sort by start label (document order). *)
+let items_of t nodes =
+  let items = List.filter_map (item_of t) nodes in
+  List.sort (fun a b -> Stdlib.compare a.start_pos b.start_pos) items
+
+let candidates t (test : Ast.test) =
+  match test with
+  | Ast.Name n ->
+    items_of t (Option.value ~default:[] (Hashtbl.find_opt t.by_name n))
+  | Ast.Wildcard -> items_of t t.elements
+  | Ast.Text_node -> items_of t t.texts
+
+let matches_test (test : Ast.test) node =
+  match (test, Dom.kind node) with
+  | Ast.Name n, Dom.Element name -> n = name
+  | Ast.Wildcard, Dom.Element _ -> true
+  | Ast.Text_node, Dom.Text _ -> true
+  | (Ast.Name _ | Ast.Wildcard | Ast.Text_node), _ -> false
+
+(* Stack-based structural join: both inputs sorted by start label.
+   Emits (ancestor, descendant) pairs; descendants arrive in document
+   order, so each ancestor's group is ordered too.  XML intervals either
+   nest or are disjoint, so every stacked ancestor containing the start
+   also contains the whole interval. *)
+let structural_join ancs descs =
+  let pairs = ref [] in
+  let stack = ref [] in
+  let rec push_opens ancs d_start =
+    match ancs with
+    | a :: rest when a.start_pos < d_start ->
+      stack := a :: List.filter (fun s -> s.end_pos > a.start_pos) !stack;
+      push_opens rest d_start
+    | ancs -> ancs
+  in
+  let rec go ancs descs =
+    match descs with
+    | [] -> ()
+    | d :: drest ->
+      let ancs = push_opens ancs d.start_pos in
+      stack := List.filter (fun s -> s.end_pos > d.start_pos) !stack;
+      List.iter
+        (fun a -> if d.end_pos < a.end_pos then pairs := (a, d) :: !pairs)
+        !stack;
+      go ancs drest
+  in
+  go ancs descs;
+  List.rev !pairs
+
+
+(* Per-context candidate selection for the non-join axes.  Order-based
+   axes (following/preceding and the sibling axes) read only label
+   comparisons; the upward axes read the DOM's parent pointers and the
+   labels for ordering, mirroring how an RDBMS would combine a parent-id
+   column with the label index.  Groups are in proximity order (reverse
+   axes nearest-first) for positional predicates. *)
+let axis_group t (step : Ast.step) cands (c : item) : item list =
+  match step.axis with
+  | Ast.Child | Ast.Descendant -> assert false (* handled by the join *)
+  | Ast.Self -> if matches_test step.test c.node then [ c ] else []
+  | Ast.Parent ->
+    (match Dom.parent c.node with
+     | Some p when matches_test step.test p ->
+       Option.to_list (item_of t p)
+     | Some _ | None -> [])
+  | Ast.Ancestor | Ast.Ancestor_or_self ->
+    let rec up acc n =
+      match Dom.parent n with
+      | None -> List.rev acc (* built nearest-first, keep proximity *)
+      | Some p ->
+        let acc =
+          if matches_test step.test p then
+            match item_of t p with Some it -> it :: acc | None -> acc
+          else acc
+        in
+        up acc p
+    in
+    let self =
+      if step.axis = Ast.Ancestor_or_self && matches_test step.test c.node
+      then [ c ]
+      else []
+    in
+    self @ up [] c.node
+  | Ast.Following ->
+    (* Pure label comparison: start after the context's end tag. *)
+    List.filter (fun d -> d.start_pos > c.end_pos) cands
+  | Ast.Preceding ->
+    (* End before the context's begin tag — ancestors are excluded
+       automatically (their end is after).  Proximity = reverse order. *)
+    List.rev (List.filter (fun d -> d.end_pos < c.start_pos) cands)
+  | Ast.Following_sibling ->
+    (match Dom.parent c.node with
+     | None -> []
+     | Some p ->
+       (match item_of t p with
+        | None -> []
+        | Some pi ->
+          List.filter
+            (fun d ->
+              d.level = c.level
+              && d.start_pos > c.end_pos
+              && d.end_pos < pi.end_pos)
+            cands))
+  | Ast.Preceding_sibling ->
+    (match Dom.parent c.node with
+     | None -> []
+     | Some p ->
+       (match item_of t p with
+        | None -> []
+        | Some pi ->
+          List.rev
+            (List.filter
+               (fun d ->
+                 d.level = c.level
+                 && d.end_pos < c.start_pos
+                 && d.start_pos > pi.start_pos)
+               cands)))
+
+let dedup_sorted groups =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun group ->
+      List.iter
+        (fun it ->
+          let k = Dom.id it.node in
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.replace seen k ();
+            out := it :: !out
+          end)
+        group)
+    groups;
+  List.sort (fun a b -> Stdlib.compare a.start_pos b.start_pos) !out
+
+(* Predicates, proximity-positional per context group; [Exists] recurses
+   into step evaluation (still via label joins). *)
+let rec eval_pred t ~pos ~size it (pred : Ast.pred) =
+  match pred with
+  | Ast.Position k -> pos = k
+  | Ast.Last -> pos = size
+  | Ast.Has_attr a -> Dom.is_element it.node && Dom.attr it.node a <> None
+  | Ast.Attr_eq (a, v) ->
+    Dom.is_element it.node && Dom.attr it.node a = Some v
+  | Ast.Attr_neq (a, v) -> (
+      match if Dom.is_element it.node then Dom.attr it.node a else None with
+      | Some x -> x <> v
+      | None -> false)
+  | Ast.And (a, b) ->
+    eval_pred t ~pos ~size it a && eval_pred t ~pos ~size it b
+  | Ast.Or (a, b) ->
+    eval_pred t ~pos ~size it a || eval_pred t ~pos ~size it b
+  | Ast.Not p -> not (eval_pred t ~pos ~size it p)
+  | Ast.Exists steps ->
+    List.fold_left (fun ctx step -> eval_step t step ctx) [ it ] steps <> []
+
+and apply_preds t preds group =
+  List.fold_left
+    (fun items (pred : Ast.pred) ->
+      let size = List.length items in
+      List.filteri (fun i it -> eval_pred t ~pos:(i + 1) ~size it pred) items)
+    group preds
+
+(* One location step: structural joins for the child/descendant axes,
+   per-context label filters for the rest; predicates apply per context
+   group; results dedup to document order. *)
+and eval_step t (step : Ast.step) contexts =
+  match step.axis with
+  | Ast.Child | Ast.Descendant ->
+    let cands = candidates t step.test in
+    let pairs = structural_join contexts cands in
+    let pairs =
+      match step.axis with
+      | Ast.Descendant -> pairs
+      | _ -> List.filter (fun (a, d) -> d.level = a.level + 1) pairs
+    in
+    let groups : (int, item list) Hashtbl.t = Hashtbl.create 16 in
+    let anchor_order = ref [] in
+    List.iter
+      (fun (a, d) ->
+        let key = Dom.id a.node in
+        (match Hashtbl.find_opt groups key with
+         | None ->
+           anchor_order := key :: !anchor_order;
+           Hashtbl.replace groups key [ d ]
+         | Some ds -> Hashtbl.replace groups key (d :: ds)))
+      pairs;
+    dedup_sorted
+      (List.rev_map
+         (fun key -> apply_preds t step.preds (List.rev (Hashtbl.find groups key)))
+         !anchor_order)
+  | Ast.Self | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self
+  | Ast.Following | Ast.Preceding | Ast.Following_sibling
+  | Ast.Preceding_sibling ->
+    let cands =
+      (* The upward axes fetch labels per node; the order axes filter the
+         tag index. *)
+      match step.axis with
+      | Ast.Following | Ast.Preceding | Ast.Following_sibling
+      | Ast.Preceding_sibling ->
+        candidates t step.test
+      | _ -> []
+    in
+    dedup_sorted
+      (List.map
+         (fun c -> apply_preds t step.preds (axis_group t step cands c))
+         contexts)
+
+let eval t (path : Ast.t) =
+  match (Labeled_doc.document t.ldoc).root with
+  | None -> []
+  | Some root -> (
+      match path.steps with
+      | [] -> []
+      | first :: rest ->
+        let root_item = item_of t root in
+        let matches_root = matches_test first.test root in
+        let contexts0 =
+          match first.axis with
+          | Ast.Child | Ast.Self ->
+            if matches_root then Option.to_list root_item else []
+          | Ast.Descendant ->
+            (* [candidates] is root-inclusive already. *)
+            candidates t first.test
+          | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Following
+          | Ast.Preceding | Ast.Following_sibling | Ast.Preceding_sibling ->
+            []
+        in
+        let contexts0 = apply_preds t first.preds contexts0 in
+        let final =
+          List.fold_left (fun ctx step -> eval_step t step ctx) contexts0 rest
+        in
+        List.map (fun it -> it.node) final)
+
+let eval_string t s = eval t (Xpath_parser.parse s)

@@ -1,0 +1,32 @@
+(** Label-based XPath evaluation — the paper's motivating use.
+
+    Each location step is answered by a {e structural join} between the
+    current context set and a tag index, comparing L-Tree label intervals
+    instead of navigating the tree: ancestor/descendant is interval
+    containment ([start_a < start_d && end_d < end_a], §1), parent/child
+    adds a level equality.  The join is the classic stack-based merge over
+    inputs sorted by start label, O(|contexts| + |candidates| + |output|).
+
+    Results are identical to {!Dom_eval} (property-tested) but need no
+    subtree traversal, which is what makes labels worth maintaining under
+    updates. *)
+
+open Ltree_xml
+
+type t
+
+(** [create ldoc] builds the tag index over the labeled document. *)
+val create : Ltree_doc.Labeled_doc.t -> t
+
+(** [refresh t] rebuilds the tag index; call it after structural updates
+    (label changes alone do not require it — labels are read fresh at
+    query time). *)
+val refresh : t -> unit
+
+(** [eval t path] returns matching nodes in document order, without
+    duplicates. *)
+val eval : t -> Ast.t -> Dom.node list
+
+(** [eval_string t s] parses and evaluates.  Raises
+    {!Xpath_parser.Error} on a bad path. *)
+val eval_string : t -> string -> Dom.node list

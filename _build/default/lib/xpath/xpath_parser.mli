@@ -1,0 +1,9 @@
+(** Parser for the XPath subset in {!Ast}. *)
+
+exception Error of string * int
+(** message and character offset *)
+
+(** [parse s] parses e.g. ["/site//item[@id='42']/name"],
+    ["book//title"], ["//keyword[2]"], ["//listitem/text()"].
+    Raises {!Error} on malformed input. *)
+val parse : string -> Ast.t

@@ -1,0 +1,1 @@
+test/test_bitstring.ml: Alcotest Array Gen List Ltree_labeling Ltree_workload Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Fun Int List Ltree_btree Map Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_doc.ml: Alcotest Bool Dom Gen Labeled_doc List Ltree_core Ltree_doc Ltree_workload Ltree_xml Option Params Parser QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Dom Gen Journal Labeled_doc List Ltree_doc Ltree_workload Ltree_xml Option Parser Printf QCheck QCheck_alcotest Snapshot

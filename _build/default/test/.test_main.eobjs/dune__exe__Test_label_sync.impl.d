@@ -1,0 +1,1 @@
+test/test_label_sync.ml: Alcotest Dom Gen Label_sync List Ltree_doc Ltree_metrics Ltree_relstore Ltree_workload Ltree_xml Option Pager Parser Printf QCheck QCheck_alcotest Query Rel_table Shredder

@@ -1,0 +1,1 @@
+test/test_ltree.ml: Alcotest Analysis Array Gen Label Layout List Ltree Ltree_core Ltree_metrics Ltree_workload Params Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Float Gen List Ltree_metrics QCheck QCheck_alcotest String

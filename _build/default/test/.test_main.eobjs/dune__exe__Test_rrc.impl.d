@@ -1,0 +1,1 @@
+test/test_rrc.ml: Alcotest Array Dom Gen List Ltree_doc Ltree_metrics Ltree_workload Ltree_xml Option Parser Printf QCheck QCheck_alcotest Rrc_doc

@@ -1,0 +1,1 @@
+test/test_scheme_generic.ml: Alcotest Array List Ltree_labeling Ltree_metrics Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Dom Filename Fun Gen Labeled_doc List Ltree Ltree_core Ltree_doc Ltree_workload Ltree_xml Option Params Parser Printf QCheck QCheck_alcotest Snapshot String Sys

@@ -1,0 +1,1 @@
+test/test_virtual.ml: Alcotest Array List Ltree Ltree_core Ltree_workload Params Printf QCheck QCheck_alcotest Virtual_ltree

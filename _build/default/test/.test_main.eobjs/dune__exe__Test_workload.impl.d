@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dom Hashtbl List Ltree_labeling Ltree_workload Ltree_xml Option Parser Printf Serializer

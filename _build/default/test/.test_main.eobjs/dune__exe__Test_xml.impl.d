@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Dom Format Gen Lexer List Ltree_workload Ltree_xml Parser QCheck QCheck_alcotest Serializer String Token

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Array Ast Dom Dom_eval Gen Label_eval List Ltree_doc Ltree_workload Ltree_xml Ltree_xpath Option Parser Printf QCheck QCheck_alcotest String Xpath_parser

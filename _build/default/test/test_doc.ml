@@ -1,0 +1,205 @@
+(* Labeled documents: Figure 1 semantics, subtree updates, and long random
+   edit sessions with full consistency checks. *)
+
+open Ltree_xml
+open Ltree_core
+open Ltree_doc
+module Xml_gen = Ltree_workload.Xml_gen
+module Prng = Ltree_workload.Prng
+
+let case = Alcotest.test_case
+
+(* Figure 1's document: the interval-containment reading of the labels
+   must identify exactly the ancestor-descendant pairs of the figure,
+   whatever the concrete numbers are. *)
+let fig1_containment () =
+  let doc = Xml_gen.fig1 () in
+  let ldoc = Labeled_doc.of_document ~params:Params.fig2 doc in
+  Labeled_doc.check ldoc;
+  let root = Option.get doc.root in
+  let chapter = List.nth (Dom.children root) 0 in
+  let title1 = List.nth (Dom.children chapter) 0 in
+  let title2 = List.nth (Dom.children root) 1 in
+  Alcotest.(check bool) "book anc chapter" true
+    (Labeled_doc.is_ancestor ldoc ~anc:root ~desc:chapter);
+  Alcotest.(check bool) "book anc title1" true
+    (Labeled_doc.is_ancestor ldoc ~anc:root ~desc:title1);
+  Alcotest.(check bool) "chapter anc title1" true
+    (Labeled_doc.is_ancestor ldoc ~anc:chapter ~desc:title1);
+  Alcotest.(check bool) "chapter not anc title2" false
+    (Labeled_doc.is_ancestor ldoc ~anc:chapter ~desc:title2);
+  Alcotest.(check bool) "not reflexive" false
+    (Labeled_doc.is_ancestor ldoc ~anc:root ~desc:root);
+  Alcotest.(check bool) "parent test" true
+    (Labeled_doc.is_parent ldoc ~parent:chapter ~child:title1);
+  Alcotest.(check bool) "grandparent is not parent" false
+    (Labeled_doc.is_parent ldoc ~parent:root ~child:title1);
+  Alcotest.(check bool) "doc order" true
+    (Labeled_doc.precedes ldoc title1 title2);
+  let l = Labeled_doc.label ldoc root in
+  Alcotest.(check int) "root level" 0 l.Labeled_doc.level;
+  Alcotest.(check bool) "root spans all" true
+    (l.Labeled_doc.start_pos < l.Labeled_doc.end_pos)
+
+let insert_subtree_basic () =
+  let doc = Parser.parse_string "<a><b/><c/></a>" in
+  let ldoc = Labeled_doc.of_document ~params:Params.fig2 doc in
+  let root = Option.get doc.root in
+  let b = List.nth (Dom.children root) 0 in
+  let sub = Parser.parse_fragment "<d><e>x</e></d>" in
+  Labeled_doc.insert_subtree_after ldoc ~anchor:b sub;
+  Labeled_doc.check ldoc;
+  Alcotest.(check (list string)) "DOM order"
+    [ "b"; "d"; "c" ]
+    (List.map Dom.name (Dom.children root));
+  (* The new subtree is fully labeled and properly nested. *)
+  let e = List.nth (Dom.children sub) 0 in
+  Alcotest.(check bool) "d anc e" true
+    (Labeled_doc.is_ancestor ldoc ~anc:sub ~desc:e);
+  Alcotest.(check bool) "root anc d" true
+    (Labeled_doc.is_ancestor ldoc ~anc:root ~desc:sub);
+  Alcotest.(check bool) "b precedes d" true (Labeled_doc.precedes ldoc b sub);
+  Alcotest.(check int) "levels" 2 (Labeled_doc.label ldoc e).Labeled_doc.level
+
+let insert_positions () =
+  let doc = Parser.parse_string "<a><b/></a>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let root = Option.get doc.root in
+  let b = List.hd (Dom.children root) in
+  let first = Parser.parse_fragment "<first/>" in
+  Labeled_doc.insert_subtree ldoc ~parent:root ~index:0 first;
+  let last = Parser.parse_fragment "<last/>" in
+  Labeled_doc.insert_subtree ldoc ~parent:root
+    ~index:(Dom.child_count root) last;
+  let mid = Parser.parse_fragment "<mid/>" in
+  Labeled_doc.insert_subtree_before ldoc ~anchor:b mid;
+  Labeled_doc.check ldoc;
+  Alcotest.(check (list string)) "order"
+    [ "first"; "mid"; "b"; "last" ]
+    (List.map Dom.name (Dom.children root));
+  Alcotest.(check bool) "attached subtree rejected" true
+    (try
+       Labeled_doc.insert_subtree ldoc ~parent:root ~index:0 b;
+       false
+     with Invalid_argument _ -> true)
+
+let delete_subtree () =
+  let doc = Parser.parse_string "<a><b><c/><d/></b><e/></a>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let root = Option.get doc.root in
+  let b = List.nth (Dom.children root) 0 in
+  let e = List.nth (Dom.children root) 1 in
+  let size_before = Labeled_doc.size ldoc in
+  Labeled_doc.delete_subtree ldoc b;
+  Labeled_doc.check ldoc;
+  Alcotest.(check int) "6 slots tombstoned" (size_before - 6)
+    (Labeled_doc.size ldoc);
+  Alcotest.(check bool) "b unlabeled" false (Labeled_doc.mem ldoc b);
+  Alcotest.(check bool) "e still labeled" true (Labeled_doc.mem ldoc e);
+  Alcotest.(check (list string)) "DOM detached" [ "e" ]
+    (List.map Dom.name (Dom.children root));
+  Alcotest.(check bool) "root undeletable" true
+    (try
+       Labeled_doc.delete_subtree ldoc root;
+       false
+     with Invalid_argument _ -> true);
+  Labeled_doc.compact ldoc;
+  Labeled_doc.check ldoc
+
+(* Long random edit sessions: every label query must stay consistent with
+   the DOM after arbitrary subtree inserts/deletes. *)
+let random_edits_prop =
+  QCheck.Test.make ~count:30 ~name:"random subtree edits stay consistent"
+    QCheck.(make Gen.(pair (int_bound 10_000) (int_range 20 200)))
+    (fun (seed, size) ->
+      let prng = Prng.create seed in
+      let profile = Xml_gen.default_profile ~target_nodes:size () in
+      let doc = Xml_gen.generate ~seed profile in
+      let ldoc = Labeled_doc.of_document ~params:Params.fig2 doc in
+      let root = Option.get doc.root in
+      for _ = 1 to 40 do
+        let elements =
+          List.filter Dom.is_element (Dom.descendants root)
+        in
+        let pick () = List.nth elements (Prng.int prng (List.length elements)) in
+        (match Prng.int prng 3 with
+         | 0 ->
+           let target = pick () in
+           let sub =
+             Xml_gen.generate ~seed:(Prng.int prng 100000)
+               (Xml_gen.default_profile ~target_nodes:(1 + Prng.int prng 10) ())
+           in
+           let sub = Option.get sub.root in
+           Labeled_doc.insert_subtree ldoc ~parent:target
+             ~index:(Prng.int prng (Dom.child_count target + 1))
+             sub
+         | 1 ->
+           let target = pick () in
+           if target != root then Labeled_doc.delete_subtree ldoc target
+         | _ ->
+           (* Order spot-check between two random live elements. *)
+           let a = pick () and b = pick () in
+           if a != b && Labeled_doc.mem ldoc a && Labeled_doc.mem ldoc b
+           then begin
+             let correct =
+               let rec is_anc x y =
+                 match Dom.parent y with
+                 | None -> false
+                 | Some p -> p == x || is_anc x p
+               in
+               Bool.equal
+                 (Labeled_doc.is_ancestor ldoc ~anc:a ~desc:b)
+                 (is_anc a b)
+             in
+             if not correct then failwith "ancestor predicate diverged"
+           end);
+        Labeled_doc.check ldoc
+      done;
+      true)
+
+let move_subtree () =
+  let doc = Parser.parse_string "<a><b><c/></b><d/></a>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let root = Option.get doc.root in
+  let b = List.nth (Dom.children root) 0 in
+  let c = List.hd (Dom.children b) in
+  let d = List.nth (Dom.children root) 1 in
+  (* Move <b> under <d>. *)
+  Labeled_doc.move_subtree ldoc ~node:b ~parent:d ~index:0;
+  Labeled_doc.check ldoc;
+  Alcotest.(check (list string)) "DOM shape" [ "d" ]
+    (List.map Dom.name (Dom.children root));
+  Alcotest.(check bool) "d anc c now" true
+    (Labeled_doc.is_ancestor ldoc ~anc:d ~desc:c);
+  Alcotest.(check bool) "b still anc c" true
+    (Labeled_doc.is_ancestor ldoc ~anc:b ~desc:c);
+  (* Moving a node under its own descendant must fail. *)
+  Alcotest.(check bool) "cycle rejected" true
+    (try
+       Labeled_doc.move_subtree ldoc ~node:d ~parent:c ~index:0;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "self rejected" true
+    (try
+       Labeled_doc.move_subtree ldoc ~node:d ~parent:d ~index:0;
+       false
+     with Invalid_argument _ -> true)
+
+let labeled_events_view () =
+  let doc = Parser.parse_string "<a><b>t</b></a>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let evs = Labeled_doc.labeled_events ldoc in
+  Alcotest.(check int) "five slots" 5 (List.length evs);
+  let positions = List.map snd evs in
+  let sorted = List.sort compare positions in
+  Alcotest.(check (list int)) "positions ordered" sorted positions
+
+let suite =
+  ( "labeled_doc",
+    [ case "figure 1 containment" `Quick fig1_containment;
+      case "insert subtree" `Quick insert_subtree_basic;
+      case "insert positions" `Quick insert_positions;
+      case "delete subtree + compact" `Quick delete_subtree;
+      case "move subtree" `Quick move_subtree;
+      case "labeled events view" `Quick labeled_events_view;
+      QCheck_alcotest.to_alcotest random_edits_prop ] )

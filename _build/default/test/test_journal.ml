@@ -1,0 +1,120 @@
+(* Journal: snapshot + replayed log reproduces the exact document state,
+   labels included — the recovery property that label determinism buys. *)
+
+open Ltree_xml
+open Ltree_doc
+module Xml_gen = Ltree_workload.Xml_gen
+module Prng = Ltree_workload.Prng
+
+let case = Alcotest.test_case
+
+let labels_of ldoc = List.map snd (Labeled_doc.labeled_events ldoc)
+
+let basic_roundtrip () =
+  let doc = Parser.parse_string "<a><b>x</b><c/></a>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let snap = Snapshot.save ldoc in
+  let j = Journal.create () in
+  let root = Option.get doc.root in
+  Journal.insert_subtree j ldoc ~parent:root ~index:1
+    (Parser.parse_fragment "<d><e/></d>");
+  let b = List.nth (Dom.children root) 0 in
+  Journal.set_text j ldoc (List.hd (Dom.children b)) "updated";
+  (* children are now [b; d; c]. *)
+  let c = List.nth (Dom.children root) 2 in
+  Journal.delete_subtree j ldoc c;
+  Alcotest.(check int) "three entries" 3 (Journal.length j);
+  (* Crash: reload the snapshot and replay the journal. *)
+  let recovered = Snapshot.load snap in
+  Journal.replay (Journal.of_string (Journal.to_string j)) recovered;
+  Labeled_doc.check recovered;
+  Alcotest.(check (list int)) "labels identical" (labels_of ldoc)
+    (labels_of recovered);
+  (match ((Labeled_doc.document recovered).root, doc.root) with
+   | Some a, Some b ->
+     Alcotest.(check bool) "documents identical" true
+       (Dom.equal_structure a b)
+   | _ -> Alcotest.fail "missing root")
+
+let special_characters () =
+  let doc = Parser.parse_string "<a><t>old</t></a>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let snap = Snapshot.save ldoc in
+  let j = Journal.create () in
+  let root = Option.get doc.root in
+  let t_node = List.hd (Dom.children root) in
+  Journal.set_text j ldoc
+    (List.hd (Dom.children t_node))
+    "multi\nline & <specials> \"quoted\"";
+  Journal.insert_subtree j ldoc ~parent:root ~index:1
+    (Parser.parse_fragment "<note lang=\"fr\">d&#233;j&#224; vu\nencore</note>");
+  let recovered = Snapshot.load snap in
+  Journal.replay (Journal.of_string (Journal.to_string j)) recovered;
+  Labeled_doc.check recovered;
+  (match ((Labeled_doc.document recovered).root, doc.root) with
+   | Some a, Some b ->
+     Alcotest.(check bool) "specials survive" true (Dom.equal_structure a b)
+   | _ -> Alcotest.fail "missing root")
+
+let corrupt_rejected () =
+  let rejects s =
+    Alcotest.(check bool) ("rejects " ^ s) true
+      (try
+         ignore (Journal.of_string s);
+         false
+       with Journal.Corrupt _ -> true)
+  in
+  rejects "";
+  rejects "nonsense\nI 1 2 <x/>";
+  rejects "ltree-journal 1\nI notanint 2 x";
+  rejects "ltree-journal 1\nZ 1";
+  Alcotest.(check int) "empty journal parses" 0
+    (Journal.length (Journal.of_string "ltree-journal 1\n"))
+
+let replay_prop =
+  QCheck.Test.make ~count:25
+    ~name:"snapshot + journal replay = live state (random edits)"
+    QCheck.(make Gen.(pair (int_bound 50_000) (int_range 20 150)))
+    (fun (seed, size) ->
+      let prng = Prng.create seed in
+      let doc =
+        Xml_gen.generate ~seed (Xml_gen.default_profile ~target_nodes:size ())
+      in
+      let ldoc = Labeled_doc.of_document doc in
+      let snap = Snapshot.save ldoc in
+      let j = Journal.create () in
+      let root = Option.get doc.root in
+      for i = 1 to 30 do
+        let elements = List.filter Dom.is_element (Dom.descendants root) in
+        let target =
+          List.nth elements (Prng.int prng (List.length elements))
+        in
+        match Prng.int prng 4 with
+        | 0 when target != root -> Journal.delete_subtree j ldoc target
+        | 1 ->
+          let texts =
+            List.filter Dom.is_text (Dom.descendants root)
+          in
+          if texts <> [] then
+            Journal.set_text j ldoc
+              (List.nth texts (Prng.int prng (List.length texts)))
+              (Printf.sprintf "edit %d" i)
+        | _ ->
+          Journal.insert_subtree j ldoc ~parent:target
+            ~index:(Prng.int prng (Dom.child_count target + 1))
+            (Parser.parse_fragment
+               (Printf.sprintf "<patch n=\"%d\"><x/>y</patch>" i))
+      done;
+      let recovered = Snapshot.load snap in
+      Journal.replay (Journal.of_string (Journal.to_string j)) recovered;
+      Labeled_doc.check recovered;
+      labels_of ldoc = labels_of recovered
+      && Dom.equal_structure (Option.get doc.root)
+           (Option.get (Labeled_doc.document recovered).root))
+
+let suite =
+  ( "journal",
+    [ case "basic recovery round trip" `Quick basic_roundtrip;
+      case "special characters" `Quick special_characters;
+      case "corruption rejected" `Quick corrupt_rejected;
+      QCheck_alcotest.to_alcotest replay_prop ] )

@@ -1,0 +1,80 @@
+(* Counters, statistics and the table printer. *)
+
+module Counters = Ltree_metrics.Counters
+module Stats = Ltree_metrics.Stats
+module Table = Ltree_metrics.Table
+
+let case = Alcotest.test_case
+
+let counters_basics () =
+  let c = Counters.create () in
+  Counters.add_relabel c 3;
+  Counters.add_node_access c 2;
+  Counters.add_split c 1;
+  Alcotest.(check int) "relabels" 3 (Counters.relabels c);
+  Alcotest.(check int) "maintenance" 5 (Counters.total_maintenance c);
+  let snap = Counters.copy c in
+  Counters.add_relabel c 4;
+  Alcotest.(check int) "copy is independent" 3 (Counters.relabels snap);
+  let d = Counters.diff c snap in
+  Alcotest.(check int) "diff" 4 (Counters.relabels d);
+  Counters.reset c;
+  Alcotest.(check int) "reset" 0 (Counters.total_maintenance c)
+
+let stats_moments () =
+  let s = Stats.of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.max s);
+  Alcotest.(check (float 1e-9)) "sum" 15. (Stats.sum s);
+  Alcotest.(check (float 1e-9)) "variance" 2.5 (Stats.variance s);
+  Alcotest.(check (float 1e-9)) "p50" 3. (Stats.percentile s 50.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Stats.percentile s 100.);
+  Alcotest.(check bool) "empty percentile rejected" true
+    (try
+       ignore (Stats.percentile (Stats.create ()) 50.);
+       false
+     with Invalid_argument _ -> true)
+
+let stats_welford_matches_naive =
+  QCheck.Test.make ~count:100 ~name:"welford variance matches naive"
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.of_list xs in
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+        /. (n -. 1.)
+      in
+      Float.abs (Stats.variance s -. var) < 1e-6 *. (1. +. var))
+
+let table_render () =
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let out =
+    Table.to_string ~title:"demo" ~header:[ "a"; "bb" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "title" true (contains out "== demo ==");
+  Alcotest.(check bool) "cell" true (contains out "333");
+  Alcotest.(check bool) "arity checked" true
+    (try
+       ignore (Table.to_string ~title:"x" ~header:[ "a" ] [ [ "1"; "2" ] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check string) "fint" "42" (Table.fint 42);
+  Alcotest.(check string) "ffloat" "3.14" (Table.ffloat ~decimals:2 3.14159);
+  Alcotest.(check string) "fratio" "2.00" (Table.fratio 4. 2.);
+  Alcotest.(check string) "fratio zero" "-" (Table.fratio 4. 0.)
+
+let suite =
+  ( "metrics",
+    [ case "counters" `Quick counters_basics;
+      case "stats moments" `Quick stats_moments;
+      case "table rendering" `Quick table_render;
+      QCheck_alcotest.to_alcotest stats_welford_matches_naive ] )

@@ -1,0 +1,172 @@
+(* Conformance suite every labeling scheme must pass: order preservation
+   against a reference list, handle stability across relabelings, and
+   internal invariants after randomized operation sequences.  Instantiated
+   for the baselines and for both L-Tree variants. *)
+
+module Counters = Ltree_metrics.Counters
+
+(* A deterministic op script, interpreted against both the scheme and a
+   plain reference list. *)
+type op =
+  | Insert_at of int (* position in [0, size] *)
+  | Delete_at of int (* position in [0, size) *)
+
+let interpret_ops (type s h) (module S : Ltree_labeling.Scheme.S
+                               with type t = s and type handle = h) ~init ops
+    =
+  let scheme, handles = S.bulk_load init in
+  let live = ref (Array.to_list handles) in
+  let insert_at pos =
+    let h =
+      if pos = 0 then
+        match !live with
+        | [] -> S.insert_first scheme
+        | first :: _ -> S.insert_before scheme first
+      else S.insert_after scheme (List.nth !live (pos - 1))
+    in
+    let rec splice i = function
+      | rest when i = pos -> h :: rest
+      | [] -> assert false
+      | x :: r -> x :: splice (i + 1) r
+    in
+    live := splice 0 !live
+  in
+  let delete_at pos =
+    let h = List.nth !live pos in
+    S.delete scheme h;
+    live := List.filteri (fun i _ -> i <> pos) !live
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert_at pos -> insert_at (min pos (List.length !live))
+      | Delete_at pos ->
+        if !live <> [] then delete_at (pos mod List.length !live))
+    ops;
+  (scheme, !live)
+
+(* Labels of the live handles must be strictly increasing in reference
+   order. *)
+let labels_ordered (type s h) (module S : Ltree_labeling.Scheme.S
+                                with type t = s and type handle = h) scheme
+    live =
+  let rec go prev = function
+    | [] -> true
+    | h :: rest ->
+      let l = S.label scheme h in
+      (match prev with None -> true | Some p -> p < l) && go (Some l) rest
+  in
+  go None live
+
+let ops_gen =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [ (8, map (fun p -> Insert_at p) (int_bound 500));
+        (1, map (fun p -> Delete_at p) (int_bound 500)) ]
+  in
+  pair (int_bound 64) (list_size (int_range 1 200) op)
+
+let ops_arbitrary =
+  let print (init, ops) =
+    Printf.sprintf "init=%d ops=[%s]" init
+      (String.concat ";"
+         (List.map
+            (function
+              | Insert_at p -> Printf.sprintf "I%d" p
+              | Delete_at p -> Printf.sprintf "D%d" p)
+            ops))
+  in
+  QCheck.make ~print ops_gen
+
+let suite (module S : Ltree_labeling.Scheme.S) =
+  let module M = (val (module S) : Ltree_labeling.Scheme.S) in
+  let case name speed f = Alcotest.test_case name speed f in
+  let prop_order =
+    QCheck.Test.make ~count:150
+      ~name:(M.name ^ ": order preserved under random ops")
+      ops_arbitrary
+      (fun (init, ops) ->
+        let scheme, live = interpret_ops (module M) ~init ops in
+        M.check scheme;
+        labels_ordered (module M) scheme live)
+  in
+  let basic () =
+    let scheme, handles = M.bulk_load 10 in
+    Alcotest.(check int) "bulk length" 10 (M.length scheme);
+    M.check scheme;
+    for i = 1 to 9 do
+      Alcotest.(check bool)
+        (Printf.sprintf "bulk order %d" i)
+        true
+        (M.label scheme handles.(i - 1) < M.label scheme handles.(i))
+    done
+  in
+  let empty_insert () =
+    let scheme = M.create () in
+    Alcotest.(check int) "empty" 0 (M.length scheme);
+    let a = M.insert_first scheme in
+    let b = M.insert_after scheme a in
+    let c = M.insert_before scheme a in
+    M.check scheme;
+    Alcotest.(check int) "three items" 3 (M.length scheme);
+    Alcotest.(check bool) "c < a" true (M.label scheme c < M.label scheme a);
+    Alcotest.(check bool) "a < b" true (M.label scheme a < M.label scheme b)
+  in
+  let front_heavy () =
+    (* Repeated prepends: the adversarial pattern for sequential labels. *)
+    let scheme = M.create () in
+    let h = ref (M.insert_first scheme) in
+    for _ = 1 to 300 do
+      h := M.insert_before scheme !h
+    done;
+    M.check scheme;
+    Alcotest.(check int) "301 items" 301 (M.length scheme)
+  in
+  let append_heavy () =
+    let scheme = M.create () in
+    let h = ref (M.insert_first scheme) in
+    for _ = 1 to 300 do
+      h := M.insert_after scheme !h
+    done;
+    M.check scheme;
+    Alcotest.(check int) "301 items" 301 (M.length scheme)
+  in
+  let handle_stability () =
+    (* A handle's relative order with its neighbours survives heavy
+       relabeling elsewhere. *)
+    let scheme, handles = M.bulk_load 50 in
+    let left = handles.(20) and right = handles.(21) in
+    let mid = M.insert_after scheme left in
+    for _ = 1 to 500 do
+      ignore (M.insert_after scheme handles.(5))
+    done;
+    M.check scheme;
+    Alcotest.(check bool) "left < mid" true
+      (M.label scheme left < M.label scheme mid);
+    Alcotest.(check bool) "mid < right" true
+      (M.label scheme mid < M.label scheme right)
+  in
+  let deletion_no_relabel () =
+    let counters = Counters.create () in
+    let scheme, handles = M.bulk_load ~counters 64 in
+    let before = Counters.relabels counters in
+    Array.iteri (fun i h -> if i mod 2 = 0 then M.delete scheme h) handles;
+    Alcotest.(check int) "deletes never relabel" before
+      (Counters.relabels counters);
+    M.check scheme
+  in
+  let bits_sane () =
+    let scheme, _ = M.bulk_load 1000 in
+    let b = M.bits_per_label scheme in
+    Alcotest.(check bool) "bits in a sane window" true (b >= 1 && b <= 63)
+  in
+  ( M.name,
+    [ case "bulk load basics" `Quick basic;
+      case "insert into empty / before / after" `Quick empty_insert;
+      case "300 prepends" `Quick front_heavy;
+      case "300 appends" `Quick append_heavy;
+      case "handle stability" `Quick handle_stability;
+      case "deletion does not relabel" `Quick deletion_no_relabel;
+      case "bits_per_label sanity" `Quick bits_sane;
+      QCheck_alcotest.to_alcotest prop_order ] )

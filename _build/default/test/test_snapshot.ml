@@ -1,0 +1,155 @@
+(* Snapshot persistence: labels survive a save/load round trip unchanged
+   and the restored document keeps working. *)
+
+open Ltree_xml
+open Ltree_core
+open Ltree_doc
+module Xml_gen = Ltree_workload.Xml_gen
+module Prng = Ltree_workload.Prng
+
+let case = Alcotest.test_case
+
+let labels_of ldoc =
+  List.map snd (Labeled_doc.labeled_events ldoc)
+
+let roundtrip_simple () =
+  let doc = Parser.parse_string "<a><b>x</b><c/></a>" in
+  let ldoc = Labeled_doc.of_document ~params:Params.fig2 doc in
+  let before = labels_of ldoc in
+  let restored = Snapshot.load (Snapshot.save ldoc) in
+  Labeled_doc.check restored;
+  Alcotest.(check (list int)) "labels preserved" before (labels_of restored);
+  (* The restored document's structure matches. *)
+  (match ((Labeled_doc.document restored).root, doc.root) with
+   | Some a, Some b ->
+     Alcotest.(check bool) "same document" true (Dom.equal_structure a b)
+   | _ -> Alcotest.fail "missing root")
+
+let roundtrip_after_edits () =
+  let doc =
+    Xml_gen.generate ~seed:3 (Xml_gen.default_profile ~target_nodes:300 ())
+  in
+  let ldoc = Labeled_doc.of_document ~params:(Params.make ~f:6 ~s:2) doc in
+  let root = Option.get doc.root in
+  (* Edit so that labels are no longer the pristine bulk assignment and
+     tombstones exist. *)
+  let prng = Prng.create 9 in
+  for i = 1 to 25 do
+    let elements = List.filter Dom.is_element (Dom.descendants root) in
+    let target = List.nth elements (Prng.int prng (List.length elements)) in
+    if i mod 5 = 0 && target != root then
+      Labeled_doc.delete_subtree ldoc target
+    else begin
+      let sub = Parser.parse_fragment (Printf.sprintf "<patch n=\"%d\"/>" i) in
+      Labeled_doc.insert_subtree ldoc ~parent:target
+        ~index:(Prng.int prng (Dom.child_count target + 1))
+        sub
+    end
+  done;
+  Labeled_doc.check ldoc;
+  let before = labels_of ldoc in
+  let tree = Labeled_doc.tree ldoc in
+  let slots_before = Ltree.length tree in
+  let restored = Snapshot.load (Snapshot.save ldoc) in
+  Labeled_doc.check restored;
+  Alcotest.(check (list int)) "labels preserved across edits+tombstones"
+    before (labels_of restored);
+  Alcotest.(check int) "tombstoned slots preserved" slots_before
+    (Ltree.length (Labeled_doc.tree restored));
+  (* The restored tree continues to accept updates. *)
+  let r_root = Option.get (Labeled_doc.document restored).root in
+  let sub = Parser.parse_fragment "<after-restore/>" in
+  Labeled_doc.insert_subtree restored ~parent:r_root ~index:0 sub;
+  Labeled_doc.check restored
+
+let adjacent_text_regression () =
+  (* Deleting <b/> leaves "left" and "right" as adjacent text siblings;
+     the snapshot must restore them as two nodes, not one. *)
+  let doc = Parser.parse_string "<a>left<b/>right</a>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let root = Option.get doc.root in
+  let b = List.nth (Dom.children root) 1 in
+  Labeled_doc.delete_subtree ldoc b;
+  Labeled_doc.check ldoc;
+  let restored = Snapshot.load (Snapshot.save ldoc) in
+  Labeled_doc.check restored;
+  Alcotest.(check (list int)) "labels preserved" (labels_of ldoc)
+    (labels_of restored);
+  let r_root = Option.get (Labeled_doc.document restored).root in
+  Alcotest.(check int) "two text nodes" 2 (Dom.child_count r_root);
+  Alcotest.(check string) "content intact" "leftright"
+    (Dom.text_content r_root);
+  (* Empty text nodes are rejected up front. *)
+  let doc2 = Parser.parse_string "<a><b/></a>" in
+  let ldoc2 = Labeled_doc.of_document doc2 in
+  let empty = Dom.text "" in
+  Labeled_doc.insert_subtree ldoc2 ~parent:(Option.get doc2.root) ~index:0
+    empty;
+  Alcotest.(check bool) "empty text rejected" true
+    (try
+       ignore (Snapshot.save ldoc2);
+       false
+     with Invalid_argument _ -> true)
+
+let file_roundtrip () =
+  let doc = Parser.parse_string "<r><x/><y>t</y></r>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let path = Filename.temp_file "ltree" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Snapshot.save_file ldoc path;
+      let restored = Snapshot.load_file path in
+      Labeled_doc.check restored;
+      Alcotest.(check (list int)) "file round trip" (labels_of ldoc)
+        (labels_of restored))
+
+let corrupt_rejected () =
+  let doc = Parser.parse_string "<a/>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let good = Snapshot.save ldoc in
+  let rejects name s =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Snapshot.load s);
+         false
+       with Snapshot.Corrupt _ | Invalid_argument _ -> true)
+  in
+  let replace hay needle sub =
+    let n = String.length needle and h = String.length hay in
+    let rec find i =
+      if i + n > h then None
+      else if String.sub hay i n = needle then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> Alcotest.failf "snapshot does not contain %S" needle
+    | Some i ->
+      String.sub hay 0 i ^ sub ^ String.sub hay (i + n) (h - i - n)
+  in
+  rejects "empty" "";
+  rejects "bad magic" ("nonsense\n" ^ good);
+  rejects "truncated" (String.sub good 0 (String.length good / 2));
+  rejects "label tampering" (replace good "labels 2 0 1" "labels 2 1 0")
+
+let snapshot_prop =
+  QCheck.Test.make ~count:30 ~name:"snapshot round trip on generated docs"
+    QCheck.(make Gen.(pair (int_bound 100000) (int_range 10 200)))
+    (fun (seed, size) ->
+      let doc =
+        Xml_gen.generate ~seed (Xml_gen.default_profile ~target_nodes:size ())
+      in
+      let ldoc = Labeled_doc.of_document doc in
+      let restored = Snapshot.load (Snapshot.save ldoc) in
+      Labeled_doc.check restored;
+      labels_of ldoc = labels_of restored)
+
+let suite =
+  ( "snapshot",
+    [ case "simple round trip" `Quick roundtrip_simple;
+      case "round trip after edits" `Quick roundtrip_after_edits;
+      case "adjacent text nodes after deletion" `Quick
+        adjacent_text_regression;
+      case "file round trip" `Quick file_roundtrip;
+      case "corruption rejected" `Quick corrupt_rejected;
+      QCheck_alcotest.to_alcotest snapshot_prop ] )

@@ -1,0 +1,147 @@
+(* Workload substrate: PRNG determinism, Zipf shape, generator sizing and
+   the scheme driver. *)
+
+module Prng = Ltree_workload.Prng
+module Zipf = Ltree_workload.Zipf
+module Xml_gen = Ltree_workload.Xml_gen
+module Driver = Ltree_workload.Driver
+open Ltree_xml
+
+let case = Alcotest.test_case
+
+let prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 8 in
+  let diverged = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then diverged := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !diverged
+
+let prng_ranges () =
+  let p = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 10 in
+    Alcotest.(check bool) "bounded" true (v >= 0 && v < 10);
+    let f = Prng.float p in
+    Alcotest.(check bool) "unit float" true (f >= 0. && f < 1.)
+  done
+
+let zipf_shape () =
+  let z = Zipf.create ~n:100 ~alpha:1.2 in
+  let p = Prng.create 3 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let r = Zipf.sample z p in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 dominates rank 10" true
+    (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank 0 dominates rank 50" true
+    (counts.(0) > 3 * (counts.(50) + 1))
+
+let generator_sizes () =
+  List.iter
+    (fun target ->
+      let doc =
+        Xml_gen.generate ~seed:5 (Xml_gen.default_profile ~target_nodes:target ())
+      in
+      match doc.root with
+      | Some root ->
+        let size = Dom.size root in
+        Alcotest.(check bool)
+          (Printf.sprintf "size %d near target %d" size target)
+          true
+          (size <= target && size >= max 1 (target / 4))
+      | None -> Alcotest.fail "no root")
+    [ 1; 10; 100; 1000 ]
+
+let xmark_structure () =
+  let doc = Xml_gen.xmark ~seed:5 ~scale:1.0 () in
+  let root = Option.get doc.root in
+  Alcotest.(check string) "root is site" "site" (Dom.name root);
+  let sections = List.map Dom.name (Dom.children root) in
+  Alcotest.(check (list string)) "site sections"
+    [ "regions"; "categories"; "people"; "open_auctions"; "closed_auctions" ]
+    sections;
+  let size = Dom.size root in
+  Alcotest.(check bool)
+    (Printf.sprintf "scale 1.0 size ~4-5k (%d)" size)
+    true
+    (size > 2_000 && size < 10_000);
+  (* Ids are unique and itemref/personref attributes resolve. *)
+  let ids = Hashtbl.create 256 in
+  Dom.iter_preorder root (fun n ->
+      if Dom.is_element n then
+        match Dom.attr n "id" with
+        | Some id ->
+          if Hashtbl.mem ids id then Alcotest.failf "duplicate id %s" id;
+          Hashtbl.replace ids id ()
+        | None -> ());
+  Dom.iter_preorder root (fun n ->
+      if Dom.is_element n then begin
+        (match Dom.attr n "item" with
+         | Some r when not (Hashtbl.mem ids r) ->
+           Alcotest.failf "dangling itemref %s" r
+         | _ -> ());
+        match Dom.attr n "person" with
+        | Some r when not (Hashtbl.mem ids r) ->
+          Alcotest.failf "dangling personref %s" r
+        | _ -> ()
+      end);
+  (* Scaling is roughly linear. *)
+  let size3 = Dom.size (Option.get (Xml_gen.xmark ~seed:5 ~scale:3.0 ()).root) in
+  Alcotest.(check bool)
+    (Printf.sprintf "scale 3.0 is ~3x (%d vs %d)" size3 size)
+    true
+    (size3 > 2 * size && size3 < 5 * size);
+  (* Determinism + parse round trip. *)
+  let again = Xml_gen.xmark ~seed:5 ~scale:1.0 () in
+  Alcotest.(check bool) "deterministic" true
+    (Dom.equal_structure root (Option.get again.root));
+  let reparsed = Parser.parse_string (Serializer.to_string doc) in
+  Alcotest.(check bool) "parses back" true
+    (Dom.equal_structure root (Option.get reparsed.root))
+
+let generator_deterministic () =
+  let p = Xml_gen.default_profile ~target_nodes:200 () in
+  let a = Xml_gen.generate ~seed:11 p and b = Xml_gen.generate ~seed:11 p in
+  match (a.root, b.root) with
+  | Some x, Some y ->
+    Alcotest.(check bool) "same seed, same doc" true (Dom.equal_structure x y)
+  | _ -> Alcotest.fail "no root"
+
+module D = Driver.Make (Ltree_labeling.Sequential)
+
+let driver_patterns () =
+  List.iter
+    (fun pattern ->
+      let d = D.init ~n:16 () in
+      let prng = Prng.create 9 in
+      D.run d prng pattern ~ops:200;
+      D.check d;
+      Alcotest.(check int)
+        (Driver.pattern_name pattern ^ " grows")
+        216 (D.size d))
+    Driver.all_patterns
+
+let driver_from_empty () =
+  let d = D.init ~n:0 () in
+  let prng = Prng.create 10 in
+  D.run d prng Driver.Uniform ~ops:50;
+  D.check d;
+  Alcotest.(check int) "fifty" 50 (D.size d)
+
+let suite =
+  ( "workload",
+    [ case "prng determinism" `Quick prng_deterministic;
+      case "prng ranges" `Quick prng_ranges;
+      case "zipf shape" `Quick zipf_shape;
+      case "generator sizes" `Quick generator_sizes;
+      case "xmark structure" `Quick xmark_structure;
+      case "generator determinism" `Quick generator_deterministic;
+      case "driver patterns" `Quick driver_patterns;
+      case "driver from empty" `Quick driver_from_empty ] )

@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples soak clean
+.PHONY: all build test bench examples soak lint selfcheck selfcheck-quick ci clean
 
 all: build
 
@@ -7,6 +7,25 @@ build:
 
 test:
 	dune runtest --force
+
+# Static analysis: the compiler-libs lint pass (tools/lint) over
+# lib/ bin/ bench/ examples/.  Fails on any R1-R6 violation.
+lint:
+	dune build @lint
+
+# Dynamic analysis: replay randomized workloads and validate every
+# invariant registered in the Ltree_analysis.Invariant registry.
+selfcheck:
+	dune exec bin/ltree_stress.exe -- 2000 1 --selfcheck 50
+	dune exec bin/ltree_cli.exe -- check --ops 500 --seed 1
+
+selfcheck-quick:
+	dune exec bin/ltree_stress.exe -- 300 1 --selfcheck 25
+	dune exec bin/ltree_cli.exe -- check --ops 100 --seed 1
+
+ci:
+	dune build @all && dune runtest --force && dune build @lint && \
+	$(MAKE) selfcheck-quick
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,272 @@
+(* The shared self-check harness behind `ltree check` and
+   `ltree_stress --selfcheck`.
+
+   One harness owns a full stack — labeled document, both XPath engines,
+   the synced relational store, journal + snapshot recovery, and a
+   materialized/virtual twin pair — and registers every invariant the
+   stack defines into a single [Ltree_analysis.Invariant] registry, so
+   validation always means "run them all", not whichever subset a
+   harness remembered.
+
+   Mutations go through a self-describing operation log (one printable
+   line per op; indices are reduced modulo the current population, so
+   any subsequence of a log stays applicable).  A failing run therefore
+   replays from (params, seed, log), which is what lets
+   [minimized_counterexample] delta-debug the log down and dump a
+   reproducible [Invariant.Counterexample]. *)
+
+open Ltree_core
+open Ltree_xml
+open Ltree_doc
+open Ltree_relstore
+module Invariant = Ltree_analysis.Invariant
+module Counters = Ltree_metrics.Counters
+module Prng = Ltree_workload.Prng
+
+type t = {
+  params : Params.t;
+  seed : int;
+  doc : Dom.document;
+  root : Dom.node;
+  ldoc : Labeled_doc.t;
+  engine : Ltree_xpath.Label_eval.t;
+  sync : Label_sync.t;
+  journal : Journal.t;
+  mutable snapshot : string;
+  mt : Ltree.t;
+  vt : Virtual_ltree.t;
+  mutable mh : Ltree.leaf list;  (* newest first *)
+  mutable vh : Virtual_ltree.handle list;
+  registry : Invariant.registry;
+  mutable log : string list;  (* newest first *)
+}
+
+let registry t = t.registry
+let log t = List.rev t.log
+let labels t = Ltree.labels t.mt
+
+let queries =
+  [ "site//item/name"; "//person[address/city]"; "//patch";
+    "//open_auction[bidder]/itemref"; "//item/following-sibling::item" ]
+
+(* {1 Invariants} *)
+
+let register_invariants t =
+  let reg = t.registry in
+  Invariant.register reg ~name:"ltree.structure" ~depth:Invariant.Deep
+    (fun () -> Ltree.check t.mt);
+  (* Paper Prop. 1, checked directly on the exported labels. *)
+  Invariant.register reg ~name:"ltree.monotone-labels"
+    ~depth:Invariant.Cheap (fun () ->
+      let labels = Ltree.labels t.mt in
+      Array.iteri
+        (fun i l ->
+          if i > 0 && l <= labels.(i - 1) then
+            Invariant.fail ~name:"ltree.monotone-labels"
+              "labels.(%d)=%d is not above labels.(%d)=%d" i l (i - 1)
+              labels.(i - 1))
+        labels);
+  Invariant.register reg ~name:"virtual.structure" ~depth:Invariant.Deep
+    (fun () -> Virtual_ltree.check t.vt);
+  (* §4.1: the virtual tree must stay label-identical to the
+     materialized one under the same operations. *)
+  Invariant.register reg ~name:"twin.parity" ~depth:Invariant.Cheap
+    (fun () ->
+      let a = Ltree.labels t.mt and b = Virtual_ltree.labels t.vt in
+      if Array.length a <> Array.length b then
+        Invariant.fail ~name:"twin.parity"
+          "materialized has %d leaves, virtual has %d" (Array.length a)
+          (Array.length b);
+      Array.iteri
+        (fun i l ->
+          if l <> b.(i) then
+            Invariant.fail ~name:"twin.parity"
+              "labels diverge at pos %d: materialized=%d virtual=%d" i l
+              b.(i))
+        a);
+  Invariant.register reg ~name:"doc.consistency" ~depth:Invariant.Deep
+    (fun () -> Labeled_doc.check t.ldoc);
+  Invariant.register reg ~name:"doc.tree" ~depth:Invariant.Deep (fun () ->
+      Ltree.check (Labeled_doc.tree t.ldoc));
+  Invariant.register reg ~name:"xpath.parity" ~depth:Invariant.Deep
+    (fun () ->
+      Ltree_xpath.Label_eval.refresh t.engine;
+      List.iter
+        (fun q ->
+          let path = Ltree_xpath.Xpath_parser.parse q in
+          let a = List.map Dom.id (Ltree_xpath.Dom_eval.eval t.doc path) in
+          let b =
+            List.map Dom.id (Ltree_xpath.Label_eval.eval t.engine path)
+          in
+          if not (List.equal Int.equal a b) then
+            Invariant.fail ~name:"xpath.parity"
+              "query %S: dom navigation found %d nodes, label joins %d \
+               (or a different order)"
+              q (List.length a) (List.length b))
+        queries);
+  Invariant.register reg ~name:"store.sync" ~depth:Invariant.Deep
+    (fun () ->
+      ignore (Label_sync.flush t.sync);
+      Label_sync.check t.sync);
+  Invariant.register reg ~name:"recovery.roundtrip" ~depth:Invariant.Deep
+    (fun () ->
+      let recovered = Snapshot.load t.snapshot in
+      Journal.replay t.journal recovered;
+      Labeled_doc.check recovered;
+      let labels d = List.map snd (Labeled_doc.labeled_events d) in
+      if not (List.equal Int.equal (labels t.ldoc) (labels recovered)) then
+        Invariant.fail ~name:"recovery.roundtrip"
+          "snapshot + journal replay diverges from the live document")
+
+(* {1 Construction} *)
+
+let create ?(params = Params.make ~f:8 ~s:2) ~seed ~make_doc () =
+  let doc : Dom.document = make_doc () in
+  let root =
+    match doc.root with
+    | Some r -> r
+    | None -> failwith "harness: document has no root"
+  in
+  let ldoc = Labeled_doc.of_document ~params doc in
+  let engine = Ltree_xpath.Label_eval.create ldoc in
+  let pager = Pager.create (Counters.create ()) in
+  let store = Shredder.shred_label pager ldoc in
+  let sync = Label_sync.create pager store ldoc in
+  let journal = Journal.create () in
+  let mt, ml = Ltree.bulk_load ~params 64 in
+  let vt, vl = Virtual_ltree.bulk_load ~params 64 in
+  let t =
+    {
+      params; seed; doc; root; ldoc; engine; sync; journal;
+      snapshot = Snapshot.save ldoc;
+      mt; vt;
+      mh = Array.to_list ml;
+      vh = Array.to_list vl;
+      registry = Invariant.create ();
+      log = [];
+    }
+  in
+  register_invariants t;
+  t
+
+(* {1 Operations} *)
+
+let pick l j = List.nth l (abs j mod List.length l)
+let int_arg s = match int_of_string_opt s with Some v -> v | None -> 0
+
+let live_elements t =
+  List.filter
+    (fun n -> Dom.is_element n && n != t.root)
+    (Dom.descendants t.root)
+
+let live_texts t = List.filter Dom.is_text (Dom.descendants t.root)
+
+let exec t line =
+  match String.split_on_char ' ' line with
+  | [] -> ()
+  | cmd :: args -> (
+    match (cmd, args) with
+    | "#", _ | "", _ -> ()
+    | "ins", [ j ] ->
+      let j = int_arg j in
+      let m = pick t.mh j and v = pick t.vh j in
+      t.mh <- Ltree.insert_after t.mt m :: t.mh;
+      t.vh <- Virtual_ltree.insert_after t.vt v :: t.vh
+    | "batch", [ j; k ] ->
+      let j = int_arg j and k = max 1 (int_arg k) in
+      let m = pick t.mh j and v = pick t.vh j in
+      t.mh <- Array.to_list (Ltree.insert_batch_after t.mt m k) @ t.mh;
+      t.vh <-
+        Array.to_list (Virtual_ltree.insert_batch_after t.vt v k) @ t.vh
+    | "corrupt", _ ->
+      (* An unmirrored materialized insert: legal for the tree itself,
+         but it desynchronizes the twins, so twin.parity must fail. *)
+      t.mh <- Ltree.insert_after t.mt (pick t.mh 0) :: t.mh
+    | "doc-del", [ i ] -> (
+      match live_elements t with
+      | [] -> ()
+      | es -> Journal.delete_subtree t.journal t.ldoc (pick es (int_arg i)))
+    | "doc-text", [ i ] -> (
+      match live_texts t with
+      | [] -> ()
+      | ts ->
+        Journal.set_text t.journal t.ldoc (pick ts (int_arg i))
+          "selfcheck edit")
+    | "doc-ins", [ i; c ] -> (
+      match live_elements t with
+      | [] -> ()
+      | es ->
+        let parent = pick es (int_arg i) in
+        let index = abs (int_arg c) mod (Dom.child_count parent + 1) in
+        Journal.insert_subtree t.journal t.ldoc ~parent ~index
+          (Parser.parse_fragment
+             (Printf.sprintf "<patch n=\"%d\">p<deep><x/></deep></patch>"
+                (int_arg c))))
+    | "checkpoint", _ ->
+      t.snapshot <- Snapshot.save t.ldoc;
+      Journal.clear t.journal
+    | _, _ -> ())
+
+let apply t line =
+  exec t line;
+  t.log <- line :: t.log
+
+let corrupt_op = "corrupt"
+let checkpoint_op = "checkpoint"
+
+(* One simulation step: a twin-tree insertion plus a document edit.
+   Indices are drawn large and reduced at [exec] time, so the lines stay
+   meaningful on any replayed subsequence. *)
+let random_ops prng =
+  let twin =
+    if Prng.int prng 10 = 0 then
+      Printf.sprintf "batch %d %d" (Prng.int prng 1_000_000)
+        (1 + Prng.int prng 8)
+    else Printf.sprintf "ins %d" (Prng.int prng 1_000_000)
+  in
+  let doc =
+    match Prng.int prng 6 with
+    | 0 -> Printf.sprintf "doc-del %d" (Prng.int prng 1_000_000)
+    | 1 -> Printf.sprintf "doc-text %d" (Prng.int prng 1_000_000)
+    | _ ->
+      Printf.sprintf "doc-ins %d %d" (Prng.int prng 1_000_000)
+        (Prng.int prng 8)
+  in
+  [ twin; doc ]
+
+(* {1 Counterexamples} *)
+
+let replay ~params ~seed ~make_doc ops =
+  let t = create ~params ~seed ~make_doc () in
+  List.iter (apply t) ops;
+  t
+
+let fails_after ~params ~seed ~make_doc ops =
+  match Invariant.run_all (registry (replay ~params ~seed ~make_doc ops)) with
+  | [] -> false
+  | _ :: _ -> true
+
+(* Shrink the failing log by replaying candidate subsequences from
+   scratch, then rebuild the minimized end state so the dump carries its
+   leaf labels. *)
+let minimized_counterexample t ~make_doc (failure : Invariant.failure) =
+  let fails ops = fails_after ~params:t.params ~seed:t.seed ~make_doc ops in
+  let ops = log t in
+  let ops = if fails ops then Invariant.minimize ~fails ops else ops in
+  let t' = replay ~params:t.params ~seed:t.seed ~make_doc ops in
+  (* Re-observe the failure on the minimized replay, so the dumped
+     detail describes the state the dump reproduces. *)
+  let failure =
+    match Invariant.run_all (registry t') with
+    | f :: _ -> f
+    | [] -> failure
+  in
+  {
+    Invariant.Counterexample.f = t.params.Params.f;
+    s = t.params.Params.s;
+    seed = t.seed;
+    failing = failure.Invariant.name;
+    detail = failure.Invariant.detail;
+    ops;
+    labels = labels t';
+  }

@@ -500,17 +500,72 @@ let restore_cmd =
 (* check *)
 
 let check_cmd =
-  let run file f s =
-    let doc = parse_doc file in
-    let ldoc = Labeled_doc.of_document ~params:(params_of f s) doc in
-    Labeled_doc.check ldoc;
-    let tree = Labeled_doc.tree ldoc in
-    Printf.printf "%s: well-formed; %d tags labeled; all invariants hold\n"
-      file (Ltree.length tree)
+  let module I = Ltree_analysis.Invariant in
+  let file_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"XML document to load (a generated XMark document when \
+                 omitted).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 300 & info [ "ops" ] ~docv:"OPS"
+           ~doc:"Random operations to replay before deep validation.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Workload seed (the run is deterministic).")
+  in
+  let inject_arg =
+    Arg.(value & flag & info [ "inject-corruption" ]
+           ~doc:"Deliberately desynchronize the twin trees mid-run: the \
+                 run must fail and dump a counterexample.  A self-test \
+                 of the harness.")
+  in
+  let dump_arg =
+    Arg.(value & opt string "counterexample.txt" & info [ "dump" ]
+           ~docv:"PATH"
+           ~doc:"Where to write the minimized counterexample on failure.")
+  in
+  let run file f s ops seed inject dump =
+    let params = params_of f s in
+    let make_doc =
+      match file with
+      | Some path -> fun () -> parse_doc path
+      | None -> fun () -> Xml_gen.xmark ~seed ~scale:0.3 ()
+    in
+    let t = Harness.create ~params ~seed ~make_doc () in
+    let prng = Ltree_workload.Prng.create seed in
+    for i = 1 to ops do
+      List.iter (Harness.apply t) (Harness.random_ops prng);
+      if i mod (max 1 (ops / 4)) = 0 then
+        Harness.apply t Harness.checkpoint_op;
+      if inject && i = max 1 (ops / 2) then
+        Harness.apply t Harness.corrupt_op
+    done;
+    let reg = Harness.registry t in
+    match I.run_all reg with
+    | [] ->
+      Printf.printf
+        "%s: %d ops replayed; all %d registered invariants hold\n"
+        (match file with Some f -> f | None -> "generated XMark document")
+        ops (I.size reg);
+      List.iter (fun n -> Printf.printf "  ok %s\n" n) (I.names reg)
+    | failure :: _ as failures ->
+      List.iter (fun f -> Format.printf "FAIL %a@." I.pp_failure f)
+        failures;
+      let c = Harness.minimized_counterexample t ~make_doc failure in
+      I.Counterexample.save ~path:dump c;
+      Format.printf "%a@." I.Counterexample.pp c;
+      Printf.printf "minimized counterexample (%d ops) written to %s\n"
+        (List.length c.I.Counterexample.ops)
+        dump;
+      exit 1
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Parse, label and verify a document.")
-    Term.(const run $ file_arg $ f_arg $ s_arg)
+    (Cmd.info "check"
+       ~doc:"Replay a workload and deep-validate every registered \
+             invariant.")
+    Term.(const run $ file_opt $ f_arg $ s_arg $ ops_arg $ seed_arg
+          $ inject_arg $ dump_arg)
 
 let () =
   let doc = "L-Tree: dynamic order-preserving labels for XML documents" in

@@ -1,5 +1,16 @@
 module Counters = Ltree_metrics.Counters
 
+(* Payloads are ['a]: every comparison below must stay monomorphic on
+   [int] keys (lint rule R2), so the polymorphic operators are shadowed
+   with int-typed ones here.  Comparisons involving payloads go through
+   [Option.is_some]/[Option.is_none]. *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( <> ) : int -> int -> bool = Stdlib.( <> )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( > ) : int -> int -> bool = Stdlib.( > )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+
 type 'a leaf = {
   keys : int array; (* capacity order + 1; entries in [0, n) *)
   vals : 'a option array;
@@ -82,7 +93,7 @@ let rec find_node t node k =
   | Node i -> find_node t (kid i (route i k)) k
 
 let find t k = find_node t t.root k
-let mem t k = find t k <> None
+let mem t k = Option.is_some (find t k)
 
 (* {1 Insertion} *)
 
@@ -408,7 +419,7 @@ let check t =
         if l.keys.(j - 1) >= l.keys.(j) then fail "leaf keys out of order"
       done;
       for j = 0 to l.n - 1 do
-        if l.vals.(j) = None then fail "leaf slot %d has no value" j
+        if Option.is_none l.vals.(j) then fail "leaf slot %d has no value" j
       done;
       if l.n = 0 then (0, 0, None)
       else (0, l.n, Some (l.keys.(0), l.keys.(l.n - 1)))

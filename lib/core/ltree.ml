@@ -4,7 +4,7 @@ type node = {
   id : int; (* unique; 0 for internals and the dummy *)
   mutable num : int;
   mutable parent : node option;
-  mutable height : int;
+  height : int;
   mutable nleaves : int;
   mutable children : node array;
   mutable nchildren : int;
@@ -187,7 +187,7 @@ let bulk_load ?(params = Params.fig2) ?(counters = Counters.create ()) n =
 
 let of_labels ?(params = Params.fig2) ?(counters = Counters.create ())
     ~height labels =
-  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let fail fmt = Ltree_analysis.Invariant.fail ~name:"ltree.of_labels" fmt in
   if height < 1 then fail "Ltree.of_labels: height must be >= 1";
   let n = Array.length labels in
   let top = Params.pow_radix params height in

@@ -42,9 +42,11 @@ val bulk_load : ?params:Params.t -> ?counters:Ltree_metrics.Counters.t ->
     — and continuing to update the rebuilt tree behaves identically to
     updating the original (property-tested).
 
-    Raises [Invalid_argument] when [labels] is not a valid leaf sequence
-    for a height-[height] L-Tree (unsorted, out of range, non-contiguous
-    child positions, or occupancies outside the paper's windows). *)
+    Raises [Ltree_analysis.Invariant.Violation] (name ["ltree.of_labels"])
+    when [labels] is not a valid leaf sequence for a height-[height]
+    L-Tree (unsorted, out of range, non-contiguous child positions, or
+    occupancies outside the paper's windows) — harnesses turn the
+    violation into a {!Ltree_analysis.Invariant.Counterexample} dump. *)
 val of_labels :
   ?params:Params.t -> ?counters:Ltree_metrics.Counters.t -> height:int ->
   int array -> t * leaf array

@@ -1,6 +1,15 @@
 module Counters = Ltree_metrics.Counters
 module Btree = Ltree_btree.Counted_btree
 
+(* Handles and labels are ints today, but the B-tree underneath carries
+   ['a] payloads: keep every comparison monomorphic (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( <> ) : int -> int -> bool = Stdlib.( <> )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( > ) : int -> int -> bool = Stdlib.( > )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+let max : int -> int -> int = Stdlib.max
+
 type handle = int
 
 type t = {
@@ -55,7 +64,7 @@ let label t handle =
   | Some lab -> lab
   | None -> invalid_arg "Virtual_ltree.label: unknown handle"
 
-let compare t a b = Stdlib.compare (label t a) (label t b)
+let compare t a b = Int.compare (label t a) (label t b)
 
 let max_label t =
   match Btree.max_binding t.btree with None -> 0 | Some (lab, _) -> lab

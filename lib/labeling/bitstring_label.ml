@@ -6,7 +6,7 @@
 type label = string (* over '0'/'1'; b1 is the 2^-1 bit *)
 
 type cell = {
-  mutable lab : label;
+  lab : label;
   mutable prev : cell option;
   mutable next : cell option;
 }

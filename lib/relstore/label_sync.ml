@@ -3,7 +3,6 @@ module Labeled_doc = Ltree_doc.Labeled_doc
 open Shredder
 
 type t = {
-  pager : Pager.t;
   store : label_store;
   ldoc : Labeled_doc.t;
 }
@@ -14,7 +13,9 @@ type stats = {
   rows_tombstoned : int;
 }
 
-let create pager store ldoc = { pager; store; ldoc }
+(* The pager argument is kept for interface stability: the store's own
+   tables carry their pager, so the sync layer never touches it. *)
+let create (_ : Pager.t) store ldoc = { store; ldoc }
 
 let row_of_node ldoc node =
   match Shredder.tag_of node with

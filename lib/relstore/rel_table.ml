@@ -5,14 +5,13 @@ type 'a t = {
   rows_per_page : int;
   mutable rows : 'a array;
   mutable n : int;
-  mutable witness : 'a option; (* fill value for array growth *)
 }
 
 let create pager ~name ~rows_per_page =
   if rows_per_page < 1 then
     invalid_arg "Rel_table.create: rows_per_page must be >= 1";
   { pager; table_id = Pager.fresh_table_id pager; name; rows_per_page;
-    rows = [||]; n = 0; witness = None }
+    rows = [||]; n = 0 }
 
 let name t = t.name
 let length t = t.n
@@ -25,7 +24,6 @@ let append t row =
     t.rows <- bigger
   end;
   t.rows.(t.n) <- row;
-  t.witness <- Some row;
   t.n <- t.n + 1;
   t.n - 1
 

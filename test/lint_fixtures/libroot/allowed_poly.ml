@@ -1,0 +1,3 @@
+(* Allowlisted module: the fixture config lists this exact path under
+   [poly_allow], so the comparison below must not fire. *)
+let eq a b = a = b

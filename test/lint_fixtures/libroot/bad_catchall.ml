@@ -1,0 +1,5 @@
+(* R3 fixture: blanket handlers fire; named handlers do not. *)
+let swallow f = try f () with _ -> 0
+let fallback f = try f () with Failure _ -> 1 | _ -> 2
+let named f = try f () with Not_found -> 3
+let aliased f = try f () with _ as e -> raise e

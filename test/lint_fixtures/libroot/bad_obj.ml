@@ -1,0 +1,5 @@
+(* R1 fixture: every [Obj] use below must fire. *)
+let cast (x : int) : float = Obj.magic x
+let tagged (x : int) = Obj.repr x
+module Unsafe = Obj
+type boxed = Obj.t

@@ -1,0 +1,8 @@
+(* R2 fixture: polymorphic comparisons; the rebinding on line 6 is not
+   annotated, so it sanctions nothing. *)
+let eq a b = a = b
+let lt a b = Stdlib.( < ) a b
+let cmp a b = compare a b
+let ( <> ) = Stdlib.( <> )
+let neq a b = a <> b
+let smaller a b = min a b

@@ -1,0 +1,6 @@
+(* R4 fixture: console output fires; sprintf/fprintf do not. *)
+let shout s = print_endline s
+let report n = Printf.printf "n=%d\n" n
+let nag s = prerr_string s
+let render n = Printf.sprintf "n=%d" n
+let page ppf n = Format.fprintf ppf "%d" n

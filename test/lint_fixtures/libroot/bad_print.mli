@@ -1,0 +1,2 @@
+(* Interface present so R6 stays silent for this fixture. *)
+val render : int -> string

@@ -1,0 +1,11 @@
+(* R5 fixture: raw power arithmetic on radix/m fires; [stride] touches
+   neither base; [pow_ok] is allowlisted by the fixture config. *)
+let width radix h = radix * h
+let capacity m k = m * k
+let shifted m = 1 lsl m
+
+let stride i step = i * step
+
+let pow_ok radix h =
+  let rec go acc i = match i with 0 -> acc | _ -> go (acc * radix) (i - 1) in
+  go 1 h

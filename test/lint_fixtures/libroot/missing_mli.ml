@@ -1,0 +1,2 @@
+(* R6 fixture: a library module without an interface file. *)
+let answer = 42

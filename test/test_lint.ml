@@ -1,0 +1,113 @@
+(* Coverage for the ltree-lint pass itself: fixture sources under
+   test/lint_fixtures/ carry seeded violations of R1-R6; each rule must
+   fire exactly where expected and the clean fixtures must stay silent.
+   The fixture config rescopes the rules: [lint_fixtures/libroot/] plays
+   the role of [lib/], [lint_fixtures/libroot/core/] of [lib/core/]. *)
+
+let case = Alcotest.test_case
+
+let fixture_config =
+  {
+    Lint_rules.lib_prefix = "lint_fixtures/libroot/";
+    core_prefix = "lint_fixtures/libroot/core/";
+    poly_allow = [ "lint_fixtures/libroot/allowed_poly.ml" ];
+    print_allow = [];
+    arith_allow = [ ("lint_fixtures/libroot/core/bad_arith.ml", "pow_ok") ];
+  }
+
+let scan =
+  let memo =
+    lazy (Lint_rules.scan_dirs fixture_config [ "lint_fixtures" ])
+  in
+  fun () -> Lazy.force memo
+
+let render (v : Lint_rules.violation) =
+  Printf.sprintf "%s:%s:%d" v.file v.rule v.line
+
+let seeded_violations () =
+  let expected =
+    [
+      "lint_fixtures/libroot/bad_catchall.ml:R3:2";
+      "lint_fixtures/libroot/bad_catchall.ml:R3:3";
+      "lint_fixtures/libroot/bad_catchall.ml:R3:5";
+      "lint_fixtures/libroot/bad_obj.ml:R1:2";
+      "lint_fixtures/libroot/bad_obj.ml:R1:3";
+      "lint_fixtures/libroot/bad_obj.ml:R1:4";
+      "lint_fixtures/libroot/bad_obj.ml:R1:5";
+      "lint_fixtures/libroot/bad_poly.ml:R2:3";
+      "lint_fixtures/libroot/bad_poly.ml:R2:4";
+      "lint_fixtures/libroot/bad_poly.ml:R2:5";
+      "lint_fixtures/libroot/bad_poly.ml:R2:6";
+      "lint_fixtures/libroot/bad_poly.ml:R2:7";
+      "lint_fixtures/libroot/bad_poly.ml:R2:8";
+      "lint_fixtures/libroot/bad_print.ml:R4:2";
+      "lint_fixtures/libroot/bad_print.ml:R4:3";
+      "lint_fixtures/libroot/bad_print.ml:R4:4";
+      "lint_fixtures/libroot/core/bad_arith.ml:R5:3";
+      "lint_fixtures/libroot/core/bad_arith.ml:R5:4";
+      "lint_fixtures/libroot/core/bad_arith.ml:R5:5";
+      "lint_fixtures/libroot/missing_mli.ml:R6:1";
+    ]
+  in
+  Alcotest.(check (list string))
+    "every seeded violation fires, and nothing else" expected
+    (List.map render (scan ()))
+
+let clean_fixtures_silent () =
+  List.iter
+    (fun file ->
+      let hits =
+        List.filter (fun v -> String.equal v.Lint_rules.file file) (scan ())
+      in
+      Alcotest.(check (list string))
+        (file ^ " lints clean") [] (List.map render hits))
+    [
+      "lint_fixtures/libroot/clean.ml";
+      "lint_fixtures/libroot/allowed_poly.ml";
+    ]
+
+let mli_presence () =
+  let hits =
+    Lint_rules.check_mli_presence fixture_config
+      [
+        "lint_fixtures/libroot/a.ml";
+        "lint_fixtures/libroot/a.mli";
+        "lint_fixtures/libroot/b.ml";
+        "elsewhere/no_interface.ml";
+      ]
+  in
+  Alcotest.(check (list string))
+    "only the lib module without an .mli fires"
+    [ "lint_fixtures/libroot/b.ml:R6:1" ]
+    (List.map render hits)
+
+let parse_errors_reported () =
+  let path = Filename.temp_file "lint_fixture" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "let x = (";
+      close_out oc;
+      match Lint_rules.lint_path fixture_config path with
+      | [ v ] -> Alcotest.(check string) "rule" "parse" v.Lint_rules.rule
+      | vs ->
+        Alcotest.failf "expected one parse violation, got %d"
+          (List.length vs))
+
+let rule_registry () =
+  let ids = List.map fst (Lint_rules.rule_ids ()) in
+  Alcotest.(check (list string))
+    "all six rules registered"
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+    (List.sort String.compare ids)
+
+let suite =
+  ( "lint",
+    [
+      case "seeded fixture violations (R1-R6)" `Quick seeded_violations;
+      case "clean fixtures stay silent" `Quick clean_fixtures_silent;
+      case "interface presence (R6)" `Quick mli_presence;
+      case "parse errors reported" `Quick parse_errors_reported;
+      case "rule registry lists R1-R6" `Quick rule_registry;
+    ] )

@@ -470,7 +470,7 @@ let of_labels_rejects () =
       (try
          ignore (Ltree.of_labels ~params:p ~height labels);
          false
-       with Invalid_argument _ -> true)
+       with Ltree_analysis.Invariant.Violation _ -> true)
   in
   rejects "unsorted" [| 3; 1 |] 3;
   rejects "out of range" [| 0; 27 |] 3;

@@ -30,6 +30,8 @@ let () =
        Test_ltree.suite;
        Test_virtual.suite;
        Test_analysis.suite;
+       Test_invariant.suite;
+       Test_lint.suite;
        Test_bitstring.suite;
        Test_xml.suite;
        Test_doc.suite;

@@ -113,7 +113,9 @@ let corrupt_rejected () =
       (try
          ignore (Snapshot.load s);
          false
-       with Snapshot.Corrupt _ | Invalid_argument _ -> true)
+       with
+       | Snapshot.Corrupt _ | Invalid_argument _ -> true
+       | Ltree_analysis.Invariant.Violation _ -> true)
   in
   let replace hay needle sub =
     let n = String.length needle and h = String.length hay in

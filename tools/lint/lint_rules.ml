@@ -1,0 +1,628 @@
+type violation = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  hint : string;
+}
+
+type config = {
+  lib_prefix : string;
+  core_prefix : string;
+  poly_allow : string list;
+  print_allow : string list;
+  arith_allow : (string * string) list;
+}
+
+let default_config =
+  {
+    lib_prefix = "lib/";
+    core_prefix = "lib/core/";
+    poly_allow =
+      [
+        (* Labels and positions are ints in these modules; the files
+           carrying ['a] payloads (lib/btree/, lib/core/virtual_ltree.ml,
+           lib/analysis/) stay enforced and use monomorphic preludes. *)
+        "lib/core/analysis.ml";
+        "lib/core/label.ml";
+        "lib/core/layout.ml";
+        "lib/core/ltree.ml";
+        "lib/core/params.ml";
+        "lib/core/scheme_adapter.ml";
+        "lib/core/tuning.ml";
+        "lib/doc/";
+        "lib/labeling/";
+        "lib/metrics/";
+        "lib/relstore/";
+        "lib/workload/";
+        "lib/xml/";
+        "lib/xpath/";
+      ];
+    print_allow = [ "lib/metrics/table.ml" (* the sanctioned table printer *) ];
+    arith_allow =
+      [
+        ("lib/core/params.ml", "*");
+        (* pow_checked and friends are the overflow-checked helpers *)
+        ("lib/core/tuning.ml", "lattice");
+        (* candidate f = s*m products, bounded by max_f: not label math *)
+      ];
+  }
+
+(* {1 Helpers} *)
+
+let normalize path =
+  let path =
+    if String.length Filename.dir_sep = 1 then
+      String.map
+        (fun c -> if c = Filename.dir_sep.[0] then '/' else c)
+        path
+    else path
+  in
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Allowlist entries are exact paths or (trailing '/') prefixes. *)
+let allowed entries path =
+  List.exists
+    (fun e ->
+      if String.length e > 0 && e.[String.length e - 1] = '/' then
+        has_prefix ~prefix:e path
+      else String.equal e path)
+    entries
+
+let pos_of (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+let violation ~rule ~file ~loc ~message ~hint =
+  let line, col = pos_of loc in
+  { rule; file; line; col; message; hint }
+
+let rec lident_head = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (l, _) -> lident_head l
+  | Longident.Lapply (l, _) -> lident_head l
+
+let lident_to_string l = String.concat "." (Longident.flatten l)
+
+(* {1 Rule registry} *)
+
+type source = {
+  path : string;  (* normalized *)
+  impl : Parsetree.structure option;  (* Some for .ml *)
+}
+
+type rule = {
+  id : string;
+  doc : string;
+  applies : config -> string -> bool;
+  check : config -> source -> violation list;
+}
+
+let file_rules : rule list ref = ref []
+
+type tree_rule = {
+  tid : string;
+  tdoc : string;
+  tcheck : config -> string list -> violation list;
+}
+
+let tree_rules : tree_rule list ref = ref []
+let register_rule r = file_rules := !file_rules @ [ r ]
+let register_tree_rule r = tree_rules := !tree_rules @ [ r ]
+
+let rule_ids () =
+  List.map (fun r -> (r.id, r.doc)) !file_rules
+  @ List.map (fun r -> (r.tid, r.tdoc)) !tree_rules
+
+(* Walk a structure with [iter], which may inspect the per-item state
+   built by [on_item] first (used by R2's shadow tracking). *)
+let iter_structure it (str : Parsetree.structure) =
+  List.iter (fun item -> it.Ast_iterator.structure_item it item) str
+
+(* {1 R1 — no Obj.*} *)
+
+let r1 =
+  let check _config src =
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let out = ref [] in
+      let flag loc what =
+        out :=
+          violation ~rule:"R1" ~file:src.path ~loc
+            ~message:(Printf.sprintf "use of %s" what)
+            ~hint:
+              "Obj defeats the type system; use a typed representation \
+               instead"
+          :: !out
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              (match e.Parsetree.pexp_desc with
+               | Pexp_ident { txt; loc }
+                 when String.equal (lident_head txt) "Obj" ->
+                 flag loc (lident_to_string txt)
+               | _ -> ());
+              Ast_iterator.default_iterator.expr self e);
+          module_expr =
+            (fun self m ->
+              (match m.Parsetree.pmod_desc with
+               | Pmod_ident { txt; loc }
+                 when String.equal (lident_head txt) "Obj" ->
+                 flag loc (lident_to_string txt)
+               | _ -> ());
+              Ast_iterator.default_iterator.module_expr self m);
+          typ =
+            (fun self t ->
+              (match t.Parsetree.ptyp_desc with
+               | Ptyp_constr ({ txt; loc }, _)
+                 when String.equal (lident_head txt) "Obj" ->
+                 flag loc (lident_to_string txt)
+               | _ -> ());
+              Ast_iterator.default_iterator.typ self t);
+        }
+      in
+      iter_structure it str;
+      List.rev !out
+  in
+  {
+    id = "R1";
+    doc = "no Obj.* anywhere";
+    applies = (fun _ _ -> true);
+    check;
+  }
+
+(* {1 R2 — no polymorphic comparison in lib/} *)
+
+let poly_ops =
+  [ "="; "<>"; "<"; ">"; "<="; ">="; "compare"; "min"; "max" ]
+
+let is_poly_op s = List.exists (String.equal s) poly_ops
+
+(* A sanctioned rebinding:  let ( = ) : int -> int -> bool = Stdlib.( = )
+   — an annotated top-level binding of a comparison operator.  The
+   annotation is what makes the rebinding monomorphic, so unannotated
+   rebindings do not count. *)
+let sanctioned_rebinding (vb : Parsetree.value_binding) =
+  let rec pat_name (p : Parsetree.pattern) annotated =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } when is_poly_op txt ->
+      if annotated then Some txt else None
+    | Ppat_constraint (p, _) -> pat_name p true
+    | _ -> None
+  in
+  (* `let ( = ) : int -> int -> bool = ...` carries the annotation in
+     [pvb_constraint] (OCaml >= 5.1); the pattern- and expression-level
+     constraint forms are accepted too. *)
+  let annotated_elsewhere =
+    Option.is_some vb.pvb_constraint
+    ||
+    match vb.pvb_expr.pexp_desc with
+    | Pexp_constraint _ -> true
+    | _ -> false
+  in
+  pat_name vb.pvb_pat annotated_elsewhere
+
+let r2 =
+  let check _config src =
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let out = ref [] in
+      let rebound = Hashtbl.create 8 in
+      let flag loc op =
+        out :=
+          violation ~rule:"R2" ~file:src.path ~loc
+            ~message:
+              (Printf.sprintf "polymorphic comparison %s in lib/" op)
+            ~hint:
+              "use Int.equal/Int.compare (or String.equal, ...) or add \
+               an annotated monomorphic operator prelude; labels are \
+               ints today but 'a payloads make polymorphic compare a \
+               latent bug"
+          :: !out
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              (match e.Parsetree.pexp_desc with
+               | Pexp_ident { txt = Lident op; loc }
+                 when is_poly_op op && not (Hashtbl.mem rebound op) ->
+                 flag loc op
+               | Pexp_ident { txt = Ldot (Lident "Stdlib", op); loc }
+                 when is_poly_op op ->
+                 flag loc ("Stdlib." ^ op)
+               | _ -> ());
+              Ast_iterator.default_iterator.expr self e);
+        }
+      in
+      List.iter
+        (fun (item : Parsetree.structure_item) ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs)
+            when List.for_all
+                   (fun vb -> Option.is_some (sanctioned_rebinding vb))
+                   vbs
+                 && vbs <> [] ->
+            (* The rebinding itself references Stdlib.( = ) etc.; that is
+               the sanctioned place to do so. *)
+            List.iter
+              (fun vb ->
+                match sanctioned_rebinding vb with
+                | Some op -> Hashtbl.replace rebound op ()
+                | None -> ())
+              vbs
+          | _ -> it.Ast_iterator.structure_item it item)
+        str;
+      List.rev !out
+  in
+  {
+    id = "R2";
+    doc = "no polymorphic =/compare/< in lib/ outside the allowlist";
+    applies =
+      (fun config path ->
+        has_prefix ~prefix:config.lib_prefix path
+        && (not (allowed config.poly_allow path))
+        && Filename.check_suffix path ".ml");
+    check;
+  }
+
+(* {1 R3 — no exception-swallowing try ... with _ ->} *)
+
+let r3 =
+  let check _config src =
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let out = ref [] in
+      let rec wild (p : Parsetree.pattern) =
+        match p.ppat_desc with
+        | Ppat_any -> true
+        | Ppat_or (a, b) -> wild a || wild b
+        | Ppat_alias (p, _) -> wild p
+        | _ -> false
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              (match e.Parsetree.pexp_desc with
+               | Pexp_try (_, cases) ->
+                 List.iter
+                   (fun (c : Parsetree.case) ->
+                     if wild c.pc_lhs && Option.is_none c.pc_guard then
+                       out :=
+                         violation ~rule:"R3" ~file:src.path
+                           ~loc:c.pc_lhs.ppat_loc
+                           ~message:
+                             "catch-all exception handler swallows \
+                              failures"
+                           ~hint:
+                             "match the specific exceptions you expect; \
+                              a blanket handler hides invariant \
+                              violations and asynchronous exceptions"
+                         :: !out)
+                   cases
+               | _ -> ());
+              Ast_iterator.default_iterator.expr self e);
+        }
+      in
+      iter_structure it str;
+      List.rev !out
+  in
+  {
+    id = "R3";
+    doc = "no exception-swallowing try ... with _ ->";
+    applies = (fun _ _ -> true);
+    check;
+  }
+
+(* {1 R4 — no console output in lib/} *)
+
+let print_idents =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_int";
+    "print_char"; "print_float"; "print_bytes";
+    "prerr_string"; "prerr_endline"; "prerr_newline"; "prerr_int";
+    "prerr_char"; "prerr_float"; "prerr_bytes";
+  ]
+
+let print_qualified =
+  [ ("Printf", "printf"); ("Printf", "eprintf");
+    ("Format", "printf"); ("Format", "eprintf");
+    ("Format", "print_string"); ("Format", "print_newline") ]
+
+let r4 =
+  let check _config src =
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let out = ref [] in
+      let flag loc what =
+        out :=
+          violation ~rule:"R4" ~file:src.path ~loc
+            ~message:(Printf.sprintf "console output (%s) in lib/" what)
+            ~hint:
+              "library code must not print; return data and let bin/ or \
+               bench/ render it via Ltree_metrics.Table"
+          :: !out
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              (match e.Parsetree.pexp_desc with
+               | Pexp_ident { txt = Lident id; loc }
+                 when List.exists (String.equal id) print_idents ->
+                 flag loc id
+               | Pexp_ident
+                   { txt = Ldot (Lident ("Stdlib" as md), id); loc }
+                 when List.exists (String.equal id) print_idents ->
+                 flag loc (md ^ "." ^ id)
+               | Pexp_ident { txt = Ldot (Lident md, id); loc }
+                 when List.exists
+                        (fun (m, i) ->
+                          String.equal m md && String.equal i id)
+                        print_qualified ->
+                 flag loc (md ^ "." ^ id)
+               | _ -> ());
+              Ast_iterator.default_iterator.expr self e);
+        }
+      in
+      iter_structure it str;
+      List.rev !out
+  in
+  {
+    id = "R4";
+    doc = "no Printf.printf/print_* in lib/";
+    applies =
+      (fun config path ->
+        has_prefix ~prefix:config.lib_prefix path
+        && (not (allowed config.print_allow path))
+        && Filename.check_suffix path ".ml");
+    check;
+  }
+
+(* {1 R5 — label arithmetic must use the checked power helpers} *)
+
+(* Does the expression mention the power bases of the labeling scheme —
+   an identifier or record field named [radix] or [m]?  That is the
+   syntactic signature of computing radix^h / m^h by hand. *)
+let mentions_power_base (e : Parsetree.expression) =
+  let found = ref false in
+  let name_hits s = String.equal s "radix" || String.equal s "m" in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+           | Pexp_ident { txt = Lident s; _ } when name_hits s ->
+             found := true
+           | Pexp_field (_, { txt; _ })
+             when name_hits (Longident.last txt) ->
+             found := true
+           | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let r5 =
+  let check config src =
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let out = ref [] in
+      let flag loc op =
+        out :=
+          violation ~rule:"R5" ~file:src.path ~loc
+            ~message:
+              (Printf.sprintf
+                 "raw %s involving radix/m in label arithmetic" op)
+            ~hint:
+              "go through Params.pow_radix / Params.pow_m: they raise \
+               Label_overflow instead of silently wrapping"
+          :: !out
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              (match e.Parsetree.pexp_desc with
+               | Pexp_apply
+                   ( { pexp_desc = Pexp_ident { txt = Lident op; loc }; _ },
+                     [ (_, a); (_, b) ] )
+                 when String.equal op "*" || String.equal op "lsl" ->
+                 if mentions_power_base a || mentions_power_base b then
+                   flag loc op
+               | _ -> ());
+              Ast_iterator.default_iterator.expr self e);
+        }
+      in
+      let binding_names (vb : Parsetree.value_binding) =
+        let acc = ref [] in
+        let pit =
+          {
+            Ast_iterator.default_iterator with
+            pat =
+              (fun self p ->
+                (match p.Parsetree.ppat_desc with
+                 | Ppat_var { txt; _ } -> acc := txt :: !acc
+                 | _ -> ());
+                Ast_iterator.default_iterator.pat self p);
+          }
+        in
+        pit.pat pit vb.pvb_pat;
+        !acc
+      in
+      let file_allow =
+        List.filter_map
+          (fun (p, b) -> if String.equal p src.path then Some b else None)
+          config.arith_allow
+      in
+      if List.exists (String.equal "*") file_allow then []
+      else begin
+        List.iter
+          (fun (item : Parsetree.structure_item) ->
+            match item.pstr_desc with
+            | Pstr_value (_, vbs)
+              when List.exists
+                     (fun vb ->
+                       List.exists
+                         (fun n ->
+                           List.exists (String.equal n) file_allow)
+                         (binding_names vb))
+                     vbs ->
+              ()  (* the checked helper's own body *)
+            | _ -> it.Ast_iterator.structure_item it item)
+          str;
+        List.rev !out
+      end
+  in
+  {
+    id = "R5";
+    doc = "raw * / lsl on radix/m in lib/core must use Params.pow_*";
+    applies =
+      (fun config path ->
+        has_prefix ~prefix:config.core_prefix path
+        && Filename.check_suffix path ".ml");
+    check;
+  }
+
+(* {1 R6 — every lib/**X.ml has a matching X.mli} *)
+
+let r6 =
+  let tcheck config paths =
+    let have = Hashtbl.create 64 in
+    List.iter (fun p -> Hashtbl.replace have p ()) paths;
+    List.filter_map
+      (fun p ->
+        if
+          has_prefix ~prefix:config.lib_prefix p
+          && Filename.check_suffix p ".ml"
+          && not (Hashtbl.mem have (p ^ "i"))
+        then
+          Some
+            {
+              rule = "R6";
+              file = p;
+              line = 1;
+              col = 0;
+              message = "library module has no interface file";
+              hint =
+                "add a .mli: every lib/ module must state its contract \
+                 (and hide its internals)";
+            }
+        else None)
+      paths
+  in
+  {
+    tid = "R6";
+    tdoc = "every lib/**/X.ml has a matching X.mli";
+    tcheck;
+  }
+
+let () =
+  register_rule r1;
+  register_rule r2;
+  register_rule r3;
+  register_rule r4;
+  register_rule r5;
+  register_tree_rule r6
+
+(* {1 Driving} *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_impl ~path contents =
+  let lexbuf = Lexing.from_string contents in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+let lint_path config path =
+  let norm = normalize path in
+  match
+    if Filename.check_suffix norm ".ml" then
+      Some (parse_impl ~path:norm (read_file path))
+    else begin
+      (* Interfaces only need to parse; today's rules all inspect
+         expressions, which signatures do not contain. *)
+      let lexbuf = Lexing.from_string (read_file path) in
+      Location.init lexbuf norm;
+      ignore (Parse.interface lexbuf);
+      None
+    end
+  with
+  | impl ->
+    let src = { path = norm; impl } in
+    List.concat_map
+      (fun r -> if r.applies config norm then r.check config src else [])
+      !file_rules
+  | exception Syntaxerr.Error err ->
+    let loc = Syntaxerr.location_of_error err in
+    [
+      violation ~rule:"parse" ~file:norm ~loc
+        ~message:"source file does not parse" ~hint:"fix the syntax error";
+    ]
+
+let compare_violation a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let check_mli_presence config paths =
+  let paths = List.map normalize paths in
+  List.concat_map (fun r -> r.tcheck config paths) !tree_rules
+
+let rec walk dir acc =
+  let entries = Sys.readdir dir in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc entry ->
+      if String.length entry = 0 || entry.[0] = '.' then acc
+      else if String.equal entry "_build" then acc
+      else
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then walk path acc
+        else if
+          Filename.check_suffix entry ".ml"
+          || Filename.check_suffix entry ".mli"
+        then path :: acc
+        else acc)
+    acc entries
+
+let scan_dirs config dirs =
+  let files = List.rev (List.fold_left (fun acc d -> walk d acc) [] dirs) in
+  let per_file = List.concat_map (fun p -> lint_path config p) files in
+  let tree = check_mli_presence config files in
+  List.sort compare_violation (per_file @ tree)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s@,    hint: %s" v.file v.line v.col
+    v.rule v.message v.hint

@@ -1,0 +1,65 @@
+(** `ltree-lint`: project-specific static analysis over the untyped
+    Parsetree (compiler-libs).
+
+    The pass parses every [.ml]/[.mli] under the scanned directories and
+    enforces the project rules through an extensible registry:
+
+    - {b R1} no [Obj.*] anywhere;
+    - {b R2} no polymorphic [=]/[compare]/[<]/... in [lib/] outside the
+      allowlist.  A file opts out structurally by rebinding the operators
+      monomorphically at the top of the module
+      ([let ( = ) : int -> int -> bool = Stdlib.( = )]) — annotated
+      top-level rebindings are recognized and later uses are not flagged;
+    - {b R3} no exception-swallowing [try ... with _ ->];
+    - {b R4} no [Printf.printf]/[print_*] in [lib/] (output belongs in
+      [bin/]/[bench/] via [Ltree_metrics.Table]);
+    - {b R5} raw [*]/[lsl] involving [radix]/[m] in [lib/core] must go
+      through the overflow-checked [Params.pow_radix]/[Params.pow_m]
+      (flagged by syntactic context; the helpers' own bodies are
+      allowlisted);
+    - {b R6} every [lib/**/X.ml] has a matching [X.mli]. *)
+
+type violation = {
+  rule : string;  (** "R1" .. "R6", or "parse" for unreadable sources *)
+  file : string;  (** normalized path, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+  hint : string;
+}
+
+(** Scoping and allowlists.  All paths are '/'-separated and relative to
+    the scan root; entries ending in '/' act as directory prefixes. *)
+type config = {
+  lib_prefix : string;  (** R2/R4/R6 scope, e.g. ["lib/"] *)
+  core_prefix : string;  (** R5 scope, e.g. ["lib/core/"] *)
+  poly_allow : string list;  (** R2 allowlist (path or prefix) *)
+  print_allow : string list;  (** R4 allowlist (path or prefix) *)
+  arith_allow : (string * string) list;
+      (** R5 allowlist: (path, top-level binding name), ["*"] = whole file *)
+}
+
+(** The repository's configuration: scope [lib/], allowlist the label-
+    as-int modules for R2, [Ltree_metrics.Table]'s printer for R4 and the
+    [Params] power helpers (plus [Tuning.lattice], whose products are
+    bounded by [max_f]) for R5. *)
+val default_config : config
+
+(** [rule_ids ()] lists (id, one-line doc) for every registered rule. *)
+val rule_ids : unit -> (string * string) list
+
+(** [lint_path config path] parses one file and runs every per-file rule
+    (R1-R5).  A file that does not parse yields a single ["parse"]
+    violation.  [path] is used both to read the file and for scoping. *)
+val lint_path : config -> string -> violation list
+
+(** [check_mli_presence config paths] runs R6 over a set of (normalized)
+    paths: every [.ml] under [lib_prefix] needs its [.mli] in the set. *)
+val check_mli_presence : config -> string list -> violation list
+
+(** [scan_dirs config dirs] walks the directories recursively (skipping
+    [_build] and dotted entries), runs every rule including R6, and
+    returns violations sorted by file, position and rule. *)
+val scan_dirs : config -> string list -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,41 @@
+(* ltree-lint: enforce the project's static rules (R1-R6) over the
+   untyped Parsetree.  Usage:
+
+     ltree_lint [--list-rules] [DIR ...]
+
+   Default directories: lib bin bench examples.  Exit code 1 when any
+   rule fires. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.exists (String.equal "--list-rules") args then begin
+    List.iter
+      (fun (id, doc) -> Printf.printf "%-4s %s\n" id doc)
+      (Lint_rules.rule_ids ());
+    exit 0
+  end;
+  let dirs =
+    match List.filter (fun a -> not (String.equal a "--list-rules")) args with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | dirs -> dirs
+  in
+  List.iter
+    (fun d ->
+      if not (Sys.file_exists d && Sys.is_directory d) then begin
+        Printf.eprintf "ltree-lint: no such directory %S\n" d;
+        exit 2
+      end)
+    dirs;
+  let violations = Lint_rules.scan_dirs Lint_rules.default_config dirs in
+  List.iter
+    (fun v -> Format.printf "@[<v>%a@]@." Lint_rules.pp_violation v)
+    violations;
+  match violations with
+  | [] ->
+    Printf.printf "ltree-lint: %s clean (%d rules)\n"
+      (String.concat " " dirs)
+      (List.length (Lint_rules.rule_ids ()));
+    exit 0
+  | vs ->
+    Printf.eprintf "ltree-lint: %d violation(s)\n" (List.length vs);
+    exit 1

@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples soak lint selfcheck selfcheck-quick ci clean
+.PHONY: all build test bench bench-query examples soak lint selfcheck selfcheck-quick ci clean
 
 all: build
 
@@ -25,10 +25,17 @@ selfcheck-quick:
 
 ci:
 	dune build @all && dune runtest --force && dune build @lint && \
-	$(MAKE) selfcheck-quick
+	$(MAKE) selfcheck-quick && \
+	dune exec bench/exp_query.exe -- --n 2000 --queries 100 --json BENCH_query.json
 
 bench:
 	dune exec bench/main.exe
+
+# The query fast-path experiment: sort-on-fetch baseline vs. the
+# incremental label index on mixed insert/query workloads; emits
+# per-workload rows to BENCH_query.json.
+bench-query:
+	dune exec bench/exp_query.exe -- --json BENCH_query.json
 
 tables:
 	dune exec bench/main.exe -- --tables

@@ -30,6 +30,8 @@ type t = {
   root : Dom.node;
   ldoc : Labeled_doc.t;
   engine : Ltree_xpath.Label_eval.t;
+  pager : Pager.t;
+  store : Shredder.label_store;
   sync : Label_sync.t;
   journal : Journal.t;
   mutable snapshot : string;
@@ -108,6 +110,48 @@ let register_invariants t =
     (fun () ->
       ignore (Label_sync.flush t.sync);
       Label_sync.check t.sync);
+  (* The incremental per-tag index must stay equivalent to sorting the
+     rows from scratch: after a flush, the indexed merge join, the INL
+     probe, and the sort-on-fetch baseline agree on every tag pair, and
+     every clean index entry matches its backing rows (sorted, no
+     tombstones). *)
+  Invariant.register reg ~name:"store.index-fresh" ~depth:Invariant.Deep
+    (fun () ->
+      ignore (Label_sync.flush t.sync);
+      let tags =
+        Hashtbl.fold
+          (fun tag _ acc -> tag :: acc)
+          t.store.Shredder.label_by_tag []
+        |> List.sort String.compare
+      in
+      List.iter
+        (fun anc ->
+          List.iter
+            (fun desc ->
+              let baseline =
+                Query.label_descendants_baseline t.pager t.store ~anc ~desc
+              in
+              let indexed =
+                Query.label_descendants t.pager t.store ~anc ~desc
+              in
+              let inl =
+                Query.label_descendants_inl t.pager t.store ~anc ~desc
+              in
+              if not (List.equal Int.equal baseline indexed) then
+                Invariant.fail ~name:"store.index-fresh"
+                  "%s//%s: indexed join found %d ids, from-scratch \
+                   baseline %d"
+                  anc desc (List.length indexed) (List.length baseline);
+              if not (List.equal Int.equal baseline inl) then
+                Invariant.fail ~name:"store.index-fresh"
+                  "%s//%s: INL probe found %d ids, from-scratch baseline \
+                   %d"
+                  anc desc (List.length inl) (List.length baseline))
+            tags)
+        tags;
+      Label_index.check t.store.Shredder.label_index ~fetch:(fun rid ->
+          let row = Rel_table.get t.store.Shredder.label_table rid in
+          (row.Shredder.l_start, row.Shredder.l_end, row.Shredder.l_dead)));
   Invariant.register reg ~name:"recovery.roundtrip" ~depth:Invariant.Deep
     (fun () ->
       let recovered = Snapshot.load t.snapshot in
@@ -137,7 +181,7 @@ let create ?(params = Params.make ~f:8 ~s:2) ~seed ~make_doc () =
   let vt, vl = Virtual_ltree.bulk_load ~params 64 in
   let t =
     {
-      params; seed; doc; root; ldoc; engine; sync; journal;
+      params; seed; doc; root; ldoc; engine; pager; store; sync; journal;
       snapshot = Snapshot.save ldoc;
       mt; vt;
       mh = Array.to_list ml;

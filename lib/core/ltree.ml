@@ -20,6 +20,7 @@ type t = {
   mutable nslots : int;
   mutable nlive : int;
   mutable relabel_hook : (node -> unit) option;
+  mutable version : int;
 }
 
 let dummy =
@@ -40,10 +41,11 @@ let new_internal (params : Params.t) ~height ~nleaves =
 
 let create ?(params = Params.fig2) ?(counters = Counters.create ()) () =
   { params; counters; root = new_internal params ~height:1 ~nleaves:0;
-    nslots = 0; nlive = 0; relabel_hook = None }
+    nslots = 0; nlive = 0; relabel_hook = None; version = 0 }
 
 let leaf_id w = w.id
 let on_relabel t f = t.relabel_hook <- Some f
+let version t = t.version
 
 let params t = t.params
 let counters t = t.counters
@@ -325,6 +327,7 @@ let insert_at t p idx =
   children_splice p ~at:idx ~remove:0 [| leaf |];
   t.nslots <- t.nslots + 1;
   t.nlive <- t.nlive + 1;
+  t.version <- t.version + 1;
   (match bump_ancestors t p 1 with
    | None -> relabel_children_from t p idx
    | Some x when is_root t x -> grow_root t
@@ -473,6 +476,7 @@ let insert_batch_at t p idx k =
      relabel_children_from t bigp j);
   t.nslots <- t.nslots + k;
   t.nlive <- t.nlive + k;
+  t.version <- t.version + 1;
   fresh
 
 let insert_batch_after t w k =
@@ -498,7 +502,8 @@ let insert_batch_first t k =
 let delete t w =
   if not w.deleted then begin
     w.deleted <- true;
-    t.nlive <- t.nlive - 1
+    t.nlive <- t.nlive - 1;
+    t.version <- t.version + 1
   end
 
 let is_deleted w = w.deleted
@@ -525,6 +530,7 @@ let labels t =
   out
 
 let compact t =
+  t.version <- t.version + 1;
   let live = ref [] in
   iter_leaves t (fun l -> if not l.deleted then live := l :: !live);
   let live = Array.of_list (List.rev !live) in

@@ -111,6 +111,14 @@ val leaf_id : leaf -> int
     The previous callback, if any, is replaced. *)
 val on_relabel : t -> (leaf -> unit) -> unit
 
+(** [version t] is a monotone stamp bumped by every mutation that can
+    change the label sequence (insertions, batch insertions, deletions,
+    compaction).  Caches keyed on it — e.g. the per-tag sorted item
+    arrays of the XPath label engine — are exactly as fresh as the
+    labels: equal stamps guarantee no label moved, appeared or died
+    since the cache was filled. *)
+val version : t -> int
+
 (** [compare t a b] orders live handles by document order. *)
 val compare : t -> leaf -> leaf -> int
 

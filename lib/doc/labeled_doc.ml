@@ -116,6 +116,7 @@ let restore ?counters ~params ~height ~labels ~deleted doc =
 let document t = t.doc
 let tree t = t.tree
 let counters t = Ltree.counters t.tree
+let version t = Ltree.version t.tree
 
 let entry t n =
   match Hashtbl.find_opt t.table (Dom.id n) with

@@ -45,6 +45,11 @@ val document : t -> Dom.document
 val tree : t -> Ltree.t
 val counters : t -> Ltree_metrics.Counters.t
 
+(** [version t] is the underlying L-Tree's mutation stamp
+    ({!Ltree.version}): unchanged iff no label moved, appeared or died.
+    Query-layer caches (sorted per-tag indexes) key on it. *)
+val version : t -> int
+
 (** [label t n] is the current label of a labeled node.
     Raises [Not_found] for nodes outside the document. *)
 val label : t -> Dom.node -> label

@@ -1,0 +1,223 @@
+module Counters = Ltree_metrics.Counters
+
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+let ( > ) : int -> int -> bool = Stdlib.( > )
+let max : int -> int -> int = Stdlib.max
+
+type entry = {
+  mutable starts : int array;
+  mutable ends : int array;
+  mutable rids : int array;
+  mutable len : int;
+}
+
+type stats = { repairs : int; full_rebuilds : int; merged_rows : int }
+
+type t = {
+  tags : (string, entry) Hashtbl.t;
+  pending : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable generation : int;
+  mutable repairs : int;
+  mutable full_rebuilds : int;
+  mutable merged_rows : int;
+}
+
+let create () =
+  { tags = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    generation = 0;
+    repairs = 0;
+    full_rebuilds = 0;
+    merged_rows = 0 }
+
+let generation t = t.generation
+
+let stats t =
+  { repairs = t.repairs;
+    full_rebuilds = t.full_rebuilds;
+    merged_rows = t.merged_rows }
+
+let note_change t ~tag ~rid =
+  t.generation <- t.generation + 1;
+  (* Tags never materialized need no repair log: their first access does
+     a full build from the row ids anyway. *)
+  if Hashtbl.mem t.tags tag then begin
+    let set =
+      match Hashtbl.find_opt t.pending tag with
+      | Some set -> set
+      | None ->
+        let set = Hashtbl.create 8 in
+        Hashtbl.replace t.pending tag set;
+        set
+    in
+    Hashtbl.replace set rid ()
+  end
+
+let invalidate_all t =
+  t.generation <- t.generation + 1;
+  Hashtbl.reset t.tags;
+  Hashtbl.reset t.pending
+
+(* Sort the (start, end, rid) triples [0, n) of three parallel arrays in
+   place by start, charging one comparison per comparator call.  The
+   batches sorted here are the freshly changed rows of one tag — small
+   next to the surviving array, which is what makes repair cheaper than
+   the sort-on-fetch baseline. *)
+let sort3 counters starts ends rids n =
+  let idx = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      Counters.add_comparison counters 1;
+      Int.compare starts.(a) starts.(b))
+    idx;
+  let pick src = Array.init n (fun i -> src.(idx.(i))) in
+  let s = pick starts and e = pick ends and r = pick rids in
+  Array.blit s 0 starts 0 n;
+  Array.blit e 0 ends 0 n;
+  Array.blit r 0 rids 0 n
+
+(* Build a tag's entry from scratch: fetch every row id, drop the dead,
+   sort by start. *)
+let rebuild t counters ~rids_of_tag ~fetch tag =
+  let ids = rids_of_tag tag in
+  let n = List.length ids in
+  let starts = Array.make n 0
+  and ends = Array.make n 0
+  and rids = Array.make n 0 in
+  let len = ref 0 in
+  List.iter
+    (fun rid ->
+      let s, e, dead = fetch rid in
+      if not dead then begin
+        starts.(!len) <- s;
+        ends.(!len) <- e;
+        rids.(!len) <- rid;
+        incr len
+      end)
+    ids;
+  sort3 counters starts ends rids !len;
+  let entry = { starts; ends; rids; len = !len } in
+  Hashtbl.replace t.tags tag entry;
+  Hashtbl.remove t.pending tag;
+  t.full_rebuilds <- t.full_rebuilds + 1;
+  entry
+
+(* Repair one tag: drop every touched (or tombstoned) row from the
+   sorted survivors in one pass, re-fetch the touched rows, sort that
+   small batch, and merge — never re-sorting the untouched bulk. *)
+let repair t counters ~fetch tag entry touched =
+  let n = entry.len in
+  (* Survivors keep their sorted order; dead rows can only be pending
+     (tombstoning goes through the sync layer, which logs the rid), so
+     this pass is also the lazy tombstone compaction. *)
+  let surv_s = Array.make n 0
+  and surv_e = Array.make n 0
+  and surv_r = Array.make n 0 in
+  let ns = ref 0 in
+  for i = 0 to n - 1 do
+    if not (Hashtbl.mem touched entry.rids.(i)) then begin
+      surv_s.(!ns) <- entry.starts.(i);
+      surv_e.(!ns) <- entry.ends.(i);
+      surv_r.(!ns) <- entry.rids.(i);
+      incr ns
+    end
+  done;
+  let k = Hashtbl.length touched in
+  let ins_s = Array.make (max 1 k) 0
+  and ins_e = Array.make (max 1 k) 0
+  and ins_r = Array.make (max 1 k) 0 in
+  let ni = ref 0 in
+  Hashtbl.iter
+    (fun rid () ->
+      let s, e, dead = fetch rid in
+      if not dead then begin
+        ins_s.(!ni) <- s;
+        ins_e.(!ni) <- e;
+        ins_r.(!ni) <- rid;
+        incr ni
+      end)
+    touched;
+  sort3 counters ins_s ins_e ins_r !ni;
+  let total = !ns + !ni in
+  let out_s = Array.make (max 1 total) 0
+  and out_e = Array.make (max 1 total) 0
+  and out_r = Array.make (max 1 total) 0 in
+  (* Galloping merge: the changed batch is tiny next to the survivors,
+     so binary-search each insertion's splice point (charging log
+     comparisons per probe) and blit the survivor runs wholesale, rather
+     than paying one comparison per surviving row. *)
+  let splice_point lo key =
+    let l = ref lo and h = ref !ns in
+    while !l < !h do
+      let mid = (!l + !h) / 2 in
+      Counters.add_comparison counters 1;
+      if surv_s.(mid) <= key then l := mid + 1 else h := mid
+    done;
+    !l
+  in
+  let i = ref 0 and o = ref 0 in
+  let blit_survivors upto =
+    let run = upto - !i in
+    if run > 0 then begin
+      Array.blit surv_s !i out_s !o run;
+      Array.blit surv_e !i out_e !o run;
+      Array.blit surv_r !i out_r !o run;
+      i := upto;
+      o := !o + run
+    end
+  in
+  for j = 0 to !ni - 1 do
+    blit_survivors (splice_point !i ins_s.(j));
+    out_s.(!o) <- ins_s.(j);
+    out_e.(!o) <- ins_e.(j);
+    out_r.(!o) <- ins_r.(j);
+    incr o
+  done;
+  blit_survivors !ns;
+  entry.starts <- out_s;
+  entry.ends <- out_e;
+  entry.rids <- out_r;
+  entry.len <- total;
+  Hashtbl.remove t.pending tag;
+  t.repairs <- t.repairs + 1;
+  t.merged_rows <- t.merged_rows + !ni;
+  entry
+
+let entry t counters ~rids_of_tag ~fetch tag =
+  match Hashtbl.find_opt t.tags tag with
+  | None -> rebuild t counters ~rids_of_tag ~fetch tag
+  | Some entry -> (
+      match Hashtbl.find_opt t.pending tag with
+      | None -> entry
+      | Some touched when Hashtbl.length touched = 0 ->
+        Hashtbl.remove t.pending tag;
+        entry
+      | Some touched -> repair t counters ~fetch tag entry touched)
+
+(* First position in [e] with start > key (binary search; one comparison
+   charged per probe). *)
+let upper_bound counters e key =
+  let lo = ref 0 and hi = ref e.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Counters.add_comparison counters 1;
+    if e.starts.(mid) <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let check t ~fetch =
+  Hashtbl.iter
+    (fun tag entry ->
+      if not (Hashtbl.mem t.pending tag) then
+        for i = 0 to entry.len - 1 do
+          if i > 0 && entry.starts.(i) <= entry.starts.(i - 1) then
+            failwith "Label_index: starts not strictly increasing";
+          let s, e, dead = fetch entry.rids.(i) in
+          if dead then failwith "Label_index: clean entry holds a dead row";
+          if not (s = entry.starts.(i)) || not (e = entry.ends.(i)) then
+            failwith "Label_index: clean entry disagrees with its row"
+        done)
+    t.tags

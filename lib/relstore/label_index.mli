@@ -1,0 +1,72 @@
+(** Incremental per-tag secondary index over the stored label relation.
+
+    For each tag, the live rows' [(start, end, row id)] triples as
+    parallel int arrays sorted by start label — the random-access sorted
+    input the structural-join literature assumes.  Unlike the old
+    memoized index (dropped wholesale by every {!Label_sync.flush}),
+    this one is {e maintained}: the sync layer logs exactly which rows
+    of which tags changed ({!note_change}), and the next access to a
+    dirty tag {e repairs} its arrays — one pass dropping the touched and
+    tombstoned rows from the sorted survivors, a small sort of the
+    changed batch, one merge — instead of re-sorting the world.
+    Tombstones are compacted lazily by that same survivor pass.
+
+    The index itself is memory-resident (as in experiment E8d); the row
+    fetches a rebuild or repair performs go through the caller-supplied
+    [fetch], which charges page reads to the shared pager.  Sort and
+    merge comparisons are charged to the given counters, so the
+    comparison totals of E-table experiments account for index
+    maintenance honestly. *)
+
+type t
+
+(** One tag's slice: parallel arrays, [starts] strictly increasing on
+    [0 .. len). Treat as read-only — the index mutates them in place on
+    repair. *)
+type entry = {
+  mutable starts : int array;
+  mutable ends : int array;
+  mutable rids : int array;
+  mutable len : int;
+}
+
+(** Maintenance counters: [repairs] counts dirty-tag merge repairs (each
+    one is a full re-sort avoided), [full_rebuilds] counts from-scratch
+    array builds (first access to a tag, or after {!invalidate_all}),
+    [merged_rows] the changed rows merged across all repairs. *)
+type stats = { repairs : int; full_rebuilds : int; merged_rows : int }
+
+val create : unit -> t
+val stats : t -> stats
+
+(** [generation t] is a monotone stamp bumped by every {!note_change} /
+    {!invalidate_all}; equal stamps mean the index saw no change. *)
+val generation : t -> int
+
+(** [note_change t ~tag ~rid] logs that row [rid] of [tag] was updated,
+    inserted or tombstoned — called by {!Label_sync.flush} per written
+    row.  O(1); the repair happens lazily at the tag's next access. *)
+val note_change : t -> tag:string -> rid:int -> unit
+
+(** [invalidate_all t] drops every materialized tag (full rebuild on
+    next access).  For wholesale events the sync layer cannot
+    enumerate, e.g. restoring a store against a compacted document. *)
+val invalidate_all : t -> unit
+
+(** [entry t counters ~rids_of_tag ~fetch tag] returns [tag]'s
+    up-to-date slice, rebuilding or repairing first when needed.
+    [rids_of_tag] enumerates the tag's row ids (used only by full
+    rebuilds); [fetch rid] returns [(start, end, dead)] and is expected
+    to charge the page read. *)
+val entry :
+  t -> Ltree_metrics.Counters.t -> rids_of_tag:(string -> int list) ->
+  fetch:(int -> int * int * bool) -> string -> entry
+
+(** [upper_bound counters e key] is the first position in [e] with
+    [start > key] (binary search, comparisons charged). *)
+val upper_bound : Ltree_metrics.Counters.t -> entry -> int -> int
+
+(** [check t ~fetch] verifies every clean (non-dirty) materialized tag:
+    strictly increasing starts, no dead rows, arrays agreeing with the
+    backing rows.  Raises [Failure] otherwise. *)
+val check : t -> fetch:(int -> int * int * bool) -> unit

@@ -2,6 +2,9 @@ open Ltree_xml
 module Labeled_doc = Ltree_doc.Labeled_doc
 open Shredder
 
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( <> ) : int -> int -> bool = Stdlib.( <> )
+
 type t = {
   store : label_store;
   ldoc : Labeled_doc.t;
@@ -29,16 +32,27 @@ let row_of_node ldoc node =
         l_level = l.Labeled_doc.level;
         l_dead = false }
 
+let row_changed (a : label_row) (b : label_row) =
+  a.l_start <> b.l_start || a.l_end <> b.l_end || a.l_level <> b.l_level
+  || a.l_id <> b.l_id
+  || (not (String.equal a.l_tag b.l_tag))
+  || not (Bool.equal a.l_dead b.l_dead)
+
 let flush t =
   let updated = ref 0 and inserted = ref 0 and tombstoned = ref 0 in
+  (* Each write is reported to the secondary index's dirty log, so the
+     next query repairs exactly the touched tags instead of rebuilding
+     the world. *)
+  let dirty tag rid = Label_index.note_change t.store.label_index ~tag ~rid in
   List.iter
     (fun (dom_id, node) ->
       match (Hashtbl.find_opt t.store.label_by_node dom_id, node) with
       | Some rid, Some node -> (
           match row_of_node t.ldoc node with
           | Some row ->
-            if Rel_table.get t.store.label_table rid <> row then begin
+            if row_changed (Rel_table.get t.store.label_table rid) row then begin
               Rel_table.set t.store.label_table rid row;
+              dirty row.l_tag rid;
               incr updated
             end
           | None -> ())
@@ -47,6 +61,7 @@ let flush t =
         if not old.l_dead then begin
           Rel_table.set t.store.label_table rid { old with l_dead = true };
           Hashtbl.remove t.store.label_by_node dom_id;
+          dirty old.l_tag rid;
           incr tombstoned
         end
       | None, Some node -> (
@@ -58,13 +73,11 @@ let flush t =
               (rid
               :: Option.value ~default:[]
                    (Hashtbl.find_opt t.store.label_by_tag row.l_tag));
+            dirty row.l_tag rid;
             incr inserted
           | None -> ())
       | None, None -> () (* created and deleted between flushes *))
     (Labeled_doc.drain_dirty t.ldoc);
-  if !updated + !inserted + !tombstoned > 0 then
-    (* Labels moved: the sorted secondary index is stale. *)
-    t.store.label_sorted <- None;
   { rows_updated = !updated;
     rows_inserted = !inserted;
     rows_tombstoned = !tombstoned }

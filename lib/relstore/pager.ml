@@ -1,5 +1,10 @@
 module Counters = Ltree_metrics.Counters
 
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+
 type t = {
   capacity : int;
   counters : Counters.t;

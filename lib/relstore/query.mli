@@ -12,21 +12,32 @@ val edge_descendants :
   Shredder.edge_store -> anc:string -> desc:string -> int list
 
 (** [label_descendants store ~anc ~desc] evaluates [anc//desc] with one
-    structural join over the label index: fetches only the [anc] and
-    [desc] rows and merges them with interval-containment comparisons
-    (counted as [comparisons] on the pager's counters). *)
+    structural join over the incremental per-tag label index
+    ({!Label_index}): both inputs come back as sorted [(start, end,
+    row id)] arrays — rebuilt on first access, merge-repaired after
+    updates — and are joined by the array-cursor stack join
+    (interval-containment comparisons counted on the pager's
+    counters). *)
 val label_descendants :
+  Pager.t -> Shredder.label_store -> anc:string -> desc:string -> int list
+
+(** [label_descendants_baseline pager store ~anc ~desc] is the
+    pre-index control plan: fetch and re-sort both tags' rows on every
+    call (sort comparisons charged), then run the list-based stack
+    join.  Kept for the old-vs-new comparison in [exp_query] and the
+    agreement tests. *)
+val label_descendants_baseline :
   Pager.t -> Shredder.label_store -> anc:string -> desc:string -> int list
 
 (** [label_descendants_inl pager store ~anc ~desc] evaluates the same
     query with the {e index-nested-loop} plan: for each [anc] row, probe
-    a sorted (start label) secondary index on [desc] and fetch only the
-    rows whose start falls inside the ancestor's interval (XML intervals
+    the [desc] index entry by binary search and fetch only the rows
+    whose start falls inside the ancestor's interval (XML intervals
     nest, so start containment implies full containment).  Cheaper than
     the merge when the anchors are few and selective, more expensive
     when they blanket the document — the crossover is experiment E8d.
-    The index is built lazily (page reads are charged to the build) and
-    dropped by {!Label_sync.flush}. *)
+    The probed entry is the same incremental index the merge plan uses:
+    built lazily, repaired (not dropped) after {!Label_sync.flush}. *)
 val label_descendants_inl :
   Pager.t -> Shredder.label_store -> anc:string -> desc:string -> int list
 
@@ -49,3 +60,7 @@ val edge_path : Shredder.edge_store -> string list -> int list
 
 val label_path :
   Pager.t -> Shredder.label_store -> string list -> int list
+
+(** [index_stats store] is the store's {!Label_index.stats} — repairs
+    performed, full rebuilds, rows merged. *)
+val index_stats : Shredder.label_store -> Label_index.stats

@@ -1,3 +1,9 @@
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+let max : int -> int -> int = Stdlib.max
+
 type 'a t = {
   pager : Pager.t;
   table_id : int;

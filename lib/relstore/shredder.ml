@@ -1,6 +1,9 @@
 open Ltree_xml
 module Labeled_doc = Ltree_doc.Labeled_doc
 
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+
 type edge_row = { e_id : int; e_parent : int; e_tag : string; e_pos : int }
 
 type label_row = {
@@ -22,7 +25,7 @@ type label_store = {
   label_table : label_row Rel_table.t;
   label_by_tag : (string, int list) Hashtbl.t;
   label_by_node : (int, int) Hashtbl.t;
-  mutable label_sorted : (string, (int * int) array) Hashtbl.t option;
+  label_index : Label_index.t;
 }
 
 let tag_of node =
@@ -91,4 +94,5 @@ let shred_label pager ?(rows_per_page = 32) ldoc =
            Hashtbl.replace label_by_node (Dom.id node) rid;
            push label_by_tag tag rid));
   rev_all label_by_tag;
-  { label_table; label_by_tag; label_by_node; label_sorted = None }
+  { label_table; label_by_tag; label_by_node;
+    label_index = Label_index.create () }

@@ -39,10 +39,11 @@ type label_store = {
   label_table : label_row Rel_table.t;
   label_by_tag : (string, int list) Hashtbl.t; (* tag -> row ids *)
   label_by_node : (int, int) Hashtbl.t; (* Dom id -> row id *)
-  mutable label_sorted : (string, (int * int) array) Hashtbl.t option;
-      (* per-tag (start label, row id) sorted by start — the secondary
-         index behind the index-nested-loop plan; lazily built, dropped
-         by {!Label_sync.flush} when labels move *)
+  label_index : Label_index.t;
+      (* per-tag sorted (start, end, row id) arrays — the secondary
+         index behind the structural-join plans; built lazily per tag
+         and incrementally repaired when {!Label_sync.flush} reports
+         which rows moved *)
 }
 
 (** [tag_of n] is the relational tag of a node: its element name,

@@ -1,3 +1,6 @@
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( > ) : int -> int -> bool = Stdlib.( > )
+
 type axis =
   | Child
   | Descendant
@@ -88,4 +91,50 @@ and pp_steps ~absolute ppf steps =
 
 let pp ppf t = pp_steps ~absolute:t.absolute ppf t.steps
 let to_string t = Format.asprintf "%a" pp t
-let equal (a : t) (b : t) = a = b
+let equal_axis (a : axis) (b : axis) =
+  match (a, b) with
+  | Child, Child
+  | Descendant, Descendant
+  | Self, Self
+  | Parent, Parent
+  | Ancestor, Ancestor
+  | Ancestor_or_self, Ancestor_or_self
+  | Following, Following
+  | Preceding, Preceding
+  | Following_sibling, Following_sibling
+  | Preceding_sibling, Preceding_sibling ->
+    true
+  | ( ( Child | Descendant | Self | Parent | Ancestor | Ancestor_or_self
+      | Following | Preceding | Following_sibling | Preceding_sibling ),
+      _ ) ->
+    false
+
+let equal_test (a : test) (b : test) =
+  match (a, b) with
+  | Name x, Name y -> String.equal x y
+  | Wildcard, Wildcard | Text_node, Text_node -> true
+  | (Name _ | Wildcard | Text_node), _ -> false
+
+let rec equal_pred (a : pred) (b : pred) =
+  match (a, b) with
+  | Has_attr x, Has_attr y -> String.equal x y
+  | Attr_eq (x, v), Attr_eq (y, w) | Attr_neq (x, v), Attr_neq (y, w) ->
+    String.equal x y && String.equal v w
+  | Position i, Position j -> Int.equal i j
+  | Last, Last -> true
+  | Exists xs, Exists ys -> List.equal equal_step xs ys
+  | And (p, q), And (r, s) | Or (p, q), Or (r, s) ->
+    equal_pred p r && equal_pred q s
+  | Not p, Not q -> equal_pred p q
+  | ( ( Has_attr _ | Attr_eq _ | Attr_neq _ | Position _ | Last | Exists _
+      | And _ | Or _ | Not _ ),
+      _ ) ->
+    false
+
+and equal_step (a : step) (b : step) =
+  equal_axis a.axis b.axis
+  && equal_test a.test b.test
+  && List.equal equal_pred a.preds b.preds
+
+let equal (a : t) (b : t) =
+  Bool.equal a.absolute b.absolute && List.equal equal_step a.steps b.steps

@@ -1,8 +1,13 @@
 open Ltree_xml
 
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( > ) : int -> int -> bool = Stdlib.( > )
+
 let matches_test (test : Ast.test) node =
   match (test, Dom.kind node) with
-  | Ast.Name n, Dom.Element name -> n = name
+  | Ast.Name n, Dom.Element name -> String.equal n name
   | Ast.Wildcard, Dom.Element _ -> true
   | Ast.Text_node, Dom.Text _ -> true
   | (Ast.Name _ | Ast.Wildcard | Ast.Text_node), _ -> false
@@ -70,7 +75,7 @@ let following node =
   let order = order_map root in
   List.sort
     (fun a b ->
-      Stdlib.compare (Hashtbl.find order (Dom.id a))
+      Int.compare (Hashtbl.find order (Dom.id a))
         (Hashtbl.find order (Dom.id b)))
     !acc
 
@@ -96,18 +101,23 @@ let rec eval_pred ~pos ~size node (pred : Ast.pred) =
   match pred with
   | Ast.Position k -> pos = k
   | Ast.Last -> pos = size
-  | Ast.Has_attr a -> Dom.is_element node && Dom.attr node a <> None
-  | Ast.Attr_eq (a, v) -> Dom.is_element node && Dom.attr node a = Some v
+  | Ast.Has_attr a ->
+    Dom.is_element node && Option.is_some (Dom.attr node a)
+  | Ast.Attr_eq (a, v) -> (
+      match if Dom.is_element node then Dom.attr node a else None with
+      | Some x -> String.equal x v
+      | None -> false)
   | Ast.Attr_neq (a, v) -> (
       match if Dom.is_element node then Dom.attr node a else None with
-      | Some x -> x <> v
+      | Some x -> not (String.equal x v)
       | None -> false)
   | Ast.And (a, b) ->
     eval_pred ~pos ~size node a && eval_pred ~pos ~size node b
   | Ast.Or (a, b) ->
     eval_pred ~pos ~size node a || eval_pred ~pos ~size node b
   | Ast.Not p -> not (eval_pred ~pos ~size node p)
-  | Ast.Exists steps -> eval_rel node steps <> []
+  | Ast.Exists steps -> (
+      match eval_rel node steps with [] -> false | _ :: _ -> true)
 
 (* Apply predicates to one context's proximity-ordered candidate list;
    each predicate sees positions within the previous one's survivors. *)
@@ -183,7 +193,7 @@ let eval_steps root steps contexts =
     | Some i -> i
     | None -> -1 (* nodes above the evaluation root keep stable order *)
   in
-  List.sort (fun a b -> Stdlib.compare (pos a) (pos b)) result
+  List.sort (fun a b -> Int.compare (pos a) (pos b)) result
 
 (* The document node behaves as a virtual parent of the root element: a
    leading child step tests the root itself, a leading descendant step

@@ -1,6 +1,15 @@
 open Ltree_xml
 module Labeled_doc = Ltree_doc.Labeled_doc
 
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( > ) : int -> int -> bool = Stdlib.( > )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+let ( <> ) : int -> int -> bool = Stdlib.( <> )
+let max : int -> int -> int = Stdlib.max
+
 type item = { node : Dom.node; start_pos : int; end_pos : int; level : int }
 
 type t = {
@@ -8,6 +17,10 @@ type t = {
   mutable by_name : (string, Dom.node list) Hashtbl.t;
   mutable elements : Dom.node list; (* reverse document order at build *)
   mutable texts : Dom.node list;
+  cache : (string, item array) Hashtbl.t;
+      (* per-test sorted item arrays, valid while [cache_version] matches
+         the document's mutation stamp *)
+  mutable cache_version : int;
 }
 
 let build_index t =
@@ -26,10 +39,15 @@ let build_index t =
          | Dom.Comment _ | Dom.Pi _ -> ()));
   t.by_name <- by_name;
   t.elements <- !elements;
-  t.texts <- !texts
+  t.texts <- !texts;
+  Hashtbl.reset t.cache;
+  t.cache_version <- Labeled_doc.version t.ldoc
 
 let create ldoc =
-  let t = { ldoc; by_name = Hashtbl.create 1; elements = []; texts = [] } in
+  let t =
+    { ldoc; by_name = Hashtbl.create 1; elements = []; texts = [];
+      cache = Hashtbl.create 16; cache_version = -1 }
+  in
   build_index t;
   t
 
@@ -46,53 +64,113 @@ let item_of t node =
   end
   else None
 
-(* Fetch fresh labels, dropping nodes deleted since the index was built,
-   and sort by start label (document order). *)
-let items_of t nodes =
-  let items = List.filter_map (item_of t) nodes in
-  List.sort (fun a b -> Stdlib.compare a.start_pos b.start_pos) items
-
-let candidates t (test : Ast.test) =
+(* The sorted candidate arrays are memoized per node test, stamped with
+   {!Labeled_doc.version}: any label mutation bumps the stamp and the
+   whole generation of arrays lapses at once, so queries between updates
+   sort each tag at most once instead of on every step. *)
+let cache_key (test : Ast.test) =
   match test with
-  | Ast.Name n ->
-    items_of t (Option.value ~default:[] (Hashtbl.find_opt t.by_name n))
-  | Ast.Wildcard -> items_of t t.elements
-  | Ast.Text_node -> items_of t t.texts
+  | Ast.Name n -> "n:" ^ n
+  | Ast.Wildcard -> "*"
+  | Ast.Text_node -> "#text"
+
+let nodes_of_test t (test : Ast.test) =
+  match test with
+  | Ast.Name n -> Option.value ~default:[] (Hashtbl.find_opt t.by_name n)
+  | Ast.Wildcard -> t.elements
+  | Ast.Text_node -> t.texts
+
+(* Fresh labels for the test's nodes, deleted nodes dropped, sorted by
+   start label (document order) — as an array, cached per version. *)
+let sorted_items t (test : Ast.test) =
+  let v = Labeled_doc.version t.ldoc in
+  if t.cache_version <> v then begin
+    Hashtbl.reset t.cache;
+    t.cache_version <- v
+  end;
+  let key = cache_key test in
+  match Hashtbl.find_opt t.cache key with
+  | Some arr -> arr
+  | None ->
+    let arr =
+      Array.of_list (List.filter_map (item_of t) (nodes_of_test t test))
+    in
+    Array.sort (fun a b -> Int.compare a.start_pos b.start_pos) arr;
+    Hashtbl.replace t.cache key arr;
+    arr
+
+let candidates t test = Array.to_list (sorted_items t test)
 
 let matches_test (test : Ast.test) node =
   match (test, Dom.kind node) with
-  | Ast.Name n, Dom.Element name -> n = name
+  | Ast.Name n, Dom.Element name -> String.equal n name
   | Ast.Wildcard, Dom.Element _ -> true
   | Ast.Text_node, Dom.Text _ -> true
   | (Ast.Name _ | Ast.Wildcard | Ast.Text_node), _ -> false
 
-(* Stack-based structural join: both inputs sorted by start label.
-   Emits (ancestor, descendant) pairs; descendants arrive in document
-   order, so each ancestor's group is ordered too.  XML intervals either
-   nest or are disjoint, so every stacked ancestor containing the start
-   also contains the whole interval. *)
-let structural_join ancs descs =
+(* First position in [arr] with [start_pos > key] (binary search). *)
+let upper_bound (arr : item array) key =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid).start_pos <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Array-cursor structural join, the same shape as the relstore plan:
+   both inputs sorted by start label, int-index cursors, the open
+   ancestors kept on a growable int-array stack (interval end + input
+   position), and a binary-search leap of the descendant cursor whenever
+   the stack runs empty.  Emits (ancestor, descendant) pairs; descendants
+   arrive in document order, so each ancestor's group is ordered too.
+   XML intervals either nest or are disjoint, so every stacked ancestor
+   containing the start also contains the whole interval. *)
+let structural_join ancs (d : item array) =
+  let a = Array.of_list ancs in
+  let alen = Array.length a and dlen = Array.length d in
   let pairs = ref [] in
-  let stack = ref [] in
-  let rec push_opens ancs d_start =
-    match ancs with
-    | a :: rest when a.start_pos < d_start ->
-      stack := a :: List.filter (fun s -> s.end_pos > a.start_pos) !stack;
-      push_opens rest d_start
-    | ancs -> ancs
+  let stack_end = ref (Array.make 16 0) in
+  let stack_pos = ref (Array.make 16 0) in
+  let sp = ref 0 in
+  let push apos aend =
+    if !sp = Array.length !stack_end then begin
+      let bigger_end = Array.make (2 * !sp) 0
+      and bigger_pos = Array.make (2 * !sp) 0 in
+      Array.blit !stack_end 0 bigger_end 0 !sp;
+      Array.blit !stack_pos 0 bigger_pos 0 !sp;
+      stack_end := bigger_end;
+      stack_pos := bigger_pos
+    end;
+    !stack_end.(!sp) <- aend;
+    !stack_pos.(!sp) <- apos;
+    incr sp
   in
-  let rec go ancs descs =
-    match descs with
-    | [] -> ()
-    | d :: drest ->
-      let ancs = push_opens ancs d.start_pos in
-      stack := List.filter (fun s -> s.end_pos > d.start_pos) !stack;
-      List.iter
-        (fun a -> if d.end_pos < a.end_pos then pairs := (a, d) :: !pairs)
-        !stack;
-      go ancs drest
+  let pop_closed bound =
+    while !sp > 0 && !stack_end.(!sp - 1) <= bound do
+      decr sp
+    done
   in
-  go ancs descs;
+  let ai = ref 0 and di = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !di < dlen do
+    let ds = d.(!di).start_pos in
+    while !ai < alen && a.(!ai).start_pos < ds do
+      pop_closed a.(!ai).start_pos;
+      push !ai a.(!ai).end_pos;
+      incr ai
+    done;
+    pop_closed ds;
+    if !sp > 0 then begin
+      let de = d.(!di).end_pos in
+      for s = 0 to !sp - 1 do
+        if de < !stack_end.(s) then
+          pairs := (a.(!stack_pos.(s)), d.(!di)) :: !pairs
+      done;
+      incr di
+    end
+    else if !ai >= alen then finished := true
+    else di := max (!di + 1) (upper_bound d a.(!ai).start_pos)
+  done;
   List.rev !pairs
 
 
@@ -124,9 +202,9 @@ let axis_group t (step : Ast.step) cands (c : item) : item list =
         up acc p
     in
     let self =
-      if step.axis = Ast.Ancestor_or_self && matches_test step.test c.node
-      then [ c ]
-      else []
+      match step.axis with
+      | Ast.Ancestor_or_self when matches_test step.test c.node -> [ c ]
+      | _ -> []
     in
     self @ up [] c.node
   | Ast.Following ->
@@ -178,7 +256,7 @@ let dedup_sorted groups =
           end)
         group)
     groups;
-  List.sort (fun a b -> Stdlib.compare a.start_pos b.start_pos) !out
+  List.sort (fun a b -> Int.compare a.start_pos b.start_pos) !out
 
 (* Predicates, proximity-positional per context group; [Exists] recurses
    into step evaluation (still via label joins). *)
@@ -186,20 +264,25 @@ let rec eval_pred t ~pos ~size it (pred : Ast.pred) =
   match pred with
   | Ast.Position k -> pos = k
   | Ast.Last -> pos = size
-  | Ast.Has_attr a -> Dom.is_element it.node && Dom.attr it.node a <> None
-  | Ast.Attr_eq (a, v) ->
-    Dom.is_element it.node && Dom.attr it.node a = Some v
+  | Ast.Has_attr a ->
+    Dom.is_element it.node && Option.is_some (Dom.attr it.node a)
+  | Ast.Attr_eq (a, v) -> (
+      match if Dom.is_element it.node then Dom.attr it.node a else None with
+      | Some x -> String.equal x v
+      | None -> false)
   | Ast.Attr_neq (a, v) -> (
       match if Dom.is_element it.node then Dom.attr it.node a else None with
-      | Some x -> x <> v
+      | Some x -> not (String.equal x v)
       | None -> false)
   | Ast.And (a, b) ->
     eval_pred t ~pos ~size it a && eval_pred t ~pos ~size it b
   | Ast.Or (a, b) ->
     eval_pred t ~pos ~size it a || eval_pred t ~pos ~size it b
   | Ast.Not p -> not (eval_pred t ~pos ~size it p)
-  | Ast.Exists steps ->
-    List.fold_left (fun ctx step -> eval_step t step ctx) [ it ] steps <> []
+  | Ast.Exists steps -> (
+      match List.fold_left (fun ctx step -> eval_step t step ctx) [ it ] steps with
+      | [] -> false
+      | _ :: _ -> true)
 
 and apply_preds t preds group =
   List.fold_left
@@ -214,7 +297,7 @@ and apply_preds t preds group =
 and eval_step t (step : Ast.step) contexts =
   match step.axis with
   | Ast.Child | Ast.Descendant ->
-    let cands = candidates t step.test in
+    let cands = sorted_items t step.test in
     let pairs = structural_join contexts cands in
     let pairs =
       match step.axis with

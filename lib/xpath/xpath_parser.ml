@@ -1,5 +1,14 @@
 exception Error of string * int
 
+(* Monomorphic comparison prelude (lint rule R2): ints compare via the
+   rebound operators, chars via [chr]/[Char.equal], strings via
+   [String.equal]. *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+let chr = Char.equal
+
 type state = { src : string; mutable pos : int }
 
 let err st msg = raise (Error (msg, st.pos))
@@ -12,13 +21,15 @@ let peek2 st =
 let advance st = st.pos <- st.pos + 1
 
 let skip_spaces st =
-  while (not (eof st)) && peek st = ' ' do
+  while (not (eof st)) && chr (peek st) ' ' do
     advance st
   done
 
 let is_name_char = function
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
   | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
 
 (* Names may contain ':' (namespace prefixes) but never the '::' axis
    separator. *)
@@ -27,7 +38,7 @@ let read_name st =
   while
     (not (eof st))
     && is_name_char (peek st)
-    && not (peek st = ':' && peek2 st = ':')
+    && not (chr (peek st) ':' && chr (peek2 st) ':')
   do
     advance st
   done;
@@ -36,17 +47,18 @@ let read_name st =
 
 let read_number st =
   let start = st.pos in
-  while (not (eof st)) && peek st >= '0' && peek st <= '9' do
+  while (not (eof st)) && is_digit (peek st) do
     advance st
   done;
   int_of_string (String.sub st.src start (st.pos - start))
 
 let read_string_literal st =
   let quote = peek st in
-  if quote <> '\'' && quote <> '"' then err st "expected a string literal";
+  if not (chr quote '\'') && not (chr quote '"') then
+    err st "expected a string literal";
   advance st;
   let start = st.pos in
-  while (not (eof st)) && peek st <> quote do
+  while (not (eof st)) && not (chr (peek st) quote) do
     advance st
   done;
   if eof st then err st "unterminated string literal";
@@ -60,7 +72,7 @@ let word st w =
   let n = String.length w in
   if
     st.pos + n <= String.length st.src
-    && String.sub st.src st.pos n = w
+    && String.equal (String.sub st.src st.pos n) w
     && (st.pos + n >= String.length st.src
         || not (is_name_char st.src.[st.pos + n]))
   then begin
@@ -83,15 +95,15 @@ let axis_of_name st = function
   | name -> err st (Printf.sprintf "unknown axis '%s'" name)
 
 let read_test st : Ast.test =
-  if peek st = '*' then begin
+  if chr (peek st) '*' then begin
     advance st;
     Wildcard
   end
   else begin
     let name = read_name st in
-    if name = "text" && peek st = '(' then begin
+    if String.equal name "text" && chr (peek st) '(' then begin
       advance st;
-      if peek st <> ')' then err st "expected ')'";
+      if not (chr (peek st) ')') then err st "expected ')'";
       advance st;
       Text_node
     end
@@ -124,21 +136,21 @@ and read_pred_and st : Ast.pred =
 
 and read_pred_unary st : Ast.pred =
   skip_spaces st;
-  if peek st = '(' then begin
+  if chr (peek st) '(' then begin
     advance st;
     let e = read_pred_or st in
     skip_spaces st;
-    if peek st <> ')' then err st "expected ')'";
+    if not (chr (peek st) ')') then err st "expected ')'";
     advance st;
     e
   end
   else begin
     let save = st.pos in
-    if word st "not" && peek st = '(' then begin
+    if word st "not" && chr (peek st) '(' then begin
       advance st;
       let e = read_pred_or st in
       skip_spaces st;
-      if peek st <> ')' then err st "expected ')'";
+      if not (chr (peek st) ')') then err st "expected ')'";
       advance st;
       Ast.Not e
     end
@@ -153,11 +165,11 @@ and read_pred_atom st : Ast.pred =
   | '@' ->
     advance st;
     let attr = read_name st in
-    if peek st = '=' then begin
+    if chr (peek st) '=' then begin
       advance st;
       Ast.Attr_eq (attr, read_string_literal st)
     end
-    else if peek st = '!' && peek2 st = '=' then begin
+    else if chr (peek st) '!' && chr (peek2 st) '=' then begin
       advance st;
       advance st;
       Ast.Attr_neq (attr, read_string_literal st)
@@ -169,9 +181,9 @@ and read_pred_atom st : Ast.pred =
     Ast.Position k
   | _ ->
     let save = st.pos in
-    if word st "last" && peek st = '(' then begin
+    if word st "last" && chr (peek st) '(' then begin
       advance st;
-      if peek st <> ')' then err st "expected ')'";
+      if not (chr (peek st) ')') then err st "expected ')'";
       advance st;
       Ast.Last
     end
@@ -182,11 +194,11 @@ and read_pred_atom st : Ast.pred =
 
 and read_preds st =
   let preds = ref [] in
-  while peek st = '[' do
+  while chr (peek st) '[' do
     advance st;
     let e = read_pred_or st in
     skip_spaces st;
-    if peek st <> ']' then err st "expected ']'";
+    if not (chr (peek st) ']') then err st "expected ']'";
     advance st;
     preds := e :: !preds
   done;
@@ -195,14 +207,14 @@ and read_preds st =
 (* One location step.  [after_slashes] is [`Double] right after '//'
    (axis fixed to descendant), [`Single] otherwise. *)
 and read_step st after_slashes : Ast.step =
-  if peek st = '.' then begin
+  let double = match after_slashes with `Double -> true | `Single -> false in
+  if chr (peek st) '.' then begin
     (* The '.' and '..' abbreviations for the self and parent axes with a
        wildcard test. *)
-    if after_slashes = `Double then
-      err st "'.' and '..' are not allowed after '//'";
+    if double then err st "'.' and '..' are not allowed after '//'";
     advance st;
     let axis : Ast.axis =
-      if peek st = '.' then begin
+      if chr (peek st) '.' then begin
         advance st;
         Parent
       end
@@ -213,10 +225,10 @@ and read_step st after_slashes : Ast.step =
   else begin
     let save = st.pos in
     let axis, test =
-      if peek st = '*' then (None, read_test st)
+      if chr (peek st) '*' then (None, read_test st)
       else begin
         let name = read_name st in
-        if peek st = ':' && peek2 st = ':' then begin
+        if chr (peek st) ':' && chr (peek2 st) ':' then begin
           advance st;
           advance st;
           (Some (axis_of_name st name), read_test st)
@@ -228,11 +240,11 @@ and read_step st after_slashes : Ast.step =
       end
     in
     let axis : Ast.axis =
-      match (axis, after_slashes) with
-      | Some _, `Double -> err st "an explicit axis is not allowed after '//'"
-      | Some a, `Single -> a
-      | None, `Double -> Descendant
-      | None, `Single -> Child
+      match (axis, double) with
+      | Some _, true -> err st "an explicit axis is not allowed after '//'"
+      | Some a, false -> a
+      | None, true -> Descendant
+      | None, false -> Child
     in
     { axis; test; preds = read_preds st }
   end
@@ -240,9 +252,9 @@ and read_step st after_slashes : Ast.step =
 (* A relative location path (inside a predicate). *)
 and read_rel_steps st =
   let steps = ref [ read_step st `Single ] in
-  while peek st = '/' do
+  while chr (peek st) '/' do
     advance st;
-    if peek st = '/' then begin
+    if chr (peek st) '/' then begin
       advance st;
       steps := read_step st `Double :: !steps
     end
@@ -253,12 +265,12 @@ and read_rel_steps st =
 let parse src =
   let st = { src; pos = 0 } in
   if eof st then err st "empty path";
-  let absolute = peek st = '/' in
+  let absolute = chr (peek st) '/' in
   let read_sep ~first =
     if eof st then None
-    else if peek st = '/' then begin
+    else if chr (peek st) '/' then begin
       advance st;
-      if peek st = '/' then begin
+      if chr (peek st) '/' then begin
         advance st;
         Some `Double
       end
@@ -276,5 +288,5 @@ let parse src =
       go false
   in
   go true;
-  if !steps = [] then err st "path has no steps";
+  (match !steps with [] -> err st "path has no steps" | _ :: _ -> ());
   { Ast.absolute; steps = List.rev !steps }

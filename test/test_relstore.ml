@@ -317,6 +317,127 @@ let random_docs_agree =
             tags)
         tags)
 
+(* {1 Incremental index freshness}
+
+   After [Label_sync.flush] reports updates, inserts and tombstones, the
+   indexed plans must agree with a from-scratch sort-on-fetch join and
+   with DOM ground truth — the index is repaired, never rebuilt, so this
+   is the test that the repair path is exact. *)
+
+let all_plans_agree pager store doc tags =
+  List.for_all
+    (fun anc ->
+      List.for_all
+        (fun desc ->
+          let truth = dom_descendants doc ~anc ~desc in
+          Query.label_descendants_baseline pager store ~anc ~desc = truth
+          && Query.label_descendants pager store ~anc ~desc = truth
+          && Query.label_descendants_inl pager store ~anc ~desc = truth)
+        tags)
+    tags
+
+let index_check store =
+  Label_index.check store.Shredder.label_index ~fetch:(fun rid ->
+      let row = Rel_table.get store.Shredder.label_table rid in
+      (row.Shredder.l_start, row.Shredder.l_end, row.Shredder.l_dead))
+
+let index_fresh_random =
+  QCheck.Test.make ~count:20
+    ~name:"index stays fresh across random flushed op logs"
+    QCheck.(make Gen.(pair (int_bound 100000) (int_range 40 160)))
+    (fun (seed, size) ->
+      let profile = Xml_gen.default_profile ~target_nodes:size () in
+      let doc = Xml_gen.generate ~seed profile in
+      let ldoc = Labeled_doc.of_document doc in
+      let pager = Pager.create (Counters.create ()) in
+      let store = Shredder.shred_label pager ldoc in
+      let sync = Label_sync.create pager store ldoc in
+      let prng = Ltree_workload.Prng.create seed in
+      let tags = [ "site"; "item"; "name"; "listitem" ] in
+      (* Materialize the entries first so every later round exercises
+         the repair path, not the first-touch rebuild. *)
+      let ok = ref (all_plans_agree pager store doc tags) in
+      for _round = 1 to 8 do
+        for _op = 1 to 3 do
+          let elems =
+            match doc.root with
+            | None -> []
+            | Some root ->
+              List.filter
+                (fun n -> Dom.is_element n && n != root)
+                (Dom.descendants root)
+          in
+          match elems with
+          | [] -> ()
+          | _ :: _ ->
+            let target =
+              List.nth elems
+                (Ltree_workload.Prng.int prng (List.length elems))
+            in
+            if Ltree_workload.Prng.int prng 4 = 0 then
+              Labeled_doc.delete_subtree ldoc target
+            else
+              Labeled_doc.insert_subtree_after ldoc ~anchor:target
+                (Parser.parse_fragment "<item><name>fresh</name></item>")
+        done;
+        ignore (Label_sync.flush sync);
+        Label_sync.check sync;
+        ok := !ok && all_plans_agree pager store doc tags;
+        index_check store
+      done;
+      !ok)
+
+let index_repair_not_rebuild () =
+  let doc = Parser.parse_string doc_src in
+  let ldoc = Labeled_doc.of_document doc in
+  let pager = Pager.create (Counters.create ()) in
+  let store = Shredder.shred_label pager ldoc in
+  let sync = Label_sync.create pager store ldoc in
+  (* First access: full build of both entries. *)
+  ignore (Query.label_descendants pager store ~anc:"library" ~desc:"title");
+  let s0 = Query.index_stats store in
+  Alcotest.(check bool) "first access rebuilt" true (s0.Label_index.full_rebuilds > 0);
+  (* An insert + flush dirties the touched tags; the next query must
+     repair them in place, not rebuild. *)
+  let root = Option.get doc.root in
+  let shelf = List.nth (Dom.children root) 1 in
+  Labeled_doc.insert_subtree ldoc ~parent:shelf ~index:0
+    (Parser.parse_fragment "<book><title>Fresh</title></book>");
+  ignore (Label_sync.flush sync);
+  Alcotest.(check int) "new title visible" 5
+    (List.length
+       (Query.label_descendants pager store ~anc:"library" ~desc:"title"));
+  let s1 = Query.index_stats store in
+  Alcotest.(check int) "no further rebuild" s0.Label_index.full_rebuilds
+    s1.Label_index.full_rebuilds;
+  Alcotest.(check bool) "repair ran" true
+    (s1.Label_index.repairs > s0.Label_index.repairs);
+  Alcotest.(check bool) "changed rows merged" true
+    (s1.Label_index.merged_rows > 0)
+
+let index_compacts_tombstones () =
+  let doc = Parser.parse_string doc_src in
+  let ldoc = Labeled_doc.of_document doc in
+  let pager = Pager.create (Counters.create ()) in
+  let store = Shredder.shred_label pager ldoc in
+  let sync = Label_sync.create pager store ldoc in
+  ignore (Query.label_descendants pager store ~anc:"library" ~desc:"title");
+  let root = Option.get doc.root in
+  let first_shelf = List.hd (Dom.children root) in
+  let first_book = List.hd (Dom.children first_shelf) in
+  Labeled_doc.delete_subtree ldoc first_book;
+  ignore (Label_sync.flush sync);
+  let s0 = Query.index_stats store in
+  Alcotest.(check (list int))
+    "deleted titles gone"
+    (dom_descendants doc ~anc:"library" ~desc:"title")
+    (Query.label_descendants pager store ~anc:"library" ~desc:"title");
+  let s1 = Query.index_stats store in
+  Alcotest.(check int) "tombstones dropped by repair, not rebuild"
+    s0.Label_index.full_rebuilds s1.Label_index.full_rebuilds;
+  (* The repaired entries must hold no dead rows (lazy compaction). *)
+  index_check store
+
 let suite =
   ( "relstore",
     [ case "pager LRU accounting" `Quick pager_counts;
@@ -329,6 +450,11 @@ let suite =
       case "multi-step path plans agree" `Quick path_plans_agree;
       case "index-nested-loop plan agrees" `Quick inl_plan_agrees;
       case "inl index invalidation on sync" `Quick inl_index_invalidation;
+      case "index repairs instead of rebuilding" `Quick
+        index_repair_not_rebuild;
+      case "index compacts tombstones lazily" `Quick
+        index_compacts_tombstones;
+      QCheck_alcotest.to_alcotest index_fresh_random;
       QCheck_alcotest.to_alcotest inl_plan_random;
       QCheck_alcotest.to_alcotest random_paths_agree;
       QCheck_alcotest.to_alcotest random_docs_agree ] )

@@ -34,10 +34,8 @@ let default_config =
         "lib/doc/";
         "lib/labeling/";
         "lib/metrics/";
-        "lib/relstore/";
         "lib/workload/";
         "lib/xml/";
-        "lib/xpath/";
       ];
     print_allow = [ "lib/metrics/table.ml" (* the sanctioned table printer *) ];
     arith_allow =

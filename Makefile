@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-query examples soak lint selfcheck selfcheck-quick ci clean
+.PHONY: all build test bench bench-query bench-recovery examples soak lint selfcheck selfcheck-quick crash-matrix crash-matrix-quick ci clean
 
 all: build
 
@@ -23,9 +23,18 @@ selfcheck-quick:
 	dune exec bin/ltree_stress.exe -- 300 1 --selfcheck 25
 	dune exec bin/ltree_cli.exe -- check --ops 100 --seed 1
 
+# Crash the durable store at every write point in every corruption mode
+# (clean / torn / bit-flip), recover, and verify the result against a
+# bit-exact in-memory oracle plus the full invariant registry.
+crash-matrix:
+	dune exec bin/ltree_cli.exe -- crash-matrix --ops 200
+
+crash-matrix-quick:
+	dune exec bin/ltree_cli.exe -- crash-matrix --ops 60 --nodes 60 --checkpoint-every 16
+
 ci:
 	dune build @all && dune runtest --force && dune build @lint && \
-	$(MAKE) selfcheck-quick && \
+	$(MAKE) selfcheck-quick && $(MAKE) crash-matrix-quick && \
 	dune exec bench/exp_query.exe -- --n 2000 --queries 100 --json BENCH_query.json
 
 bench:
@@ -36,6 +45,12 @@ bench:
 # per-workload rows to BENCH_query.json.
 bench-query:
 	dune exec bench/exp_query.exe -- --json BENCH_query.json
+
+# Durability cost and recovery speed: journal-append overhead at group
+# commit sizes 1/4/16/64, and recovery time vs. journal length; emits
+# BENCH_recovery.json.
+bench-recovery:
+	dune exec bench/exp_recovery.exe -- --json BENCH_recovery.json
 
 tables:
 	dune exec bench/main.exe -- --tables

@@ -22,6 +22,9 @@ open Ltree_relstore
 module Invariant = Ltree_analysis.Invariant
 module Counters = Ltree_metrics.Counters
 module Prng = Ltree_workload.Prng
+module Fault = Ltree_recovery.Fault
+module Durable_doc = Ltree_recovery.Durable_doc
+module Crash_matrix = Ltree_recovery.Crash_matrix
 
 type t = {
   params : Params.t;
@@ -35,6 +38,8 @@ type t = {
   sync : Label_sync.t;
   journal : Journal.t;
   mutable snapshot : string;
+  sim : Fault.sim;  (* the durable twin's simulated disk *)
+  durable : Durable_doc.t;  (* crash-safe replica fed the same entries *)
   mt : Ltree.t;
   vt : Virtual_ltree.t;
   mutable mh : Ltree.leaf list;  (* newest first *)
@@ -160,7 +165,16 @@ let register_invariants t =
       let labels d = List.map snd (Labeled_doc.labeled_events d) in
       if not (List.equal Int.equal (labels t.ldoc) (labels recovered)) then
         Invariant.fail ~name:"recovery.roundtrip"
-          "snapshot + journal replay diverges from the live document")
+          "snapshot + journal replay diverges from the live document");
+  (* The durable twin's on-disk state must stay scannable/loadable, and
+     its document label-identical to the live one (it is fed the same
+     entries, and labels are deterministic).  These are the same
+     invariants the crash matrix runs post-recovery. *)
+  Crash_matrix.register_invariants reg ~io:(Fault.sim_io t.sim)
+    ~dir:"store"
+    ~expected_labels:(fun () ->
+      Array.of_list (List.map snd (Labeled_doc.labeled_events t.ldoc)))
+    t.durable
 
 (* {1 Construction} *)
 
@@ -177,11 +191,20 @@ let create ?(params = Params.make ~f:8 ~s:2) ~seed ~make_doc () =
   let store = Shredder.shred_label pager ldoc in
   let sync = Label_sync.create pager store ldoc in
   let journal = Journal.create () in
+  let sim = Fault.create_sim () in
+  (* The durable twin labels its own replica of the same document
+     ([make_doc] is deterministic), so anchors — begin-tag labels —
+     mean the same thing on both sides. *)
+  let durable =
+    Durable_doc.initialize ~io:(Fault.sim_io sim) ~dir:"store"
+      (Labeled_doc.of_document ~params (make_doc ()))
+  in
   let mt, ml = Ltree.bulk_load ~params 64 in
   let vt, vl = Virtual_ltree.bulk_load ~params 64 in
   let t =
     {
       params; seed; doc; root; ldoc; engine; pager; store; sync; journal;
+      sim; durable;
       snapshot = Snapshot.save ldoc;
       mt; vt;
       mh = Array.to_list ml;
@@ -229,26 +252,40 @@ let exec t line =
     | "doc-del", [ i ] -> (
       match live_elements t with
       | [] -> ()
-      | es -> Journal.delete_subtree t.journal t.ldoc (pick es (int_arg i)))
+      | es ->
+        let node = pick es (int_arg i) in
+        let anchor = (Labeled_doc.label t.ldoc node).Labeled_doc.start_pos in
+        Journal.delete_subtree t.journal t.ldoc node;
+        Durable_doc.apply t.durable (Journal.Delete { anchor }))
     | "doc-text", [ i ] -> (
       match live_texts t with
       | [] -> ()
       | ts ->
-        Journal.set_text t.journal t.ldoc (pick ts (int_arg i))
-          "selfcheck edit")
+        let node = pick ts (int_arg i) in
+        let anchor = (Labeled_doc.label t.ldoc node).Labeled_doc.start_pos in
+        Journal.set_text t.journal t.ldoc node "selfcheck edit";
+        Durable_doc.apply t.durable
+          (Journal.Set_text { anchor; text = "selfcheck edit" }))
     | "doc-ins", [ i; c ] -> (
       match live_elements t with
       | [] -> ()
       | es ->
         let parent = pick es (int_arg i) in
+        let anchor =
+          (Labeled_doc.label t.ldoc parent).Labeled_doc.start_pos
+        in
         let index = abs (int_arg c) mod (Dom.child_count parent + 1) in
+        let xml =
+          Printf.sprintf "<patch n=\"%d\">p<deep><x/></deep></patch>"
+            (int_arg c)
+        in
         Journal.insert_subtree t.journal t.ldoc ~parent ~index
-          (Parser.parse_fragment
-             (Printf.sprintf "<patch n=\"%d\">p<deep><x/></deep></patch>"
-                (int_arg c))))
+          (Parser.parse_fragment xml);
+        Durable_doc.apply t.durable (Journal.Insert { anchor; index; xml }))
     | "checkpoint", _ ->
       t.snapshot <- Snapshot.save t.ldoc;
-      Journal.clear t.journal
+      Journal.clear t.journal;
+      Durable_doc.checkpoint t.durable
     | _, _ -> ())
 
 let apply t line =

@@ -567,6 +567,96 @@ let check_cmd =
     Term.(const run $ file_opt $ f_arg $ s_arg $ ops_arg $ seed_arg
           $ inject_arg $ dump_arg)
 
+(* crash-matrix *)
+
+let crash_matrix_cmd =
+  let module M = Ltree_recovery.Crash_matrix in
+  let module F = Ltree_recovery.Fault in
+  let ops_arg =
+    Arg.(value & opt int M.default_config.M.ops & info [ "ops" ]
+           ~docv:"OPS" ~doc:"Length of the seeded operation script.")
+  in
+  let seed_arg =
+    Arg.(value & opt int M.default_config.M.seed & info [ "seed" ]
+           ~docv:"SEED"
+           ~doc:"Seed for the script and every injection choice.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int M.default_config.M.doc_nodes & info [ "nodes" ]
+           ~docv:"N" ~doc:"Target size of the base document.")
+  in
+  let group_arg =
+    Arg.(value & opt int M.default_config.M.group_commit
+         & info [ "group-commit" ] ~docv:"G"
+             ~doc:"Journal records batched per fsync.")
+  in
+  let ckpt_arg =
+    Arg.(value & opt int M.default_config.M.checkpoint_every
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:"Operations between snapshot rotations.")
+  in
+  let run ops seed nodes group_commit checkpoint_every =
+    let config =
+      { M.seed; ops; doc_nodes = nodes; group_commit; checkpoint_every }
+    in
+    Printf.printf
+      "crash matrix: %d ops, doc ~%d nodes, group commit %d, checkpoint \
+       every %d, seed %d\n%!"
+      ops nodes group_commit checkpoint_every seed;
+    let last = ref 0 in
+    let progress ~done_cells ~total =
+      let decile = done_cells * 10 / total in
+      if decile > !last then begin
+        last := decile;
+        Printf.printf "  ...%d%% (%d/%d cells)\n%!" (decile * 10) done_cells
+          total
+      end
+    in
+    let s = M.run ~progress config in
+    Printf.printf
+      "swept %d write points x %d modes = %d cells (%d init-phase points)\n"
+      s.M.total_points
+      (List.length F.all_modes)
+      (List.length s.M.cells) s.M.init_points;
+    let recovered, unrecoverable =
+      List.partition
+        (fun c -> match c.M.outcome with
+           | M.Recovered _ -> true
+           | M.Unrecoverable _ -> false)
+        s.M.cells
+    in
+    Printf.printf "recovered: %d cells; pre-first-checkpoint losses: %d\n"
+      (List.length recovered)
+      (List.length unrecoverable);
+    Printf.printf "damage detected during recovery:\n";
+    List.iter
+      (fun (kind, n) -> Printf.printf "  %-20s %d\n" kind n)
+      s.M.fault_counts;
+    if s.M.failed_cells = 0 then
+      Printf.printf "crash matrix clean: all %d cells verified\n"
+        (List.length s.M.cells)
+    else begin
+      Printf.printf "FAIL: %d cells failed verification\n" s.M.failed_cells;
+      List.iter
+        (fun c ->
+          match c.M.failures with
+          | [] -> ()
+          | failures ->
+            Printf.printf "  point %d (%s):\n" c.M.point
+              (F.mode_name c.M.mode);
+            List.iter (fun f -> Printf.printf "    %s\n" f) failures)
+        s.M.cells;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "crash-matrix"
+       ~doc:"Crash the durable store at every write point in every \
+             corruption mode, recover, and verify against a bit-exact \
+             oracle.")
+    Term.(const run $ ops_arg $ seed_arg $ nodes_arg $ group_arg
+          $ ckpt_arg)
+
 let () =
   let doc = "L-Tree: dynamic order-preserving labels for XML documents" in
   let info = Cmd.info "ltree" ~version:"1.0.0" ~doc in
@@ -574,4 +664,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; label_cmd; query_cmd; compare_cmd; tune_cmd;
-            bench_cmd; snapshot_cmd; restore_cmd; check_cmd; shell_cmd ]))
+            bench_cmd; snapshot_cmd; restore_cmd; check_cmd;
+            crash_matrix_cmd; shell_cmd ]))

@@ -1,6 +1,7 @@
 open Ltree_xml
 
 exception Corrupt of string
+exception Replay_error of { what : string; anchor : int }
 
 type entry =
   | Insert of { anchor : int; index : int; xml : string }
@@ -70,21 +71,39 @@ let set_text t ldoc node s =
   Dom.set_text node s;
   t.entries <- Set_text { anchor; text = s } :: t.entries
 
+let entry_to_line entry =
+  match entry with
+  | Insert { anchor; index; xml } ->
+    Printf.sprintf "I %d %d %s" anchor index (encode xml)
+  | Delete { anchor } -> Printf.sprintf "D %d" anchor
+  | Set_text { anchor; text } ->
+    Printf.sprintf "T %d %s" anchor (encode text)
+
+let entry_of_line line =
+  match String.split_on_char ' ' line with
+  | "I" :: anchor :: index :: xml_parts -> (
+      match (int_of_string_opt anchor, int_of_string_opt index) with
+      | Some anchor, Some index ->
+        Insert { anchor; index; xml = decode (String.concat " " xml_parts) }
+      | _ -> raise (Corrupt ("bad insert entry: " ^ line)))
+  | [ "D"; anchor ] -> (
+      match int_of_string_opt anchor with
+      | Some anchor -> Delete { anchor }
+      | None -> raise (Corrupt ("bad delete entry: " ^ line)))
+  | "T" :: anchor :: text_parts -> (
+      match int_of_string_opt anchor with
+      | Some anchor ->
+        Set_text { anchor; text = decode (String.concat " " text_parts) }
+      | None -> raise (Corrupt ("bad set_text entry: " ^ line)))
+  | _ -> raise (Corrupt ("bad journal entry: " ^ line))
+
 let to_string t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf magic;
   Buffer.add_char buf '\n';
   List.iter
     (fun entry ->
-      (match entry with
-       | Insert { anchor; index; xml } ->
-         Buffer.add_string buf
-           (Printf.sprintf "I %d %d %s" anchor index (encode xml))
-       | Delete { anchor } ->
-         Buffer.add_string buf (Printf.sprintf "D %d" anchor)
-       | Set_text { anchor; text } ->
-         Buffer.add_string buf
-           (Printf.sprintf "T %d %s" anchor (encode text)));
+      Buffer.add_string buf (entry_to_line entry);
       Buffer.add_char buf '\n')
     (List.rev t.entries);
   Buffer.contents buf
@@ -95,32 +114,7 @@ let of_string s =
   | first :: rest when first = magic ->
     let entries =
       List.filter_map
-        (fun line ->
-          if line = "" then None
-          else
-            match String.split_on_char ' ' line with
-            | "I" :: anchor :: index :: xml_parts -> (
-                match
-                  (int_of_string_opt anchor, int_of_string_opt index)
-                with
-                | Some anchor, Some index ->
-                  Some
-                    (Insert
-                       { anchor; index;
-                         xml = decode (String.concat " " xml_parts) })
-                | _ -> raise (Corrupt ("bad insert entry: " ^ line)))
-            | [ "D"; anchor ] -> (
-                match int_of_string_opt anchor with
-                | Some anchor -> Some (Delete { anchor })
-                | None -> raise (Corrupt ("bad delete entry: " ^ line)))
-            | "T" :: anchor :: text_parts -> (
-                match int_of_string_opt anchor with
-                | Some anchor ->
-                  Some
-                    (Set_text
-                       { anchor; text = decode (String.concat " " text_parts) })
-                | None -> raise (Corrupt ("bad set_text entry: " ^ line)))
-            | _ -> raise (Corrupt ("bad journal entry: " ^ line)))
+        (fun line -> if line = "" then None else Some (entry_of_line line))
         rest
     in
     { entries = List.rev entries }
@@ -129,21 +123,23 @@ let of_string s =
 let resolve ldoc anchor what =
   match Labeled_doc.node_by_start_label ldoc anchor with
   | Some node -> node
-  | None ->
-    failwith
-      (Printf.sprintf "Journal.replay: %s anchor %d does not resolve" what
-         anchor)
+  | None -> raise (Replay_error { what; anchor })
 
-let replay t ldoc =
-  List.iter
-    (fun entry ->
-      match entry with
-      | Insert { anchor; index; xml } ->
-        let parent = resolve ldoc anchor "insert" in
-        Labeled_doc.insert_subtree ldoc ~parent ~index
-          (Parser.parse_fragment xml)
-      | Delete { anchor } ->
-        Labeled_doc.delete_subtree ldoc (resolve ldoc anchor "delete")
-      | Set_text { anchor; text } ->
-        Dom.set_text (resolve ldoc anchor "set_text") text)
-    (List.rev t.entries)
+let apply_entry ldoc entry =
+  match entry with
+  | Insert { anchor; index; xml } ->
+    let parent = resolve ldoc anchor "insert" in
+    let sub =
+      try Parser.parse_fragment xml with
+      | Parser.Error (msg, _) ->
+        raise (Corrupt ("entry fragment does not parse: " ^ msg))
+      | Lexer.Error (msg, _) ->
+        raise (Corrupt ("entry fragment does not lex: " ^ msg))
+    in
+    Labeled_doc.insert_subtree ldoc ~parent ~index sub
+  | Delete { anchor } ->
+    Labeled_doc.delete_subtree ldoc (resolve ldoc anchor "delete")
+  | Set_text { anchor; text } ->
+    Dom.set_text (resolve ldoc anchor "set_text") text
+
+let replay t ldoc = List.iter (apply_entry ldoc) (List.rev t.entries)

@@ -35,6 +35,33 @@ val delete_subtree : t -> Labeled_doc.t -> Dom.node -> unit
     slot keeps its label). *)
 val set_text : t -> Labeled_doc.t -> Dom.node -> string -> unit
 
+(** {1 Entries}
+
+    The entry type is public so durability layers
+    ({!Ltree_recovery.Durable_doc}) can frame, checksum and replay
+    records one at a time instead of round-tripping whole journals. *)
+
+type entry =
+  | Insert of { anchor : int; index : int; xml : string }
+      (** [anchor] is the begin-tag label of the parent; [xml] a
+          serialized fragment inserted as its [index]-th child. *)
+  | Delete of { anchor : int }
+  | Set_text of { anchor : int; text : string }
+
+(** [entry_to_line e] is the one-line textual form of an entry (no
+    newline; fragments and text are XML-escaped). *)
+val entry_to_line : entry -> string
+
+(** [entry_of_line s] parses one entry line.  Raises {!Corrupt}. *)
+val entry_of_line : string -> entry
+
+(** [apply_entry ldoc e] applies one entry to a document.  Raises
+    {!Replay_error} when the anchor label does not resolve
+    (journal/snapshot mismatch) and {!Corrupt} when an insert's fragment
+    does not parse — both typed, so recovery can distinguish a corrupt
+    journal tail from a logic bug. *)
+val apply_entry : Labeled_doc.t -> entry -> unit
+
 (** {1 Persistence and replay} *)
 
 (** [to_string j] serializes the journal (one entry per line; fragments
@@ -43,12 +70,17 @@ val to_string : t -> string
 
 exception Corrupt of string
 
+(** An entry whose anchor label resolves to no live node: the journal
+    does not belong to the snapshot it is being replayed on.  [what]
+    names the operation kind (["insert"], ["delete"], ["set_text"]). *)
+exception Replay_error of { what : string; anchor : int }
+
 (** [of_string s] parses a serialized journal.  Raises {!Corrupt}. *)
 val of_string : string -> t
 
 (** [replay j ldoc] applies the journal to a document restored from the
-    snapshot taken when the journal was started.  Raises [Failure] when
-    an entry's anchor label cannot be resolved (journal/snapshot
+    snapshot taken when the journal was started.  Raises {!Replay_error}
+    when an entry's anchor label cannot be resolved (journal/snapshot
     mismatch). *)
 val replay : t -> Labeled_doc.t -> unit
 

@@ -10,6 +10,7 @@ let magic = "ltree-snapshot 1"
    loader split them back. *)
 let text_lengths doc =
   let acc = ref [] in
+  let i = ref 0 in
   (match (doc : Dom.document).root with
    | None -> ()
    | Some root ->
@@ -18,7 +19,12 @@ let text_lengths doc =
          | Dom.Text s ->
            if s = "" then
              invalid_arg
-               "Snapshot.save: empty text nodes cannot be snapshotted";
+               (Printf.sprintf
+                  "Snapshot.save: text node #%d (document order, dom id \
+                   %d) is empty — empty text nodes vanish in the \
+                   serialization and cannot be snapshotted"
+                  !i (Dom.id n));
+           incr i;
            acc := String.length s :: !acc
          | Dom.Element _ | Dom.Comment _ | Dom.Pi _ -> ()));
   List.rev !acc
@@ -160,13 +166,21 @@ let load ?counters s =
   let sep, xml = split_line s in
   if sep <> "---" then corrupt "expected the --- separator";
   let doc =
-    try Parser.parse_string xml
-    with Parser.Error (msg, pos) ->
+    try Parser.parse_string xml with
+    | Parser.Error (msg, pos) ->
+      corrupt "embedded document: %s at %s" msg
+        (Format.asprintf "%a" Token.pp_position pos)
+    | Lexer.Error (msg, pos) ->
       corrupt "embedded document: %s at %s" msg
         (Format.asprintf "%a" Token.pp_position pos)
   in
   resplit_texts doc texts;
-  Labeled_doc.restore ?counters ~params ~height ~labels ~deleted doc
+  (* Restoration validates the label state; damage it rejects is still
+     a corrupt snapshot, so surface it as such, typed. *)
+  try Labeled_doc.restore ?counters ~params ~height ~labels ~deleted doc with
+  | Invalid_argument m -> corrupt "label state rejected: %s" m
+  | Ltree_analysis.Invariant.Violation { name; detail } ->
+    corrupt "label state rejected: %s: %s" name detail
 
 let save_file ldoc path =
   let oc = open_out_bin path in

@@ -26,7 +26,8 @@
     the loader re-splits them to the recorded lengths.  Documents
     containing {e empty} text nodes cannot be snapshotted (they would
     vanish entirely in the serialization); [save] raises
-    [Invalid_argument] for those. *)
+    [Invalid_argument] naming the offending text node (its document-order
+    index among text nodes, plus its DOM id). *)
 
 exception Corrupt of string
 

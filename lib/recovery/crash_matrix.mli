@@ -1,0 +1,104 @@
+(** The deterministic crash matrix: kill the durable store at {e every}
+    write point, in every corruption mode, recover, and check the result
+    against a bit-exact in-memory oracle.
+
+    One matrix run is: generate a seeded operation script; replay it
+    pristine to record the oracle (labels + content checksum after every
+    prefix — exact thanks to L-Tree label determinism, paper §4.2); run
+    the workload once uninjected to learn the number of write points
+    [P]; then for each point [1..P] and each {!Fault.mode}, run the
+    workload with that crash scripted, recover from the surviving files,
+    and verify:
+
+    - the recovered labels are bit-identical to the oracle at the
+      durable prefix, and the serialized content checksum matches;
+    - the durable prefix lies in [[synced, attempted]] — group commit
+      may lose unflushed tail operations but never synced ones;
+    - the full invariant registry passes at [Deep], including the
+      durability invariants ({!register_invariants});
+    - descendant queries over a re-shredded recovered store agree with
+      both their baseline plan and a from-scratch shred of the oracle
+      prefix;
+    - total loss of the store is accepted only for crashes before the
+      very first checkpoint completed.
+
+    Everything — script, injection choices, write points — derives from
+    [config.seed], so any failing cell replays exactly. *)
+
+type config = {
+  seed : int;
+  ops : int;  (** script length *)
+  doc_nodes : int;  (** target size of the base document *)
+  group_commit : int;
+  checkpoint_every : int;  (** ops between snapshot rotations *)
+}
+
+val default_config : config
+(** [{seed = 42; ops = 200; doc_nodes = 120; group_commit = 4;
+    checkpoint_every = 32}] *)
+
+(** {1 Pieces exposed for the harness and tests} *)
+
+(** [generate_script config] is the seeded operation list; every entry's
+    anchor is valid at its position. *)
+val generate_script : config -> Ltree_doc.Journal.entry list
+
+type oracle = {
+  labels : int array array;
+      (** [labels.(k)]: every slot's label after the [k]-op prefix *)
+  crcs : int array;  (** serialized-content CRC-32 per prefix *)
+}
+
+val build_oracle : config -> Ltree_doc.Journal.entry list -> oracle
+
+(** [register_invariants reg ~io ~dir ~expected_labels t] registers the
+    three durability invariants over a live store:
+    [recovery.journal-checksum-valid] (the on-disk journal scans clean),
+    [recovery.snapshot-loadable] (the current generation loads), and
+    [recovery.store-matches-oracle-prefix] (the document's labels equal
+    [expected_labels ()]). *)
+val register_invariants :
+  Ltree_analysis.Invariant.registry ->
+  io:Fault.io ->
+  dir:string ->
+  expected_labels:(unit -> int array) ->
+  Durable_doc.t ->
+  unit
+
+(** {1 Results} *)
+
+type outcome =
+  | Recovered of {
+      durable_seq : int;
+      attempted : int;  (** ops started before the crash *)
+      synced : int;  (** last known-durable seq before the crash *)
+      replayed : int;
+      dropped : int;
+      fault_kinds : string list;  (** damage recovery detected *)
+    }
+  | Unrecoverable of { fault_kinds : string list }
+
+type cell = {
+  point : int;
+  mode : Fault.mode;
+  outcome : outcome;
+  failures : string list;  (** verification failures — empty means pass *)
+}
+
+type summary = {
+  config : config;
+  total_points : int;  (** write points in one uninjected run *)
+  init_points : int;  (** points consumed by store initialization *)
+  cells : cell list;  (** [3 * total_points] of them *)
+  failed_cells : int;
+  fault_counts : (string * int) list;
+      (** {!Durable_doc.fault_kind} tally across all recoveries *)
+}
+
+(** [ok s]: every cell verified and the matrix was exhaustive. *)
+val ok : summary -> bool
+
+(** [run ?progress config] executes the full matrix.  [progress] is
+    called after each cell (printing is the caller's business). *)
+val run :
+  ?progress:(done_cells:int -> total:int -> unit) -> config -> summary

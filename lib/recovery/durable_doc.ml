@@ -1,0 +1,427 @@
+module Labeled_doc = Ltree_doc.Labeled_doc
+module Snapshot = Ltree_doc.Snapshot
+module Journal = Ltree_doc.Journal
+module Invariant = Ltree_analysis.Invariant
+
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( <> ) : int -> int -> bool = Stdlib.( <> )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let max : int -> int -> int = Stdlib.max
+let ( > ) : int -> int -> bool = Stdlib.( > )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+
+let wal_magic = "ltree-wal 1"
+let snap_magic = "ltree-durable-snapshot 1"
+
+type fault =
+  | Missing_file of string
+  | Bad_header of { file : string; detail : string }
+  | Snapshot_corrupt of { file : string; detail : string }
+  | Checksum_mismatch of { seq : int }
+  | Sequence_gap of { expected : int; got : int }
+  | Torn_record of { seq : int }
+  | Bad_record of { seq : int; detail : string }
+  | Unresolvable_anchor of { seq : int; anchor : int }
+  | Apply_failed of { seq : int; detail : string }
+
+let fault_kind = function
+  | Missing_file _ -> "missing-file"
+  | Bad_header _ -> "bad-header"
+  | Snapshot_corrupt _ -> "snapshot-corrupt"
+  | Checksum_mismatch _ -> "checksum-mismatch"
+  | Sequence_gap _ -> "sequence-gap"
+  | Torn_record _ -> "torn-record"
+  | Bad_record _ -> "bad-record"
+  | Unresolvable_anchor _ -> "unresolvable-anchor"
+  | Apply_failed _ -> "apply-failed"
+
+let pp_fault ppf fault =
+  match fault with
+  | Missing_file f -> Format.fprintf ppf "missing file %s" f
+  | Bad_header { file; detail } ->
+    Format.fprintf ppf "bad header in %s: %s" file detail
+  | Snapshot_corrupt { file; detail } ->
+    Format.fprintf ppf "corrupt snapshot %s: %s" file detail
+  | Checksum_mismatch { seq } ->
+    Format.fprintf ppf "checksum mismatch at record %d" seq
+  | Sequence_gap { expected; got } ->
+    Format.fprintf ppf "sequence gap: expected %d, got %d" expected got
+  | Torn_record { seq } -> Format.fprintf ppf "torn record %d" seq
+  | Bad_record { seq; detail } ->
+    Format.fprintf ppf "bad record %d: %s" seq detail
+  | Unresolvable_anchor { seq; anchor } ->
+    Format.fprintf ppf "record %d: anchor %d does not resolve" seq anchor
+  | Apply_failed { seq; detail } ->
+    Format.fprintf ppf "record %d failed to apply: %s" seq detail
+
+type snapshot_source = Current | Previous
+
+let source_name = function Current -> "current" | Previous -> "previous"
+
+type report = {
+  source : snapshot_source;
+  base_seq : int;
+  epoch : int;
+  entries_skipped : int;
+  entries_replayed : int;
+  entries_dropped : int;
+  faults : fault list;
+  durable_seq : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>snapshot: %s (base seq %d, epoch %d)@,\
+     journal: %d replayed, %d skipped, %d dropped@,\
+     durable seq: %d@,\
+     faults: %s@]"
+    (source_name r.source) r.base_seq r.epoch r.entries_replayed
+    r.entries_skipped r.entries_dropped r.durable_seq
+    (match r.faults with
+     | [] -> "none"
+     | faults ->
+       String.concat ", "
+         (List.map (fun f -> Format.asprintf "%a" pp_fault f) faults))
+
+type t = {
+  io : Fault.io;
+  dir : string;
+  ldoc : Labeled_doc.t;
+  group_commit : int;
+  pending : Buffer.t;  (* encoded, not yet appended records *)
+  mutable pending_count : int;
+  mutable last_seq : int;  (* last sequence number assigned *)
+  epoch : int;
+}
+
+let journal_path t = Filename.concat t.dir "journal"
+let snapshot_path t = Filename.concat t.dir "snapshot"
+let snapshot_prev_path t = Filename.concat t.dir "snapshot.prev"
+let snapshot_tmp_path t = Filename.concat t.dir "snapshot.tmp"
+
+let ldoc t = t.ldoc
+let last_seq t = t.last_seq
+let pending t = t.pending_count
+let epoch t = t.epoch
+
+(* {1 Record framing}
+
+   One record per line: [E <seq> <crc> <payload>] where [payload] is
+   {!Journal.entry_to_line} (already newline-free) and [crc] is the
+   CRC-32 of ["<seq> <payload>"] — covering the sequence number, so a
+   record cannot be replayed under the wrong position either. *)
+
+let record_body ~seq payload = string_of_int seq ^ " " ^ payload
+
+let record_line ~seq entry =
+  let payload = Journal.entry_to_line entry in
+  Printf.sprintf "E %s %s\n"
+    (Checksum.to_hex (Checksum.crc32 (record_body ~seq payload)))
+    (record_body ~seq payload)
+
+(* {1 Journal scanning} *)
+
+type scan = {
+  records : (int * Journal.entry) list;  (* oldest first, contiguous *)
+  scan_fault : fault option;  (* why the scan stopped, if it did *)
+  dropped : int;  (* line-shaped chunks after the fault *)
+  valid_bytes : int;  (* prefix length holding header + valid records *)
+}
+
+(* Parse ["E <crc> <seq> <payload>"].  Any deviation is a typed fault;
+   the caller stops at the first one (a journal is only trusted up to
+   its first bad byte). *)
+let parse_record ~expected_seq line =
+  match String.split_on_char ' ' line with
+  | "E" :: crc :: seq :: rest -> (
+      match (Checksum.of_hex crc, int_of_string_opt seq) with
+      | None, _ -> Error (Bad_record { seq = expected_seq; detail = "bad crc field" })
+      | _, None -> Error (Bad_record { seq = expected_seq; detail = "bad seq field" })
+      | Some crc, Some seq ->
+        let payload = String.concat " " rest in
+        if Checksum.crc32 (record_body ~seq payload) <> crc then
+          Error (Checksum_mismatch { seq = expected_seq })
+        else if expected_seq <> 0 && seq <> expected_seq then
+          Error (Sequence_gap { expected = expected_seq; got = seq })
+        else (
+          match Journal.entry_of_line payload with
+          | entry -> Ok (seq, entry)
+          | exception Journal.Corrupt detail ->
+            Error (Bad_record { seq; detail })))
+  | _ -> Error (Bad_record { seq = expected_seq; detail = "unrecognized line" })
+
+(* Count how many line-shaped chunks follow offset [from] — the size of
+   the tail a fault condemns. *)
+let count_tail_lines data from =
+  let n = ref 0 in
+  String.iteri (fun i c -> if i >= from && Char.equal c '\n' then incr n) data;
+  let len = String.length data in
+  if len > from && not (Char.equal data.[len - 1] '\n') then incr n;
+  !n
+
+let scan_journal io ~dir =
+  let path = Filename.concat dir "journal" in
+  match io.Fault.read_file path with
+  | None ->
+    { records = []; scan_fault = Some (Missing_file path); dropped = 0;
+      valid_bytes = 0 }
+  | Some data ->
+    let len = String.length data in
+    let header_len = String.length wal_magic + 1 in
+    if
+      len < header_len
+      || not (String.equal (String.sub data 0 (header_len - 1)) wal_magic)
+      || not (Char.equal data.[header_len - 1] '\n')
+    then
+      { records = [];
+        scan_fault = Some (Bad_header { file = path; detail = "bad magic" });
+        dropped = count_tail_lines data 0;
+        valid_bytes = 0 }
+    else begin
+      let records = ref [] in
+      let fault = ref None in
+      let pos = ref header_len in
+      let valid = ref header_len in
+      let expected = ref 0 in
+      while Option.is_none !fault && !pos < len do
+        match String.index_from_opt data !pos '\n' with
+        | None ->
+          (* The file ends mid-line: the record was torn by the crash. *)
+          fault := Some (Torn_record { seq = max 1 !expected })
+        | Some nl -> (
+          let line = String.sub data !pos (nl - !pos) in
+          match parse_record ~expected_seq:!expected line with
+          | Ok (seq, entry) ->
+            records := (seq, entry) :: !records;
+            expected := seq + 1;
+            pos := nl + 1;
+            valid := !pos
+          | Error f -> fault := Some f)
+      done;
+      { records = List.rev !records;
+        scan_fault = !fault;
+        dropped = count_tail_lines data !valid;
+        valid_bytes = !valid }
+    end
+
+(* {1 Snapshot files} *)
+
+let encode_snapshot ~seq ~epoch payload =
+  Printf.sprintf "%s\nseq %d\nepoch %d\ncrc %s\nlen %d\n%s" snap_magic seq
+    epoch
+    (Checksum.to_hex (Checksum.crc32 payload))
+    (String.length payload) payload
+
+(* Split [data] into header lines and payload without trusting any of
+   it: every step that can fail returns a typed fault. *)
+let load_snapshot_file io path =
+  match io.Fault.read_file path with
+  | None -> Error (Missing_file path)
+  | Some data ->
+    let fail detail = Error (Snapshot_corrupt { file = path; detail }) in
+    let next_line pos =
+      match String.index_from_opt data pos '\n' with
+      | None -> None
+      | Some nl -> Some (String.sub data pos (nl - pos), nl + 1)
+    in
+    (match next_line 0 with
+     | Some (m, p0) when String.equal m snap_magic -> (
+         match next_line p0 with
+         | Some (seq_line, p1) -> (
+             match next_line p1 with
+             | Some (epoch_line, p2) -> (
+                 match next_line p2 with
+                 | Some (crc_line, p3) -> (
+                     match next_line p3 with
+                     | Some (len_line, p4) -> (
+                         let field prefix line =
+                           let pl = String.length prefix in
+                           if
+                             String.length line > pl
+                             && String.equal (String.sub line 0 pl) prefix
+                           then
+                             String.sub line pl (String.length line - pl)
+                           else ""
+                         in
+                         match
+                           ( int_of_string_opt (field "seq " seq_line),
+                             int_of_string_opt (field "epoch " epoch_line),
+                             Checksum.of_hex (field "crc " crc_line),
+                             int_of_string_opt (field "len " len_line) )
+                         with
+                         | Some seq, Some epoch, Some crc, Some len ->
+                           if len < 0 || String.length data - p4 <> len
+                           then fail "payload length mismatch"
+                           else
+                             let payload = String.sub data p4 len in
+                             if Checksum.crc32 payload <> crc then
+                               fail "payload checksum mismatch"
+                             else (
+                               match Snapshot.load payload with
+                               | ldoc -> Ok (ldoc, seq, epoch)
+                               | exception Snapshot.Corrupt detail ->
+                                 fail detail
+                               | exception Invalid_argument detail ->
+                                 fail detail
+                               | exception
+                                   Invariant.Violation { name; detail } ->
+                                 fail (name ^ ": " ^ detail))
+                         | _ -> fail "bad header field")
+                     | None -> fail "truncated header")
+                 | None -> fail "truncated header")
+             | None -> fail "truncated header")
+         | None -> fail "truncated header")
+     | Some _ -> Bad_header { file = path; detail = "bad magic" } |> Result.error
+     | None -> Bad_header { file = path; detail = "empty file" } |> Result.error)
+
+let newest_valid_snapshot io ~dir =
+  let current = Filename.concat dir "snapshot" in
+  let previous = Filename.concat dir "snapshot.prev" in
+  match load_snapshot_file io current with
+  | Ok (ldoc, seq, epoch) -> Ok (Current, ldoc, seq, epoch, [])
+  | Error f1 -> (
+      match load_snapshot_file io previous with
+      | Ok (ldoc, seq, epoch) -> Ok (Previous, ldoc, seq, epoch, [ f1 ])
+      | Error f2 -> Error [ f1; f2 ])
+
+(* {1 Appending} *)
+
+let flush_pending t =
+  if t.pending_count > 0 then begin
+    t.io.Fault.append_file (journal_path t) (Buffer.contents t.pending);
+    Buffer.clear t.pending;
+    t.pending_count <- 0;
+    t.io.Fault.fsync (journal_path t)
+  end
+
+let sync t = flush_pending t
+
+let apply t entry =
+  Journal.apply_entry t.ldoc entry;
+  t.last_seq <- t.last_seq + 1;
+  Buffer.add_string t.pending (record_line ~seq:t.last_seq entry);
+  t.pending_count <- t.pending_count + 1;
+  if t.pending_count >= t.group_commit then flush_pending t
+
+let insert_xml t ~anchor ~index ~xml =
+  apply t (Journal.Insert { anchor; index; xml })
+
+let delete t ~anchor = apply t (Journal.Delete { anchor })
+let set_text t ~anchor ~text = apply t (Journal.Set_text { anchor; text })
+
+(* {1 Rotation}
+
+   The protocol that makes a checkpoint atomic: flush the journal tail
+   (the snapshot must not get ahead of the log), write the new snapshot
+   to a temporary file and fsync it, demote the current snapshot to
+   [snapshot.prev], rename the temporary into place (the commit point —
+   rename is atomic), then truncate the journal.  A crash between any
+   two steps leaves either the old snapshot with a full journal, or the
+   new snapshot with a stale journal whose records recovery skips by
+   sequence number. *)
+
+let checkpoint t =
+  flush_pending t;
+  let encoded =
+    encode_snapshot ~seq:t.last_seq ~epoch:t.epoch (Snapshot.save t.ldoc)
+  in
+  let tmp = snapshot_tmp_path t in
+  t.io.Fault.write_file tmp encoded;
+  t.io.Fault.fsync tmp;
+  if t.io.Fault.file_exists (snapshot_path t) then
+    t.io.Fault.rename_file ~src:(snapshot_path t)
+      ~dst:(snapshot_prev_path t);
+  t.io.Fault.rename_file ~src:tmp ~dst:(snapshot_path t);
+  t.io.Fault.write_file (journal_path t) (wal_magic ^ "\n");
+  t.io.Fault.fsync (journal_path t)
+
+let initialize ~io ?(group_commit = 1) ~dir ldoc =
+  if group_commit < 1 then
+    invalid_arg "Durable_doc.initialize: group_commit must be >= 1";
+  let t =
+    { io; dir; ldoc; group_commit; pending = Buffer.create 256;
+      pending_count = 0; last_seq = 0; epoch = 0 }
+  in
+  checkpoint t;
+  t
+
+(* {1 Recovery} *)
+
+let recover ~io ?(group_commit = 1) ~dir () =
+  if group_commit < 1 then
+    invalid_arg "Durable_doc.recover: group_commit must be >= 1";
+  match newest_valid_snapshot io ~dir with
+  | Error faults -> Error faults
+  | Ok (source, ldoc, base_seq, old_epoch, snap_faults) ->
+    let scan = scan_journal io ~dir in
+    let faults = ref (List.rev snap_faults) in
+    (match scan.scan_fault with
+     | Some f -> faults := f :: !faults
+     | None -> ());
+    let skipped = ref 0 and replayed = ref 0 in
+    let dropped = ref scan.dropped in
+    let applied_to = ref base_seq in
+    let keep = Buffer.create 1024 in
+    Buffer.add_string keep (wal_magic ^ "\n");
+    let rec replay = function
+      | [] -> ()
+      | (seq, entry) :: rest ->
+        if seq <= base_seq then begin
+          (* Written before the snapshot was taken — already inside it. *)
+          incr skipped;
+          Buffer.add_string keep (record_line ~seq entry);
+          replay rest
+        end
+        else if seq <> !applied_to + 1 then begin
+          (* The journal starts after the snapshot's horizon: it cannot
+             bridge the gap, so nothing further is trustworthy. *)
+          faults :=
+            Sequence_gap { expected = !applied_to + 1; got = seq }
+            :: !faults;
+          dropped := !dropped + 1 + List.length rest
+        end
+        else (
+          match Journal.apply_entry ldoc entry with
+          | () ->
+            incr replayed;
+            applied_to := seq;
+            Buffer.add_string keep (record_line ~seq entry);
+            replay rest
+          | exception Journal.Replay_error { anchor; _ } ->
+            faults := Unresolvable_anchor { seq; anchor } :: !faults;
+            dropped := !dropped + 1 + List.length rest
+          | exception Journal.Corrupt detail ->
+            faults := Bad_record { seq; detail } :: !faults;
+            dropped := !dropped + 1 + List.length rest
+          | exception Invalid_argument detail ->
+            faults := Apply_failed { seq; detail } :: !faults;
+            dropped := !dropped + 1 + List.length rest)
+    in
+    replay scan.records;
+    let faults = List.rev !faults in
+    (* Truncate the condemned tail so the next session starts from a
+       fully valid journal (and re-home the journal when recovery fell
+       back to the previous snapshot: the current snapshot file is
+       damaged goods, remove it so it cannot shadow the good one). *)
+    let journal = Filename.concat dir "journal" in
+    if !dropped > 0 || Option.is_some scan.scan_fault then begin
+      io.Fault.write_file journal (Buffer.contents keep);
+      io.Fault.fsync journal
+    end;
+    (match source with
+     | Previous ->
+       io.Fault.remove_file (Filename.concat dir "snapshot");
+       io.Fault.rename_file
+         ~src:(Filename.concat dir "snapshot.prev")
+         ~dst:(Filename.concat dir "snapshot")
+     | Current -> ());
+    let t =
+      { io; dir; ldoc; group_commit; pending = Buffer.create 256;
+        pending_count = 0; last_seq = !applied_to; epoch = old_epoch + 1 }
+    in
+    Ok
+      ( { source; base_seq; epoch = t.epoch; entries_skipped = !skipped;
+          entries_replayed = !replayed; entries_dropped = !dropped;
+          faults; durable_seq = !applied_to },
+        t )

@@ -52,15 +52,19 @@ let touch ?(write = false) t ~table ~page =
   end;
   if write then Hashtbl.replace t.dirty key ()
 
+(* Every write-back — eviction or flush — goes through [write_back], so
+   a page's dirty bit is consumed exactly once and the page_write count
+   is the same whether the page left the pool by eviction or by flush. *)
 let flush_dirty t =
-  let n = Hashtbl.length t.dirty in
-  Counters.add_page_write t.counters n;
-  Hashtbl.reset t.dirty;
-  n
+  let keys = Hashtbl.fold (fun key () acc -> key :: acc) t.dirty [] in
+  List.iter (fun key -> write_back t key) keys;
+  List.length keys
 
 let flush t =
   ignore (flush_dirty t);
   Hashtbl.reset t.resident
+
+let dirty t = Hashtbl.length t.dirty
 
 let fresh_table_id t =
   let id = t.next_table in

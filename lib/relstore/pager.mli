@@ -23,13 +23,20 @@ val counters : t -> Ltree_metrics.Counters.t
     [page_write]. *)
 val touch : ?write:bool -> t -> table:int -> page:int -> unit
 
-(** [flush_dirty t] writes back every dirty page (one [page_write] each)
-    and returns how many there were. *)
+(** [flush_dirty t] writes back every dirty page — each through the same
+    per-key path eviction uses, so a page's dirty bit is consumed
+    exactly once (one [page_write]) no matter how it leaves the pool —
+    and returns how many pages were written. *)
 val flush_dirty : t -> int
 
 (** [flush t] writes back dirty pages, then empties the pool (e.g.
-    between query plans, so each plan is measured cold). *)
+    between query plans, so each plan is measured cold).  Pages evicted
+    before the flush already paid their write-back; flushing again does
+    not recount them. *)
 val flush : t -> unit
+
+(** Number of dirty (written, not yet written-back) pages. *)
+val dirty : t -> int
 
 (** [fresh_table_id t] allocates a table namespace. *)
 val fresh_table_id : t -> int

@@ -26,6 +26,7 @@ type label_store = {
   label_by_tag : (string, int list) Hashtbl.t;
   label_by_node : (int, int) Hashtbl.t;
   label_index : Label_index.t;
+  mutable label_epoch : int;
 }
 
 let tag_of node =
@@ -95,4 +96,4 @@ let shred_label pager ?(rows_per_page = 32) ldoc =
            push label_by_tag tag rid));
   rev_all label_by_tag;
   { label_table; label_by_tag; label_by_node;
-    label_index = Label_index.create () }
+    label_index = Label_index.create (); label_epoch = 0 }

@@ -44,6 +44,11 @@ type label_store = {
          index behind the structural-join plans; built lazily per tag
          and incrementally repaired when {!Label_sync.flush} reports
          which rows moved *)
+  mutable label_epoch : int;
+      (* store-level incarnation stamp, bumped by {!Label_sync.resync}
+         after a crash recovery replaces the backing document; sync
+         handles created against an older epoch refuse to write, so a
+         restarted store can never be fed through a stale handle *)
 }
 
 (** [tag_of n] is the relational tag of a node: its element name,

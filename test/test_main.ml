@@ -41,5 +41,6 @@ let () =
        Test_xpath.suite;
        Test_relstore.suite;
        Test_label_sync.suite;
+       Test_recovery.suite;
        Test_workload.suite ]
     @ scheme_suites)

@@ -1,0 +1,402 @@
+(* The durability layer: CRC-32 vectors, durable round trips, group
+   commit semantics, snapshot rotation with fallback, journal-tail
+   truncation, the crash matrix, and a fuzz pass over every serialized
+   format (corrupt input must fail typed — never an uncaught exception,
+   never a silently wrong document). *)
+
+open Ltree_xml
+open Ltree_doc
+open Ltree_recovery
+module Labeled_doc = Ltree_doc.Labeled_doc
+module Prng = Ltree_workload.Prng
+module Xml_gen = Ltree_workload.Xml_gen
+module Invariant = Ltree_analysis.Invariant
+
+let case = Alcotest.test_case
+
+let labels_of ldoc = List.map snd (Labeled_doc.labeled_events ldoc)
+
+(* {1 Checksums} *)
+
+let crc_vectors () =
+  (* The standard check value, plus a few fixed points computed by any
+     independent CRC-32 implementation. *)
+  Alcotest.(check int) "check value" 0xCBF43926 (Checksum.crc32 "123456789");
+  Alcotest.(check int) "empty" 0 (Checksum.crc32 "");
+  Alcotest.(check int) "single byte" 0xE8B7BE43 (Checksum.crc32 "a");
+  Alcotest.(check int) "abc" 0x352441C2 (Checksum.crc32 "abc")
+
+let crc_update_and_hex () =
+  let a = "ltree-wal 1\n" and b = "E deadbeef 1 D 42" in
+  Alcotest.(check int) "update composes"
+    (Checksum.crc32 (a ^ b))
+    (Checksum.update (Checksum.crc32 a) b);
+  let c = Checksum.crc32 "123456789" in
+  Alcotest.(check string) "hex form" "cbf43926" (Checksum.to_hex c);
+  Alcotest.(check (option int)) "hex round trip" (Some c)
+    (Checksum.of_hex (Checksum.to_hex c));
+  Alcotest.(check (option int)) "wrong width rejected" None
+    (Checksum.of_hex "cbf4392");
+  Alcotest.(check (option int)) "non-hex rejected" None
+    (Checksum.of_hex "cbf4392x")
+
+(* {1 Durable store} *)
+
+let make_ldoc () =
+  Labeled_doc.of_document
+    (Parser.parse_string
+       "<site><item><name>alpha</name></item><item><name>beta</name>\
+        </item><note>n</note></site>")
+
+(* A short edit script against [make_ldoc]'s shape; anchors are begin-tag
+   labels, computed against a scratch replica so they are valid in any
+   replica. *)
+let script_against ldoc n =
+  let ops = ref [] in
+  let root = Option.get (Labeled_doc.document ldoc).Dom.root in
+  for k = 1 to n do
+    let anchor = (Labeled_doc.label ldoc root).Labeled_doc.start_pos in
+    let entry =
+      Journal.Insert
+        { anchor;
+          index = Dom.child_count root;
+          xml = Printf.sprintf "<patch n=\"%d\">p%d</patch>" k k }
+    in
+    Journal.apply_entry ldoc entry;
+    ops := entry :: !ops
+  done;
+  List.rev !ops
+
+let durable_roundtrip () =
+  let sim = Fault.create_sim () in
+  let io = Fault.sim_io sim in
+  let t = Durable_doc.initialize ~io ~dir:"store" (make_ldoc ()) in
+  let oracle = make_ldoc () in
+  let ops = script_against oracle 12 in
+  List.iter (Durable_doc.apply t) ops;
+  Durable_doc.sync t;
+  (* Restart from the surviving files only. *)
+  let rsim = Fault.create_sim ~files:(Fault.dump sim) () in
+  match Durable_doc.recover ~io:(Fault.sim_io rsim) ~dir:"store" () with
+  | Error faults ->
+    Alcotest.failf "unrecoverable: %s"
+      (String.concat "; "
+         (List.map (fun f -> Format.asprintf "%a" Durable_doc.pp_fault f)
+            faults))
+  | Ok (report, t') ->
+    Alcotest.(check int) "all ops durable" 12
+      report.Durable_doc.durable_seq;
+    Alcotest.(check int) "no faults" 0
+      (List.length report.Durable_doc.faults);
+    Alcotest.(check bool) "current snapshot used" true
+      (match report.Durable_doc.source with
+       | Durable_doc.Current -> true
+       | Durable_doc.Previous -> false);
+    Alcotest.(check int) "epoch bumped" 1 (Durable_doc.epoch t');
+    Alcotest.(check (list int)) "labels bit-identical" (labels_of oracle)
+      (labels_of (Durable_doc.ldoc t'));
+    Labeled_doc.check (Durable_doc.ldoc t')
+
+let group_commit_prefix () =
+  let sim = Fault.create_sim () in
+  let io = Fault.sim_io sim in
+  let t =
+    Durable_doc.initialize ~io ~group_commit:4 ~dir:"store" (make_ldoc ())
+  in
+  let oracle = make_ldoc () in
+  let ops = script_against oracle 6 in
+  List.iter (Durable_doc.apply t) ops;
+  (* 6 ops at group commit 4: one flushed batch, two records still
+     buffered in memory. *)
+  Alcotest.(check int) "two pending" 2 (Durable_doc.pending t);
+  (* Crash without sync: only the flushed batch survives. *)
+  let rsim = Fault.create_sim ~files:(Fault.dump sim) () in
+  match Durable_doc.recover ~io:(Fault.sim_io rsim) ~dir:"store" () with
+  | Error _ -> Alcotest.fail "store must recover"
+  | Ok (report, t') ->
+    Alcotest.(check int) "durable prefix is the flushed batch" 4
+      report.Durable_doc.durable_seq;
+    let expected = make_ldoc () in
+    List.iteri
+      (fun i e -> if i < 4 then Journal.apply_entry expected e)
+      ops;
+    Alcotest.(check (list int)) "prefix labels" (labels_of expected)
+      (labels_of (Durable_doc.ldoc t'))
+
+let rotation_prev_fallback () =
+  let sim = Fault.create_sim () in
+  let io = Fault.sim_io sim in
+  let t = Durable_doc.initialize ~io ~dir:"store" (make_ldoc ()) in
+  let oracle = make_ldoc () in
+  let ops = script_against oracle 10 in
+  List.iteri
+    (fun i e ->
+      Durable_doc.apply t e;
+      if i = 3 || i = 7 then Durable_doc.checkpoint t)
+    ops;
+  Durable_doc.sync t;
+  (* Two checkpoints behind us: current snapshot at seq 8, previous at
+     seq 4, journal holding 9-10.  External damage to the current
+     snapshot: recovery must fall back to the previous generation and
+     report it — typed, not fatal.  The journal was truncated at the
+     second checkpoint, so its records cannot bridge from the older
+     snapshot: ops 5-10 are lost and the sequence gap says so. *)
+  Fault.corrupt_file sim ~path:"store/snapshot" ~f:(fun s ->
+      String.map (fun c -> if Char.equal c '4' then '5' else c) s);
+  let rsim = Fault.create_sim ~files:(Fault.dump sim) () in
+  match Durable_doc.recover ~io:(Fault.sim_io rsim) ~dir:"store" () with
+  | Error _ -> Alcotest.fail "previous generation must load"
+  | Ok (report, t') ->
+    Alcotest.(check bool) "previous snapshot used" true
+      (match report.Durable_doc.source with
+       | Durable_doc.Previous -> true
+       | Durable_doc.Current -> false);
+    let kinds =
+      List.map Durable_doc.fault_kind report.Durable_doc.faults
+    in
+    Alcotest.(check bool) "current generation's damage reported" true
+      (List.exists
+         (fun k ->
+           String.equal k "snapshot-corrupt" || String.equal k "bad-header")
+         kinds);
+    Alcotest.(check bool) "journal tail beyond the old horizon dropped"
+      true
+      (List.exists (String.equal "sequence-gap") kinds);
+    Alcotest.(check int) "rolled back to the checkpoint" 4
+      report.Durable_doc.durable_seq;
+    let expected = make_ldoc () in
+    List.iteri
+      (fun i e -> if i < 4 then Journal.apply_entry expected e)
+      ops;
+    Alcotest.(check (list int)) "checkpoint labels" (labels_of expected)
+      (labels_of (Durable_doc.ldoc t'))
+
+let torn_tail_truncated () =
+  let sim = Fault.create_sim () in
+  let io = Fault.sim_io sim in
+  let t = Durable_doc.initialize ~io ~dir:"store" (make_ldoc ()) in
+  let oracle = make_ldoc () in
+  let ops = script_against oracle 5 in
+  List.iter (Durable_doc.apply t) ops;
+  Durable_doc.sync t;
+  (* Tear the last record mid-line, as a crash during append would. *)
+  Fault.corrupt_file sim ~path:"store/journal" ~f:(fun s ->
+      String.sub s 0 (String.length s - 7));
+  let rsim = Fault.create_sim ~files:(Fault.dump sim) () in
+  (match Durable_doc.recover ~io:(Fault.sim_io rsim) ~dir:"store" () with
+   | Error _ -> Alcotest.fail "store must recover"
+   | Ok (report, _) ->
+     Alcotest.(check int) "intact prefix replayed" 4
+       report.Durable_doc.durable_seq;
+     Alcotest.(check (list string)) "torn record reported"
+       [ "torn-record" ]
+       (List.map Durable_doc.fault_kind report.Durable_doc.faults);
+     (* Recovery truncated the condemned tail: a fresh scan is clean. *)
+     let scan = Durable_doc.scan_journal (Fault.sim_io rsim) ~dir:"store" in
+     Alcotest.(check bool) "journal clean after truncation" true
+       (Option.is_none scan.Durable_doc.scan_fault);
+     Alcotest.(check int) "four records kept" 4
+       (List.length scan.Durable_doc.records))
+
+let bitflip_detected () =
+  let sim = Fault.create_sim () in
+  let io = Fault.sim_io sim in
+  let t = Durable_doc.initialize ~io ~dir:"store" (make_ldoc ()) in
+  let oracle = make_ldoc () in
+  let ops = script_against oracle 5 in
+  List.iter (Durable_doc.apply t) ops;
+  Durable_doc.sync t;
+  (* Flip one content bit inside the third record's payload: the CRC
+     must catch it and condemn the tail. *)
+  Fault.corrupt_file sim ~path:"store/journal" ~f:(fun s ->
+      let lines = String.split_on_char '\n' s in
+      let target = List.nth lines 3 in
+      let b = Bytes.of_string target in
+      let i = Bytes.length b - 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      String.concat "\n"
+        (List.mapi
+           (fun j l -> if j = 3 then Bytes.to_string b else l)
+           lines));
+  let rsim = Fault.create_sim ~files:(Fault.dump sim) () in
+  match Durable_doc.recover ~io:(Fault.sim_io rsim) ~dir:"store" () with
+  | Error _ -> Alcotest.fail "store must recover"
+  | Ok (report, _) ->
+    Alcotest.(check int) "prefix before the flip" 2
+      report.Durable_doc.durable_seq;
+    Alcotest.(check bool) "checksum mismatch reported" true
+      (List.exists
+         (fun f ->
+           String.equal (Durable_doc.fault_kind f) "checksum-mismatch")
+         report.Durable_doc.faults);
+    Alcotest.(check int) "condemned tail counted" 3
+      report.Durable_doc.entries_dropped
+
+let replay_error_typed () =
+  let ldoc = make_ldoc () in
+  (* No node carries label 999999: the entry is well-formed but its
+     anchor is unresolvable — a typed error, not a bare Failure. *)
+  Alcotest.check_raises "unresolvable anchor"
+    (Journal.Replay_error { what = "delete"; anchor = 999999 })
+    (fun () -> Journal.apply_entry ldoc (Journal.Delete { anchor = 999999 }))
+
+let quick_crash_matrix () =
+  let config =
+    { Crash_matrix.seed = 7; ops = 25; doc_nodes = 40; group_commit = 3;
+      checkpoint_every = 8 }
+  in
+  let s = Crash_matrix.run config in
+  Alcotest.(check bool) "matrix exhaustive and green" true
+    (Crash_matrix.ok s);
+  Alcotest.(check int) "every cell verified" 0 s.Crash_matrix.failed_cells;
+  Alcotest.(check bool) "matrix is not trivial" true
+    (s.Crash_matrix.total_points > 20)
+
+(* {1 Fuzzing}
+
+   Seeded random mutations of every serialized format.  The property is
+   always the same: corrupt input fails {e typed} ([Corrupt], or a typed
+   recovery report) — never an uncaught exception, and never a document
+   that fails validation. *)
+
+let mutate prng s =
+  let len = String.length s in
+  if len = 0 then "x"
+  else
+    match Prng.int prng 5 with
+    | 0 ->
+      (* Flip one bit. *)
+      let i = Prng.int prng len in
+      let b = Bytes.of_string s in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int prng 8)));
+      Bytes.to_string b
+    | 1 -> String.sub s 0 (Prng.int prng len) (* truncate *)
+    | 2 ->
+      (* Delete a slice. *)
+      let i = Prng.int prng len in
+      let n = 1 + Prng.int prng (len - i) in
+      String.sub s 0 i ^ String.sub s (i + n) (len - i - n)
+    | 3 ->
+      (* Insert noise. *)
+      let i = Prng.int prng (len + 1) in
+      let junk =
+        String.init
+          (1 + Prng.int prng 8)
+          (fun _ -> Char.chr (Prng.int prng 256))
+      in
+      String.sub s 0 i ^ junk ^ String.sub s i (len - i)
+    | _ ->
+      (* Duplicate a slice in place. *)
+      let i = Prng.int prng len in
+      let n = 1 + Prng.int prng (min 16 (len - i)) in
+      String.sub s 0 (i + n) ^ String.sub s i n
+      ^ String.sub s (i + n) (len - i - n)
+
+let fuzz_journal_codec () =
+  let ldoc = make_ldoc () in
+  let j = Journal.create () in
+  let root = Option.get (Labeled_doc.document ldoc).Dom.root in
+  Journal.insert_subtree j ldoc ~parent:root ~index:0
+    (Parser.parse_fragment "<x a=\"1\">t&amp;x<y/></x>");
+  Journal.delete_subtree j ldoc (List.nth (Dom.children root) 1);
+  Journal.set_text j ldoc
+    (List.hd (Dom.children (List.nth (Dom.children root) 0)))
+    "new text";
+  let pristine = Journal.to_string j in
+  let prng = Prng.create 101 in
+  for i = 1 to 300 do
+    let s = mutate prng pristine in
+    match Journal.of_string s with
+    | (_ : Journal.t) -> () (* mutation landed somewhere harmless *)
+    | exception Journal.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.failf "mutation %d: journal codec leaked %s" i
+        (Printexc.to_string e)
+  done
+
+let fuzz_snapshot_codec () =
+  let pristine = Snapshot.save (make_ldoc ()) in
+  let prng = Prng.create 202 in
+  for i = 1 to 300 do
+    let s = mutate prng pristine in
+    match Snapshot.load s with
+    | recovered ->
+      (* Accepted input must yield a document that validates. *)
+      (try Labeled_doc.check recovered
+       with e ->
+         Alcotest.failf "mutation %d: accepted snapshot fails check: %s" i
+           (Printexc.to_string e))
+    | exception Snapshot.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.failf "mutation %d: snapshot codec leaked %s" i
+        (Printexc.to_string e)
+  done
+
+let fuzz_durable_store () =
+  (* Pristine on-disk state: a store with a rotation behind it and a
+     journal tail. *)
+  let sim = Fault.create_sim () in
+  let t =
+    Durable_doc.initialize ~io:(Fault.sim_io sim) ~group_commit:2
+      ~dir:"store" (make_ldoc ())
+  in
+  let oracle = make_ldoc () in
+  List.iteri
+    (fun i e ->
+      Durable_doc.apply t e;
+      if i = 9 then Durable_doc.checkpoint t)
+    (script_against oracle 20);
+  Durable_doc.sync t;
+  let pristine = Fault.dump sim in
+  let paths = Array.of_list (List.map fst pristine) in
+  let prng = Prng.create 303 in
+  for i = 1 to 200 do
+    let fsim = Fault.create_sim ~files:pristine () in
+    (* Damage one or two files. *)
+    for _ = 0 to Prng.int prng 2 do
+      Fault.corrupt_file fsim ~path:(Prng.pick prng paths)
+        ~f:(fun s -> mutate prng s)
+    done;
+    match
+      Durable_doc.recover ~io:(Fault.sim_io fsim) ~dir:"store" ()
+    with
+    | Error (_ :: _) -> () (* both generations destroyed: typed, fine *)
+    | Error [] -> Alcotest.failf "mutation %d: empty fault list" i
+    | Ok (_, t') ->
+      (try Labeled_doc.check (Durable_doc.ldoc t')
+       with e ->
+         Alcotest.failf "mutation %d: recovered document fails check: %s" i
+           (Printexc.to_string e));
+      (* Whatever recovery kept must scan clean now. *)
+      let scan =
+        Durable_doc.scan_journal (Fault.sim_io fsim) ~dir:"store"
+      in
+      (match scan.Durable_doc.scan_fault with
+       | None -> ()
+       | Some f ->
+         Alcotest.failf "mutation %d: journal not clean after recovery: %s"
+           i
+           (Format.asprintf "%a" Durable_doc.pp_fault f))
+    | exception e ->
+      Alcotest.failf "mutation %d: recovery leaked %s" i
+        (Printexc.to_string e)
+  done
+
+let suite =
+  ( "recovery",
+    [ case "crc32 vectors" `Quick crc_vectors;
+      case "crc32 update and hex forms" `Quick crc_update_and_hex;
+      case "durable round trip" `Quick durable_roundtrip;
+      case "group commit durable prefix" `Quick group_commit_prefix;
+      case "rotation falls back to previous snapshot" `Quick
+        rotation_prev_fallback;
+      case "torn journal tail truncated" `Quick torn_tail_truncated;
+      case "bit flip caught by record checksum" `Quick bitflip_detected;
+      case "unresolvable anchor is typed" `Quick replay_error_typed;
+      case "quick crash matrix" `Quick quick_crash_matrix;
+      case "fuzz: journal codec (300 mutations)" `Quick fuzz_journal_codec;
+      case "fuzz: snapshot codec (300 mutations)" `Quick
+        fuzz_snapshot_codec;
+      case "fuzz: durable store files (200 mutations)" `Quick
+        fuzz_durable_store ] )

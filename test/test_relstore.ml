@@ -438,10 +438,39 @@ let index_compacts_tombstones () =
   (* The repaired entries must hold no dead rows (lazy compaction). *)
   index_check store
 
+(* Pins the flush-after-evict accounting: a page's dirty bit is consumed
+   exactly once, whether the write-back happens at eviction or at flush,
+   and a flushed pager has nothing left to write. *)
+let flush_after_evict () =
+  let counters = Counters.create () in
+  let pager = Pager.create ~capacity:2 counters in
+  let tid = Pager.fresh_table_id pager in
+  Pager.touch ~write:true pager ~table:tid ~page:0;
+  Pager.touch ~write:true pager ~table:tid ~page:1;
+  Alcotest.(check int) "two dirty pages" 2 (Pager.dirty pager);
+  (* Touching a third page evicts page 0 (LRU), writing it back. *)
+  Pager.touch pager ~table:tid ~page:2;
+  Alcotest.(check int) "eviction wrote the dirty page" 1
+    (Counters.page_writes counters);
+  Alcotest.(check int) "one dirty page remains" 1 (Pager.dirty pager);
+  (* Flush writes exactly the remaining dirty page — the evicted page's
+     bit was already consumed. *)
+  Pager.flush pager;
+  Alcotest.(check int) "flush wrote one more page" 2
+    (Counters.page_writes counters);
+  Alcotest.(check int) "nothing dirty" 0 (Pager.dirty pager);
+  (* Flushing again is free. *)
+  Alcotest.(check int) "second flush writes nothing" 0
+    (Pager.flush_dirty pager);
+  Alcotest.(check int) "write count unchanged" 2
+    (Counters.page_writes counters)
+
 let suite =
   ( "relstore",
     [ case "pager LRU accounting" `Quick pager_counts;
       case "pager write-back accounting" `Quick pager_write_back;
+      case "flush after evict writes each page once" `Quick
+        flush_after_evict;
       case "heap table paging" `Quick table_paging;
       case "rel_table set" `Quick table_set;
       case "descendant plans agree" `Quick plans_agree;

@@ -146,6 +146,38 @@ let snapshot_prop =
       Labeled_doc.check restored;
       labels_of ldoc = labels_of restored)
 
+(* Empty text nodes vanish when the document is serialized, so [save]
+   must refuse them — and the error must say which node, in document
+   order, so the caller can find it. *)
+let empty_text_named () =
+  let doc = Parser.parse_string "<a><t>one</t><u>two</u></a>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let root = Option.get doc.root in
+  let u_text = List.hd (Dom.children (List.nth (Dom.children root) 1)) in
+  Dom.set_text u_text "";
+  (match Snapshot.save ldoc with
+   | (_ : string) -> Alcotest.fail "empty text node must be rejected"
+   | exception Invalid_argument msg ->
+     let mentions sub =
+       let n = String.length sub in
+       let rec scan i =
+         i + n <= String.length msg
+         && (String.equal (String.sub msg i n) sub || scan (i + 1))
+       in
+       scan 0
+     in
+     (* "one" is text node #0; the emptied one under <u> is #1. *)
+     Alcotest.(check bool) "names the offending node" true
+       (mentions "text node #1");
+     Alcotest.(check bool) "explains why" true
+       (mentions "vanish in the serialization"));
+  (* Restoring the text makes the document snapshotable again. *)
+  Dom.set_text u_text "two";
+  let restored = Snapshot.load (Snapshot.save ldoc) in
+  Labeled_doc.check restored;
+  Alcotest.(check (list int)) "round trip after repair" (labels_of ldoc)
+    (labels_of restored)
+
 let suite =
   ( "snapshot",
     [ case "simple round trip" `Quick roundtrip_simple;
@@ -154,4 +186,5 @@ let suite =
         adjacent_text_regression;
       case "file round trip" `Quick file_roundtrip;
       case "corruption rejected" `Quick corrupt_rejected;
+      case "empty text node rejected by index" `Quick empty_text_named;
       QCheck_alcotest.to_alcotest snapshot_prop ] )

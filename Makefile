@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-query bench-recovery examples soak lint selfcheck selfcheck-quick crash-matrix crash-matrix-quick ci clean
+.PHONY: all build test bench bench-query bench-recovery examples soak lint selfcheck selfcheck-quick crash-matrix crash-matrix-quick trace-smoke ci clean
 
 all: build
 
@@ -32,9 +32,19 @@ crash-matrix:
 crash-matrix-quick:
 	dune exec bin/ltree_cli.exe -- crash-matrix --ops 60 --nodes 60 --checkpoint-every 16
 
+# Observability smoke: replay a workload with tracing on, export the
+# trace as JSONL and verify every line parses and the span tree covers
+# the ltree, relstore and recovery layers.
+trace-smoke:
+	dune exec bin/ltree_cli.exe -- trace --ops 200 --seed 1 \
+	  -o _trace_smoke.jsonl --verify
+	dune exec bin/ltree_cli.exe -- metrics --ops 200 --seed 1 > /dev/null
+	rm -f _trace_smoke.jsonl
+
 ci:
 	dune build @all && dune runtest --force && dune build @lint && \
 	$(MAKE) selfcheck-quick && $(MAKE) crash-matrix-quick && \
+	$(MAKE) trace-smoke && \
 	dune exec bench/exp_query.exe -- --n 2000 --queries 100 --json BENCH_query.json
 
 bench:

@@ -207,4 +207,6 @@ let () =
     output_string oc (json_of_rows rows);
     close_out oc;
     Printf.printf "wrote %s\n" !json
-  end
+  end;
+  print_newline ();
+  print_string (Ltree_obs.Registry.expose ())

@@ -163,4 +163,5 @@ let () =
   let want_bechamel = List.mem "--bechamel" args in
   let both = (not want_tables) && not want_bechamel in
   if want_tables || both then tables ();
-  if want_bechamel || both then run_bechamel ()
+  if want_bechamel || both then run_bechamel ();
+  Bench_util.emit_metrics ()

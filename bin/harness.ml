@@ -25,6 +25,8 @@ module Prng = Ltree_workload.Prng
 module Fault = Ltree_recovery.Fault
 module Durable_doc = Ltree_recovery.Durable_doc
 module Crash_matrix = Ltree_recovery.Crash_matrix
+module Span = Ltree_obs.Span
+module Accountant = Ltree_obs.Accountant
 
 type t = {
   params : Params.t;
@@ -44,6 +46,9 @@ type t = {
   vt : Virtual_ltree.t;
   mutable mh : Ltree.leaf list;  (* newest first *)
   mutable vh : Virtual_ltree.handle list;
+  acct : Accountant.t;
+      (* fed the materialized twin's per-insertion relabel deltas;
+         judged by the obs.amortized-bound invariant *)
   registry : Invariant.registry;
   mutable log : string list;  (* newest first *)
 }
@@ -51,6 +56,8 @@ type t = {
 let registry t = t.registry
 let log t = List.rev t.log
 let labels t = Ltree.labels t.mt
+let accountant t = t.acct
+let doc_counters t = Labeled_doc.counters t.ldoc
 
 let queries =
   [ "site//item/name"; "//person[address/city]"; "//patch";
@@ -174,7 +181,18 @@ let register_invariants t =
     ~dir:"store"
     ~expected_labels:(fun () ->
       Array.of_list (List.map snd (Labeled_doc.labeled_events t.ldoc)))
-    t.durable
+    t.durable;
+  (* §3.2: the observed per-insertion relabel cost must stay within the
+     closed-form amortized budget.  Budget_exceeded is the accountant's
+     own exception — [Invariant.run_entry] only understands Violation,
+     so convert inside the closure. *)
+  Invariant.register reg ~name:"obs.amortized-bound" ~depth:Invariant.Cheap
+    (fun () ->
+      match Accountant.check t.acct with
+      | () -> ()
+      | exception Accountant.Budget_exceeded b ->
+        Invariant.fail ~name:"obs.amortized-bound" "%s"
+          (Accountant.breach_to_string b))
 
 (* {1 Construction} *)
 
@@ -209,6 +227,10 @@ let create ?(params = Params.make ~f:8 ~s:2) ~seed ~make_doc () =
       mt; vt;
       mh = Array.to_list ml;
       vh = Array.to_list vl;
+      acct =
+        Accountant.create
+          ~c:(Accountant.default_c ~f:params.Params.f ~s:params.Params.s)
+          ~window:32 ();
       registry = Invariant.create ();
       log = [];
     }
@@ -237,18 +259,34 @@ let exec t line =
     | "ins", [ j ] ->
       let j = int_arg j in
       let m = pick t.mh j and v = pick t.vh j in
+      let before = Counters.relabels (Ltree.counters t.mt) in
       t.mh <- Ltree.insert_after t.mt m :: t.mh;
+      Accountant.note t.acct ~n:(Ltree.length t.mt)
+        ~relabels:(Counters.relabels (Ltree.counters t.mt) - before);
       t.vh <- Virtual_ltree.insert_after t.vt v :: t.vh
     | "batch", [ j; k ] ->
       let j = int_arg j and k = max 1 (int_arg k) in
       let m = pick t.mh j and v = pick t.vh j in
+      let before = Counters.relabels (Ltree.counters t.mt) in
       t.mh <- Array.to_list (Ltree.insert_batch_after t.mt m k) @ t.mh;
+      Accountant.note_batch t.acct ~n:(Ltree.length t.mt) ~count:k
+        ~relabels:(Counters.relabels (Ltree.counters t.mt) - before);
       t.vh <-
         Array.to_list (Virtual_ltree.insert_batch_after t.vt v k) @ t.vh
     | "corrupt", _ ->
       (* An unmirrored materialized insert: legal for the tree itself,
          but it desynchronizes the twins, so twin.parity must fail. *)
       t.mh <- Ltree.insert_after t.mt (pick t.mh 0) :: t.mh
+    | "storm", _ ->
+      (* A synthetic relabeling storm: one full accounting window of
+         insertions each claiming relabel costs far past any c*log2 n
+         budget, so obs.amortized-bound must trip.  The twins are left
+         untouched — like [corrupt], this op exists to prove the alarm
+         fires. *)
+      let n = max 2 (Ltree.length t.mt) in
+      for _ = 1 to Accountant.window t.acct do
+        Accountant.note t.acct ~n ~relabels:100_000
+      done
     | "doc-del", [ i ] -> (
       match live_elements t with
       | [] -> ()
@@ -289,11 +327,16 @@ let exec t line =
     | _, _ -> ())
 
 let apply t line =
-  exec t line;
+  (match String.split_on_char ' ' line with
+   | cmd :: _ when not (String.equal cmd "") ->
+     Span.with_ ~name:("op." ^ cmd)
+       ~counters:(Labeled_doc.counters t.ldoc) (fun () -> exec t line)
+   | _ -> exec t line);
   t.log <- line :: t.log
 
 let corrupt_op = "corrupt"
 let checkpoint_op = "checkpoint"
+let storm_op = "storm"
 
 (* One simulation step: a twin-tree insertion plus a document edit.
    Indices are drawn large and reduced at [exec] time, so the lines stay

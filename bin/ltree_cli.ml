@@ -520,12 +520,19 @@ let check_cmd =
                  run must fail and dump a counterexample.  A self-test \
                  of the harness.")
   in
+  let storm_arg =
+    Arg.(value & flag & info [ "inject-storm" ]
+           ~doc:"Feed the amortized-cost accountant a synthetic \
+                 relabeling storm mid-run: obs.amortized-bound must \
+                 trip and the run must fail.  A self-test of the \
+                 observability alarm.")
+  in
   let dump_arg =
     Arg.(value & opt string "counterexample.txt" & info [ "dump" ]
            ~docv:"PATH"
            ~doc:"Where to write the minimized counterexample on failure.")
   in
-  let run file f s ops seed inject dump =
+  let run file f s ops seed inject storm dump =
     let params = params_of f s in
     let make_doc =
       match file with
@@ -539,7 +546,9 @@ let check_cmd =
       if i mod (max 1 (ops / 4)) = 0 then
         Harness.apply t Harness.checkpoint_op;
       if inject && i = max 1 (ops / 2) then
-        Harness.apply t Harness.corrupt_op
+        Harness.apply t Harness.corrupt_op;
+      if storm && i = max 1 (ops / 2) then
+        Harness.apply t Harness.storm_op
     done;
     let reg = Harness.registry t in
     match I.run_all reg with
@@ -565,7 +574,7 @@ let check_cmd =
        ~doc:"Replay a workload and deep-validate every registered \
              invariant.")
     Term.(const run $ file_opt $ f_arg $ s_arg $ ops_arg $ seed_arg
-          $ inject_arg $ dump_arg)
+          $ inject_arg $ storm_arg $ dump_arg)
 
 (* crash-matrix *)
 
@@ -657,6 +666,146 @@ let crash_matrix_cmd =
     Term.(const run $ ops_arg $ seed_arg $ nodes_arg $ group_arg
           $ ckpt_arg)
 
+(* trace / metrics: the observability front ends.  Both replay the same
+   deterministic harness workload `ltree check` uses — it exercises the
+   L-Tree twins, the labeled document, the synced relational store and
+   the durable recovery twin, so the resulting trace spans every
+   layer. *)
+
+let run_observed_workload ~params ~seed ~ops =
+  let make_doc () = Xml_gen.xmark ~seed ~scale:0.3 () in
+  let t = Harness.create ~params ~seed ~make_doc () in
+  let prng = Ltree_workload.Prng.create seed in
+  for i = 1 to ops do
+    List.iter (Harness.apply t) (Harness.random_ops prng);
+    if i mod (max 1 (ops / 4)) = 0 then
+      Harness.apply t Harness.checkpoint_op
+  done;
+  (* Deep validation flushes the store, runs every structural join and
+     replays recovery — the relstore and query spans come from here. *)
+  (match Ltree_analysis.Invariant.run_all (Harness.registry t) with
+   | [] -> ()
+   | failure :: _ ->
+     Format.eprintf "invariant failed during workload: %a@."
+       Ltree_analysis.Invariant.pp_failure failure;
+     exit 1);
+  t
+
+let ops_workload_arg =
+  Arg.(value & opt int 1000 & info [ "ops" ] ~docv:"OPS"
+         ~doc:"Workload operations to replay.")
+
+let seed_workload_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Workload seed (the run is deterministic).")
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ]
+           ~docv:"PATH" ~doc:"Write the JSONL trace here (stdout by \
+                              default).")
+  in
+  let flame_arg =
+    Arg.(value & flag & info [ "flame" ]
+           ~doc:"Print a text flamegraph (self-time by span path) \
+                 instead of JSONL.")
+  in
+  let verify_arg =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Re-parse every emitted JSONL line and assert the span \
+                 tree covers the ltree, relstore and recovery layers; \
+                 exit non-zero otherwise.")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 262_144 & info [ "capacity" ] ~docv:"N"
+           ~doc:"Ring-buffer capacity: only the most recent N spans are \
+                 kept.")
+  in
+  let run f s ops seed out flame verify capacity =
+    let params = params_of f s in
+    Ltree_obs.Span.set_capacity capacity;
+    ignore (run_observed_workload ~params ~seed ~ops);
+    let records = Ltree_obs.Span.records () in
+    if flame then write_out out (Ltree_obs.Trace.flamegraph records)
+    else begin
+      let jsonl = Ltree_obs.Trace.to_jsonl records in
+      write_out out jsonl;
+      if verify then begin
+        (match Ltree_obs.Trace.validate_jsonl jsonl with
+         | Ok 0 ->
+           Printf.eprintf "trace is empty\n";
+           exit 1
+         | Ok n -> Printf.eprintf "%d trace lines parse as JSON\n" n
+         | Error detail ->
+           Printf.eprintf "invalid JSONL: %s\n" detail;
+           exit 1);
+        let covered prefix =
+          List.exists
+            (fun r ->
+              String.length r.Ltree_obs.Trace.name >= String.length prefix
+              && String.equal
+                   (String.sub r.Ltree_obs.Trace.name 0
+                      (String.length prefix))
+                   prefix)
+            records
+        in
+        List.iter
+          (fun layer ->
+            if not (covered (layer ^ ".")) then begin
+              Printf.eprintf "no %s-layer spans in the trace\n" layer;
+              exit 1
+            end)
+          [ "ltree"; "relstore"; "recovery" ];
+        Printf.eprintf
+          "span tree covers the ltree, relstore and recovery layers\n"
+      end;
+      let dropped = Ltree_obs.Span.dropped () in
+      if dropped > 0 then
+        Printf.eprintf
+          "note: ring wrapped, %d oldest spans overwritten (raise \
+           --capacity to keep them)\n"
+          dropped
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a workload and dump the span trace as JSONL (or a \
+             text flamegraph).")
+    Term.(const run $ f_arg $ s_arg $ ops_workload_arg $ seed_workload_arg
+          $ out $ flame_arg $ verify_arg $ capacity_arg)
+
+let metrics_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ]
+           ~docv:"PATH" ~doc:"Write the exposition here (stdout by \
+                              default).")
+  in
+  let run f s ops seed out =
+    let params = params_of f s in
+    let t = run_observed_workload ~params ~seed ~ops in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (Ltree_obs.Registry.expose ());
+    Ltree_obs.Registry.expose_counters buf ~prefix:"ltree_doc"
+      (Harness.doc_counters t);
+    let acct = Harness.accountant t in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "# obs.amortized-bound: %s (%d insertions, c=%.2f, window=%d, \
+          breaches=%d)\n"
+         (if Ltree_obs.Accountant.ok acct then "ok" else "BREACHED")
+         (Ltree_obs.Accountant.insertions acct)
+         (Ltree_obs.Accountant.c acct)
+         (Ltree_obs.Accountant.window acct)
+         (List.length (Ltree_obs.Accountant.breaches acct)));
+    write_out out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Replay a workload and print every histogram in Prometheus \
+             text exposition format.")
+    Term.(const run $ f_arg $ s_arg $ ops_workload_arg $ seed_workload_arg
+          $ out)
+
 let () =
   let doc = "L-Tree: dynamic order-preserving labels for XML documents" in
   let info = Cmd.info "ltree" ~version:"1.0.0" ~doc in
@@ -665,4 +814,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; label_cmd; query_cmd; compare_cmd; tune_cmd;
             bench_cmd; snapshot_cmd; restore_cmd; check_cmd;
-            crash_matrix_cmd; shell_cmd ]))
+            crash_matrix_cmd; shell_cmd; trace_cmd; metrics_cmd ]))

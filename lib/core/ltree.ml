@@ -1,4 +1,24 @@
 module Counters = Ltree_metrics.Counters
+module Span = Ltree_obs.Span
+module Histogram = Ltree_obs.Histogram
+
+(* Histograms are registered once at module init; the registry hands the
+   same instance back to [ltree metrics] and the benches for exposition. *)
+let insert_seconds =
+  Ltree_obs.Registry.histogram ~name:"ltree_insert_seconds"
+    ~help:"Latency of L-Tree insertions in seconds (single and batch)"
+    ~bounds:(Histogram.log2_bounds ~start:1e-7 ~count:20)
+    ()
+
+let insert_relabels =
+  Ltree_obs.Registry.histogram ~name:"ltree_insert_relabels"
+    ~help:"Relabelings performed by one L-Tree insertion"
+    ~bounds:(Histogram.linear_bounds ~start:0. ~step:8. ~count:20)
+    ()
+
+let observe_insert r =
+  Histogram.observe insert_seconds r.Ltree_obs.Trace.duration;
+  Histogram.observe_int insert_relabels (Ltree_obs.Trace.delta r "relabels")
 
 type node = {
   id : int; (* unique; 0 for internals and the dummy *)
@@ -288,6 +308,7 @@ let bump_ancestors t v k =
   go v None
 
 let grow_root t =
+  Span.event "ltree.grow_root";
   let old = t.root in
   let h = old.height in
   if h + 1 > t.params.max_height then raise Params.Label_overflow;
@@ -308,6 +329,7 @@ let grow_root t =
   relabel_children_from t root 0
 
 let split t x =
+  Span.event ~attrs:[ ("height", string_of_int x.height) ] "ltree.split";
   let p = match x.parent with Some p -> p | None -> assert false in
   let j = index_of p x in
   let ls = collect_leaves x in
@@ -323,16 +345,18 @@ let split t x =
   relabel_children_from t p j
 
 let insert_at t p idx =
-  let leaf = new_leaf () in
-  children_splice p ~at:idx ~remove:0 [| leaf |];
-  t.nslots <- t.nslots + 1;
-  t.nlive <- t.nlive + 1;
-  t.version <- t.version + 1;
-  (match bump_ancestors t p 1 with
-   | None -> relabel_children_from t p idx
-   | Some x when is_root t x -> grow_root t
-   | Some x -> split t x);
-  leaf
+  Span.with_ ~name:"ltree.insert" ~counters:t.counters
+    ~on_close:observe_insert (fun () ->
+      let leaf = new_leaf () in
+      children_splice p ~at:idx ~remove:0 [| leaf |];
+      t.nslots <- t.nslots + 1;
+      t.nlive <- t.nlive + 1;
+      t.version <- t.version + 1;
+      (match bump_ancestors t p 1 with
+       | None -> relabel_children_from t p idx
+       | Some x when is_root t x -> grow_root t
+       | Some x -> split t x);
+      leaf)
 
 let parent_of w =
   match w.parent with
@@ -424,7 +448,7 @@ let rebuild_root t merged =
   Counters.add_split t.counters 1;
   assign t root 0
 
-let insert_batch_at t p idx k =
+let insert_batch_at_raw t p idx k =
   let fresh = Array.init k (fun _ -> new_leaf ()) in
   (match highest_overflowing t p k with
    | None ->
@@ -479,6 +503,11 @@ let insert_batch_at t p idx k =
   t.version <- t.version + 1;
   fresh
 
+let insert_batch_at t p idx k =
+  Span.with_ ~name:"ltree.insert_batch" ~counters:t.counters
+    ~attrs:[ ("k", string_of_int k) ]
+    ~on_close:observe_insert (fun () -> insert_batch_at_raw t p idx k)
+
 let insert_batch_after t w k =
   if k < 1 then invalid_arg "Ltree.insert_batch_after: k must be >= 1";
   let p = parent_of w in
@@ -501,6 +530,7 @@ let insert_batch_first t k =
 
 let delete t w =
   if not w.deleted then begin
+    Span.event "ltree.delete";
     w.deleted <- true;
     t.nlive <- t.nlive - 1;
     t.version <- t.version + 1
@@ -529,7 +559,7 @@ let labels t =
       incr i);
   out
 
-let compact t =
+let compact_raw t =
   t.version <- t.version + 1;
   let live = ref [] in
   iter_leaves t (fun l -> if not l.deleted then live := l :: !live);
@@ -549,6 +579,10 @@ let compact t =
     t.nlive <- n;
     assign t root 0
   end
+
+let compact t =
+  Span.with_ ~name:"ltree.compact" ~counters:t.counters (fun () ->
+      compact_raw t)
 
 (* {1 Labels and navigation} *)
 

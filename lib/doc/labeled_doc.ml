@@ -1,5 +1,14 @@
 open Ltree_xml
 open Ltree_core
+module Span = Ltree_obs.Span
+
+(* Events (start/end tags) moved per subtree operation: how big the
+   edits hitting the labeled document actually are. *)
+let subtree_events =
+  Ltree_obs.Registry.histogram ~name:"doc_subtree_events"
+    ~help:"Start/end tag events per Labeled_doc subtree insert or delete"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:16)
+    ()
 
 type entry = {
   start_leaf : Ltree.leaf;
@@ -72,19 +81,21 @@ let make_t doc tree =
     dirty = Hashtbl.create 16 }
 
 let of_document ?(params = Params.fig2) ?counters doc =
-  let root = root_exn doc in
-  let count = Dom.event_count root in
-  let tree, leaves = Ltree.bulk_load ~params ?counters count in
-  let t = make_t doc tree in
-  let i = ref 0 in
-  assign_leaves ~reverse:t.node_of_leaf t.table leaves i ~base_level:0 root;
-  assert (!i = count);
-  (* Bulk loading is initial state, not staleness. *)
-  Hashtbl.reset t.dirty;
-  install_hook t;
-  t
+  Span.with_ ~name:"doc.of_document" (fun () ->
+      let root = root_exn doc in
+      let count = Dom.event_count root in
+      let tree, leaves = Ltree.bulk_load ~params ?counters count in
+      let t = make_t doc tree in
+      let i = ref 0 in
+      assign_leaves ~reverse:t.node_of_leaf t.table leaves i ~base_level:0
+        root;
+      assert (!i = count);
+      (* Bulk loading is initial state, not staleness. *)
+      Hashtbl.reset t.dirty;
+      install_hook t;
+      t)
 
-let restore ?counters ~params ~height ~labels ~deleted doc =
+let restore_raw ?counters ~params ~height ~labels ~deleted doc =
   let root = root_exn doc in
   let tree, leaves = Ltree.of_labels ~params ?counters ~height labels in
   List.iter
@@ -112,6 +123,10 @@ let restore ?counters ~params ~height ~labels ~deleted doc =
   Hashtbl.reset t.dirty;
   install_hook t;
   t
+
+let restore ?counters ~params ~height ~labels ~deleted doc =
+  Span.with_ ~name:"doc.restore" (fun () ->
+      restore_raw ?counters ~params ~height ~labels ~deleted doc)
 
 let document t = t.doc
 let tree t = t.tree
@@ -142,24 +157,27 @@ let is_parent t ~parent ~child =
 let precedes t a b = (label t a).start_pos < (label t b).start_pos
 
 let insert_subtree t ~parent ~index sub =
-  (match Dom.parent sub with
-   | Some _ -> invalid_arg "Labeled_doc.insert_subtree: subtree is attached"
-   | None -> ());
-  let pe = entry t parent in
-  let children = Dom.children parent in
-  if index < 0 || index > List.length children then
-    invalid_arg "Labeled_doc.insert_subtree: bad index";
-  let anchor =
-    if index = 0 then pe.start_leaf
-    else (entry t (List.nth children (index - 1))).end_leaf
-  in
-  let k = Dom.event_count sub in
-  let fresh = Ltree.insert_batch_after t.tree anchor k in
-  Dom.insert_child parent ~index sub;
-  let i = ref 0 in
-  assign_leaves ~reverse:t.node_of_leaf ~dirty:t.dirty t.table fresh i
-    ~base_level:(pe.level + 1) sub;
-  assert (!i = k)
+  Span.with_ ~name:"doc.insert_subtree" ~counters:(counters t) (fun () ->
+      (match Dom.parent sub with
+       | Some _ ->
+         invalid_arg "Labeled_doc.insert_subtree: subtree is attached"
+       | None -> ());
+      let pe = entry t parent in
+      let children = Dom.children parent in
+      if index < 0 || index > List.length children then
+        invalid_arg "Labeled_doc.insert_subtree: bad index";
+      let anchor =
+        if index = 0 then pe.start_leaf
+        else (entry t (List.nth children (index - 1))).end_leaf
+      in
+      let k = Dom.event_count sub in
+      Ltree_obs.Histogram.observe_int subtree_events k;
+      let fresh = Ltree.insert_batch_after t.tree anchor k in
+      Dom.insert_child parent ~index sub;
+      let i = ref 0 in
+      assign_leaves ~reverse:t.node_of_leaf ~dirty:t.dirty t.table fresh i
+        ~base_level:(pe.level + 1) sub;
+      assert (!i = k))
 
 let insert_subtree_before t ~anchor sub =
   match Dom.parent anchor with
@@ -173,23 +191,25 @@ let insert_subtree_after t ~anchor sub =
     insert_subtree t ~parent:p ~index:(Dom.index_in_parent anchor + 1) sub
 
 let delete_subtree t n =
-  if not (mem t n) then
-    invalid_arg "Labeled_doc.delete_subtree: node is not labeled";
-  (match t.doc.root with
-   | Some r when r == n ->
-     invalid_arg "Labeled_doc.delete_subtree: cannot delete the root"
-   | Some _ | None -> ());
-  Dom.iter_preorder n (fun x ->
-      match Hashtbl.find_opt t.table (Dom.id x) with
-      | Some e ->
-        Ltree.delete t.tree e.start_leaf;
-        if e.end_leaf != e.start_leaf then Ltree.delete t.tree e.end_leaf;
-        Hashtbl.remove t.table (Dom.id x);
-        Hashtbl.remove t.node_of_leaf (Ltree.leaf_id e.start_leaf);
-        Hashtbl.remove t.node_of_leaf (Ltree.leaf_id e.end_leaf);
-        Hashtbl.replace t.dirty (Dom.id x) ()
-      | None -> ());
-  Dom.remove n
+  Span.with_ ~name:"doc.delete_subtree" ~counters:(counters t) (fun () ->
+      if not (mem t n) then
+        invalid_arg "Labeled_doc.delete_subtree: node is not labeled";
+      (match t.doc.root with
+       | Some r when r == n ->
+         invalid_arg "Labeled_doc.delete_subtree: cannot delete the root"
+       | Some _ | None -> ());
+      Ltree_obs.Histogram.observe_int subtree_events (Dom.event_count n);
+      Dom.iter_preorder n (fun x ->
+          match Hashtbl.find_opt t.table (Dom.id x) with
+          | Some e ->
+            Ltree.delete t.tree e.start_leaf;
+            if e.end_leaf != e.start_leaf then Ltree.delete t.tree e.end_leaf;
+            Hashtbl.remove t.table (Dom.id x);
+            Hashtbl.remove t.node_of_leaf (Ltree.leaf_id e.start_leaf);
+            Hashtbl.remove t.node_of_leaf (Ltree.leaf_id e.end_leaf);
+            Hashtbl.replace t.dirty (Dom.id x) ()
+          | None -> ());
+      Dom.remove n)
 
 let move_subtree t ~node ~parent ~index =
   let rec inside p =

@@ -54,8 +54,20 @@ let page_writes t = t.page_writes
 let comparisons t = t.comparisons
 let total_maintenance t = t.node_accesses + t.relabels
 
+(* The one authoritative name/value enumeration: exposition, trace
+   records and pretty-printing all derive from it, so adding a counter
+   means touching [to_assoc] (and the record ops above) only. *)
+let to_assoc t =
+  [ ("node_accesses", t.node_accesses);
+    ("relabels", t.relabels);
+    ("splits", t.splits);
+    ("page_reads", t.page_reads);
+    ("page_writes", t.page_writes);
+    ("comparisons", t.comparisons) ]
+
 let pp ppf t =
-  Format.fprintf ppf
-    "@[<h>accesses=%d relabels=%d splits=%d page_r=%d page_w=%d cmp=%d@]"
-    t.node_accesses t.relabels t.splits t.page_reads t.page_writes
-    t.comparisons
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (name, v) -> Format.fprintf ppf "%s=%d" name v))
+    (to_assoc t)

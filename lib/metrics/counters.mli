@@ -48,4 +48,10 @@ val comparisons : t -> int
     node accesses plus relabelings. *)
 val total_maintenance : t -> int
 
+(** [to_assoc t] is every counter as a [(name, value)] list, in a fixed
+    order.  The observability layer (trace records, Prometheus
+    exposition) and all counter printing derive from this list so that
+    no caller hand-enumerates the fields. *)
+val to_assoc : t -> (string * int) list
+
 val pp : Format.formatter -> t -> unit

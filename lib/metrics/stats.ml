@@ -47,13 +47,19 @@ let sum t = t.sum
 let percentile t p =
   if t.count = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
-  let sorted = Array.sub t.samples 0 t.count in
-  Array.sort compare sorted;
-  let rank =
-    int_of_float (ceil (p /. 100. *. float_of_int t.count)) - 1
-  in
-  let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
-  sorted.(rank)
+  (* Nearest-rank: the smallest sample x such that at least p% of the
+     samples are <= x.  p = 0 is pinned to the minimum explicitly rather
+     than relying on ceil/int rounding to land on rank 0. *)
+  if p = 0. then t.min
+  else begin
+    let sorted = Array.sub t.samples 0 t.count in
+    Array.sort Float.compare sorted;
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int t.count)) - 1
+    in
+    let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
+    sorted.(rank)
+  end
 
 let of_list xs =
   let t = create () in

@@ -1,0 +1,88 @@
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+
+let _ = ( = )
+
+module Stats = Ltree_metrics.Stats
+
+type t = {
+  name : string;
+  help : string;
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;    (* length bounds + 1; last slot is +Inf *)
+  mutable stats : Stats.t;
+      (* exact stats layered under the buckets, so exposition can carry
+         mean/percentiles that bucketing alone would lose *)
+}
+
+let create ~name ~help ~bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Histogram.create: no bounds";
+  for i = 1 to n - 1 do
+    if Float.compare bounds.(i - 1) bounds.(i) >= 0 then
+      invalid_arg "Histogram.create: bounds must be strictly increasing"
+  done;
+  { name;
+    help;
+    bounds = Array.copy bounds;
+    counts = Array.make (n + 1) 0;
+    stats = Stats.create () }
+
+let name t = t.name
+let help t = t.help
+let bounds t = Array.copy t.bounds
+let stats t = t.stats
+
+(* Index of the first bound >= x, or [Array.length bounds] for +Inf.
+   Buckets are cumulative in exposition but stored disjoint here. *)
+let bucket_index t x =
+  let n = Array.length t.bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Float.compare t.bounds.(mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let observe t x =
+  t.counts.(bucket_index t x) <- t.counts.(bucket_index t x) + 1;
+  Stats.add t.stats x
+
+let observe_int t v = observe t (float_of_int v)
+let count t = Stats.count t.stats
+let sum t = Stats.sum t.stats
+
+(* Disjoint per-bucket counts, +Inf last. *)
+let counts t = Array.copy t.counts
+
+(* Cumulative count of observations <= bounds.(i), Prometheus-style. *)
+let cumulative t =
+  let out = Array.make (Array.length t.counts) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i c ->
+      acc := !acc + c;
+      out.(i) <- !acc)
+    t.counts;
+  out
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.stats <- Stats.create ()
+
+(* {1 Bucket layouts} *)
+
+let log2_bounds ~start ~count =
+  if count < 1 then invalid_arg "Histogram.log2_bounds: count must be >= 1";
+  if Float.compare start 0. <= 0 then
+    invalid_arg "Histogram.log2_bounds: start must be > 0";
+  Array.init count (fun i -> start *. (2. ** float_of_int i))
+
+let linear_bounds ~start ~step ~count =
+  if count < 1 then invalid_arg "Histogram.linear_bounds: count must be >= 1";
+  if Float.compare step 0. <= 0 then
+    invalid_arg "Histogram.linear_bounds: step must be > 0";
+  Array.init count (fun i -> start +. (step *. float_of_int i))

@@ -1,0 +1,45 @@
+(** Fixed-bucket histograms layered on exact {!Ltree_metrics.Stats}.
+
+    Buckets are defined by a strictly increasing array of upper bounds
+    plus an implicit final +Inf bucket, matching the Prometheus
+    histogram model.  Every observation also feeds a [Stats.t], so exact
+    mean/percentiles remain available alongside the bucketed counts. *)
+
+type t
+
+(** Raises [Invalid_argument] on empty or non-increasing [bounds]. *)
+val create : name:string -> help:string -> bounds:float array -> t
+
+val name : t -> string
+val help : t -> string
+val bounds : t -> float array
+
+(** The exact-stats layer under the buckets. *)
+val stats : t -> Ltree_metrics.Stats.t
+
+val observe : t -> float -> unit
+val observe_int : t -> int -> unit
+
+val count : t -> int
+val sum : t -> float
+
+(** Disjoint per-bucket counts; the extra final slot is the +Inf
+    bucket. *)
+val counts : t -> int array
+
+(** Cumulative counts as exposed in Prometheus [_bucket{le=...}] lines:
+    entry [i] counts observations at or below bound [i]; the final entry
+    equals [count]. *)
+val cumulative : t -> int array
+
+val reset : t -> unit
+
+(** {1 Bucket layouts} *)
+
+(** [log2_bounds ~start ~count] is [start; 2*start; 4*start; ...] --
+    log-bucketed, for latencies. *)
+val log2_bounds : start:float -> count:int -> float array
+
+(** [linear_bounds ~start ~step ~count] is [start; start+step; ...] --
+    linear, for small-integer costs like relabel counts. *)
+val linear_bounds : start:float -> step:float -> count:int -> float array

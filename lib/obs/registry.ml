@@ -1,0 +1,73 @@
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( > ) : int -> int -> bool = Stdlib.( > )
+
+let _ = ( = )
+let _ = ( > )
+
+type t = { tbl : (string, Histogram.t) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+let default = create ()
+
+let histogram ?(registry = default) ~name ~help ~bounds () =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create ~name ~help ~bounds in
+    Hashtbl.replace registry.tbl name h;
+    h
+
+let find ?(registry = default) name = Hashtbl.find_opt registry.tbl name
+
+let histograms ?(registry = default) () =
+  let out = Hashtbl.fold (fun _ h acc -> h :: acc) registry.tbl [] in
+  List.sort (fun a b -> String.compare (Histogram.name a) (Histogram.name b)) out
+
+let clear ?(registry = default) () = Hashtbl.reset registry.tbl
+
+let reset_observations ?(registry = default) () =
+  Hashtbl.iter (fun _ h -> Histogram.reset h) registry.tbl
+
+(* Prometheus text exposition.  The "le" label is the bucket's inclusive
+   upper bound; the final bucket is "+Inf" and equals [_count]. *)
+let le_label b =
+  (* Render bounds compactly: integers without a trailing ".", others
+     with enough digits to round-trip typical bucket layouts. *)
+  if Float.is_integer b && Float.compare (Float.abs b) 1e15 < 0 then
+    Printf.sprintf "%.0f" b
+  else Printf.sprintf "%g" b
+
+let expose_histogram buf h =
+  let name = Histogram.name h in
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (Histogram.help h));
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  let bounds = Histogram.bounds h in
+  let cumulative = Histogram.cumulative h in
+  Array.iteri
+    (fun i b ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (le_label b)
+           cumulative.(i)))
+    bounds;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name
+       cumulative.(Array.length bounds));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %.6f\n" name (Histogram.sum h));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" name (Histogram.count h))
+
+let expose_counters buf ~prefix counters =
+  List.iter
+    (fun (field, v) ->
+      let name = Printf.sprintf "%s_%s_total" prefix field in
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name v))
+    (Ltree_metrics.Counters.to_assoc counters)
+
+let expose ?(registry = default) () =
+  let buf = Buffer.create 4096 in
+  List.iter (fun h -> expose_histogram buf h) (histograms ~registry ());
+  Buffer.contents buf

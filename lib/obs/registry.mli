@@ -1,0 +1,42 @@
+(** Named histogram registry with Prometheus-style text exposition.
+
+    Instrumented modules call {!histogram} at first use; the same name
+    always yields the same histogram, so instrumentation sites need no
+    plumbing.  A process-wide {!default} registry backs the [ltree
+    metrics] subcommand and bench reports. *)
+
+type t
+
+val create : unit -> t
+
+(** The process-wide registry used when [?registry] is omitted. *)
+val default : t
+
+(** [histogram ~name ~help ~bounds ()] returns the histogram registered
+    under [name], creating it on first call.  Later calls ignore [help]
+    and [bounds] and return the existing histogram. *)
+val histogram :
+  ?registry:t -> name:string -> help:string -> bounds:float array -> unit ->
+  Histogram.t
+
+val find : ?registry:t -> string -> Histogram.t option
+
+(** All registered histograms, sorted by name. *)
+val histograms : ?registry:t -> unit -> Histogram.t list
+
+(** Remove every histogram. *)
+val clear : ?registry:t -> unit -> unit
+
+(** Keep registrations but zero every histogram. *)
+val reset_observations : ?registry:t -> unit -> unit
+
+(** [expose ()] renders every histogram in Prometheus text exposition
+    format: [# HELP]/[# TYPE] headers, cumulative [_bucket{le="..."}]
+    lines ending in [+Inf], then [_sum] and [_count]. *)
+val expose : ?registry:t -> unit -> string
+
+(** [expose_counters buf ~prefix c] appends one [counter]-typed metric
+    per {!Ltree_metrics.Counters} field, named
+    [<prefix>_<field>_total]. *)
+val expose_counters :
+  Buffer.t -> prefix:string -> Ltree_metrics.Counters.t -> unit

@@ -1,0 +1,83 @@
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+
+let _ = ( = )
+
+(* Global state: one process-wide ring plus the stack of open span
+   names.  The stack is names only -- a span that is still open has no
+   record yet; records are appended on exit, so the trace lists spans
+   in completion order (children before parents). *)
+
+let enabled = ref true
+let ring = ref (Trace.create ~capacity:4096)
+let stack : string list ref = ref []
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let set_capacity capacity = ring := Trace.create ~capacity
+let records () = Trace.to_list !ring
+let dropped () = Trace.dropped !ring
+let depth () = List.length !stack
+
+let reset () =
+  Trace.clear !ring;
+  stack := []
+
+let current_path name =
+  String.concat "/" (List.rev (name :: !stack))
+
+let finish ~name ~path ~depth ~start ~before ~attrs ~on_close counters =
+  let duration = Unix.gettimeofday () -. start in
+  let deltas =
+    match (counters, before) with
+    | Some c, Some b -> Ltree_metrics.Counters.(to_assoc (diff c b))
+    | _ -> []
+  in
+  let r = { Trace.name; path; depth; start; duration; deltas; attrs } in
+  Trace.add !ring r;
+  (match on_close with Some f -> f r | None -> ())
+
+let with_ ?(attrs = []) ?counters ?on_close ~name fn =
+  if not !enabled then fn ()
+  else begin
+    let path = current_path name in
+    let depth = List.length !stack in
+    let before =
+      match counters with
+      | Some c -> Some (Ltree_metrics.Counters.copy c)
+      | None -> None
+    in
+    stack := name :: !stack;
+    let start = Unix.gettimeofday () in
+    let pop () =
+      match !stack with
+      | _ :: rest -> stack := rest
+      | [] -> ()
+    in
+    match fn () with
+    | v ->
+      pop ();
+      finish ~name ~path ~depth ~start ~before ~attrs ~on_close counters;
+      v
+    | exception e ->
+      pop ();
+      let attrs = ("error", Printexc.to_string e) :: attrs in
+      finish ~name ~path ~depth ~start ~before ~attrs ~on_close counters;
+      raise e
+  end
+
+let event ?(attrs = []) name =
+  if !enabled then begin
+    let path = current_path name in
+    let r =
+      { Trace.name;
+        path;
+        depth = List.length !stack;
+        start = Unix.gettimeofday ();
+        duration = 0.;
+        deltas = [];
+        attrs }
+    in
+    Trace.add !ring r
+  end

@@ -1,0 +1,48 @@
+(** Nestable, named, timed regions recorded into a process-wide trace.
+
+    Spans are cheap enough to leave on in production code paths: entering
+    one pushes a name onto a stack and reads the clock; leaving it builds
+    one {!Trace.record} and appends it to the global ring.  When disabled
+    ({!set_enabled} [false]), [with_] runs its thunk with no overhead
+    beyond one flag read. *)
+
+(** [with_ ?attrs ?counters ?on_close ~name fn] runs [fn ()] inside a
+    span called [name], nested under any spans already open on this
+    stack.  When [counters] is given, the span's record carries the
+    counter deltas accumulated while it ran ([Counters.diff] of after
+    vs. entry snapshot).  [on_close] receives the completed record --
+    instrumented modules use it to feed histograms.  If [fn] raises, the
+    span is still closed (with an ["error"] attribute) and the exception
+    is re-raised. *)
+val with_ :
+  ?attrs:(string * string) list ->
+  ?counters:Ltree_metrics.Counters.t ->
+  ?on_close:(Trace.record -> unit) ->
+  name:string ->
+  (unit -> 'a) ->
+  'a
+
+(** [event ?attrs name] records a zero-duration point event at the
+    current nesting depth. *)
+val event : ?attrs:(string * string) list -> string -> unit
+
+(** Tracing is on by default; disabling makes [with_]/[event] no-ops. *)
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+(** [set_capacity n] replaces the global ring with an empty one holding
+    [n] records. *)
+val set_capacity : int -> unit
+
+(** Completed records, oldest first. *)
+val records : unit -> Trace.record list
+
+(** Records overwritten because the ring was full. *)
+val dropped : unit -> int
+
+(** Current nesting depth (number of open spans). *)
+val depth : unit -> int
+
+(** Drop all records and force-close any open spans. *)
+val reset : unit -> unit

@@ -1,0 +1,69 @@
+(** Ring-buffer trace of recent span records.
+
+    The trace is a flight recorder: a fixed-capacity ring of the most
+    recent completed spans (and point events).  Records can be exported
+    as JSONL and rendered as a text flamegraph of self-time by span
+    path. *)
+
+(** One completed span (or point event, with zero duration). *)
+type record = {
+  name : string;  (** leaf span name, e.g. ["insert"] *)
+  path : string;  (** '/'-joined ancestry, e.g. ["harness/op/insert"] *)
+  depth : int;    (** nesting depth at the time the span ran (root = 0) *)
+  start : float;  (** [Unix.gettimeofday] at span entry *)
+  duration : float;  (** seconds; [0.] for point events *)
+  deltas : (string * int) list;
+      (** counter deltas attributed to this span, from [Counters.diff] *)
+  attrs : (string * string) list;  (** free-form user attributes *)
+}
+
+(** [delta r key] is the counter delta named [key], or [0] when absent. *)
+val delta : record -> string -> int
+
+type t
+
+(** [create ~capacity] makes an empty ring holding at most [capacity]
+    records.  Raises [Invalid_argument] when [capacity < 1]. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** [add t r] appends [r], overwriting the oldest record when full. *)
+val add : t -> record -> unit
+
+(** Number of records currently held (at most [capacity]). *)
+val length : t -> int
+
+(** Number of records overwritten because the ring was full. *)
+val dropped : t -> int
+
+val clear : t -> unit
+
+(** Records oldest-first. *)
+val to_list : t -> record list
+
+(** {1 JSONL export} *)
+
+val record_to_json : record -> string
+val to_jsonl : record list -> string
+
+(** {1 Validation}
+
+    A minimal JSON syntax checker used by tests and [ltree trace
+    --verify] to assert that exported lines are well-formed, without
+    pulling in a JSON library. *)
+
+(** [validate_json_line s] is [Ok ()] when [s] is one well-formed JSON
+    object, or [Error detail]. *)
+val validate_json_line : string -> (unit, string) result
+
+(** [validate_jsonl data] checks every non-blank line; [Ok n] gives the
+    number of lines validated. *)
+val validate_jsonl : string -> (int, string) result
+
+(** {1 Flamegraph} *)
+
+(** [flamegraph records] renders a text table of total time, self time
+    (total minus time in recorded child spans) and call count per span
+    path, indented by nesting depth. *)
+val flamegraph : record list -> string

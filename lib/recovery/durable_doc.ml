@@ -2,6 +2,22 @@ module Labeled_doc = Ltree_doc.Labeled_doc
 module Snapshot = Ltree_doc.Snapshot
 module Journal = Ltree_doc.Journal
 module Invariant = Ltree_analysis.Invariant
+module Span = Ltree_obs.Span
+
+(* Append latency covers journaling plus any group-commit fsync, so the
+   log-bucketed histogram separates buffered appends (sub-microsecond)
+   from synced ones. *)
+let append_seconds =
+  Ltree_obs.Registry.histogram ~name:"recovery_append_seconds"
+    ~help:"Latency of Durable_doc journaled operations in seconds"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1e-7 ~count:20)
+    ()
+
+let replayed_entries =
+  Ltree_obs.Registry.histogram ~name:"recovery_replayed_entries"
+    ~help:"Journal entries replayed per recovery"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:16)
+    ()
 
 (* Monomorphic comparison prelude (lint rule R2). *)
 let ( <> ) : int -> int -> bool = Stdlib.( <> )
@@ -298,11 +314,16 @@ let flush_pending t =
 let sync t = flush_pending t
 
 let apply t entry =
-  Journal.apply_entry t.ldoc entry;
-  t.last_seq <- t.last_seq + 1;
-  Buffer.add_string t.pending (record_line ~seq:t.last_seq entry);
-  t.pending_count <- t.pending_count + 1;
-  if t.pending_count >= t.group_commit then flush_pending t
+  Span.with_ ~name:"recovery.append"
+    ~counters:(Labeled_doc.counters t.ldoc)
+    ~on_close:(fun r ->
+      Ltree_obs.Histogram.observe append_seconds r.Ltree_obs.Trace.duration)
+    (fun () ->
+      Journal.apply_entry t.ldoc entry;
+      t.last_seq <- t.last_seq + 1;
+      Buffer.add_string t.pending (record_line ~seq:t.last_seq entry);
+      t.pending_count <- t.pending_count + 1;
+      if t.pending_count >= t.group_commit then flush_pending t)
 
 let insert_xml t ~anchor ~index ~xml =
   apply t (Journal.Insert { anchor; index; xml })
@@ -322,19 +343,23 @@ let set_text t ~anchor ~text = apply t (Journal.Set_text { anchor; text })
    sequence number. *)
 
 let checkpoint t =
-  flush_pending t;
-  let encoded =
-    encode_snapshot ~seq:t.last_seq ~epoch:t.epoch (Snapshot.save t.ldoc)
-  in
-  let tmp = snapshot_tmp_path t in
-  t.io.Fault.write_file tmp encoded;
-  t.io.Fault.fsync tmp;
-  if t.io.Fault.file_exists (snapshot_path t) then
-    t.io.Fault.rename_file ~src:(snapshot_path t)
-      ~dst:(snapshot_prev_path t);
-  t.io.Fault.rename_file ~src:tmp ~dst:(snapshot_path t);
-  t.io.Fault.write_file (journal_path t) (wal_magic ^ "\n");
-  t.io.Fault.fsync (journal_path t)
+  Span.with_ ~name:"recovery.checkpoint"
+    ~counters:(Labeled_doc.counters t.ldoc)
+    ~attrs:[ ("seq", string_of_int t.last_seq) ]
+    (fun () ->
+      flush_pending t;
+      let encoded =
+        encode_snapshot ~seq:t.last_seq ~epoch:t.epoch (Snapshot.save t.ldoc)
+      in
+      let tmp = snapshot_tmp_path t in
+      t.io.Fault.write_file tmp encoded;
+      t.io.Fault.fsync tmp;
+      if t.io.Fault.file_exists (snapshot_path t) then
+        t.io.Fault.rename_file ~src:(snapshot_path t)
+          ~dst:(snapshot_prev_path t);
+      t.io.Fault.rename_file ~src:tmp ~dst:(snapshot_path t);
+      t.io.Fault.write_file (journal_path t) (wal_magic ^ "\n");
+      t.io.Fault.fsync (journal_path t))
 
 let initialize ~io ?(group_commit = 1) ~dir ldoc =
   if group_commit < 1 then
@@ -348,7 +373,7 @@ let initialize ~io ?(group_commit = 1) ~dir ldoc =
 
 (* {1 Recovery} *)
 
-let recover ~io ?(group_commit = 1) ~dir () =
+let recover_raw ~io ~group_commit ~dir () =
   if group_commit < 1 then
     invalid_arg "Durable_doc.recover: group_commit must be >= 1";
   match newest_valid_snapshot io ~dir with
@@ -425,3 +450,13 @@ let recover ~io ?(group_commit = 1) ~dir () =
           entries_replayed = !replayed; entries_dropped = !dropped;
           faults; durable_seq = !applied_to },
         t )
+
+let recover ~io ?(group_commit = 1) ~dir () =
+  Span.with_ ~name:"recovery.recover" (fun () ->
+      let result = recover_raw ~io ~group_commit ~dir () in
+      (match result with
+       | Ok (report, _) ->
+         Ltree_obs.Histogram.observe_int replayed_entries
+           report.entries_replayed
+       | Error _ -> ());
+      result)

@@ -1,4 +1,13 @@
 module Counters = Ltree_metrics.Counters
+module Span = Ltree_obs.Span
+
+(* Incremental repairs are the index's whole point: this histogram shows
+   how small the merged batches stay relative to full rebuilds. *)
+let merged_rows_hist =
+  Ltree_obs.Registry.histogram ~name:"relstore_index_merged_rows"
+    ~help:"Rows merged into a per-tag label index per incremental repair"
+    ~bounds:(Ltree_obs.Histogram.linear_bounds ~start:0. ~step:8. ~count:16)
+    ()
 
 (* Monomorphic comparison prelude (lint rule R2). *)
 let ( = ) : int -> int -> bool = Stdlib.( = )
@@ -82,6 +91,7 @@ let sort3 counters starts ends rids n =
 (* Build a tag's entry from scratch: fetch every row id, drop the dead,
    sort by start. *)
 let rebuild t counters ~rids_of_tag ~fetch tag =
+  Span.event ~attrs:[ ("tag", tag) ] "relstore.index_rebuild";
   let ids = rids_of_tag tag in
   let n = List.length ids in
   let starts = Array.make n 0
@@ -184,6 +194,8 @@ let repair t counters ~fetch tag entry touched =
   Hashtbl.remove t.pending tag;
   t.repairs <- t.repairs + 1;
   t.merged_rows <- t.merged_rows + !ni;
+  Span.event ~attrs:[ ("tag", tag) ] "relstore.index_repair";
+  Ltree_obs.Histogram.observe_int merged_rows_hist !ni;
   entry
 
 let entry t counters ~rids_of_tag ~fetch tag =

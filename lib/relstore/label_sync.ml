@@ -1,9 +1,18 @@
 open Ltree_xml
 module Labeled_doc = Ltree_doc.Labeled_doc
+module Span = Ltree_obs.Span
 open Shredder
 
 (* Monomorphic comparison prelude (lint rule R2). *)
 let ( <> ) : int -> int -> bool = Stdlib.( <> )
+
+(* Rows written per flush/resync: the effective write batch size the
+   relational store sees from the document layer. *)
+let flush_rows =
+  Ltree_obs.Registry.histogram ~name:"relstore_flush_rows"
+    ~help:"Label rows updated, inserted or tombstoned per sync pass"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:16)
+    ()
 
 type t = {
   store : label_store;
@@ -56,7 +65,7 @@ let row_changed (a : label_row) (b : label_row) =
   || (not (String.equal a.l_tag b.l_tag))
   || not (Bool.equal a.l_dead b.l_dead)
 
-let flush t =
+let flush_raw t =
   ensure_fresh t "flush";
   let updated = ref 0 and inserted = ref 0 and tombstoned = ref 0 in
   (* Each write is reported to the secondary index's dirty log, so the
@@ -101,6 +110,17 @@ let flush t =
     rows_inserted = !inserted;
     rows_tombstoned = !tombstoned }
 
+let observe_rows st =
+  Ltree_obs.Histogram.observe_int flush_rows
+    (st.rows_updated + st.rows_inserted + st.rows_tombstoned)
+
+let flush t =
+  Span.with_ ~name:"relstore.flush"
+    ~counters:(Labeled_doc.counters t.ldoc) (fun () ->
+      let st = flush_raw t in
+      observe_rows st;
+      st)
+
 (* Rebind a store to the document that recovery reconstructed.  Node
    identity (Dom ids) did not survive the restart, but labels did — the
    §4.2 determinism this whole layer is built on — so rows are matched
@@ -109,7 +129,7 @@ let flush t =
    recovered node are tombstoned, recovered nodes without a row get one.
    The per-tag index is dropped wholesale ({!Label_index.invalidate_all})
    and the store epoch is bumped so pre-recovery handles go stale. *)
-let resync old ldoc =
+let resync_raw old ldoc =
   let store = old.store in
   store.label_epoch <- store.label_epoch + 1;
   Label_index.invalidate_all store.label_index;
@@ -172,6 +192,13 @@ let resync old ldoc =
     { rows_updated = !updated;
       rows_inserted = !inserted;
       rows_tombstoned = !tombstoned } )
+
+let resync old ldoc =
+  Span.with_ ~name:"relstore.resync"
+    ~counters:(Labeled_doc.counters ldoc) (fun () ->
+      let handle, st = resync_raw old ldoc in
+      observe_rows st;
+      (handle, st))
 
 let check t =
   ensure_fresh t "check";

@@ -55,10 +55,18 @@ let touch ?(write = false) t ~table ~page =
 (* Every write-back — eviction or flush — goes through [write_back], so
    a page's dirty bit is consumed exactly once and the page_write count
    is the same whether the page left the pool by eviction or by flush. *)
+let flush_pages =
+  Ltree_obs.Registry.histogram ~name:"pager_flush_pages"
+    ~help:"Dirty pages written back per pager flush"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:12)
+    ()
+
 let flush_dirty t =
-  let keys = Hashtbl.fold (fun key () acc -> key :: acc) t.dirty [] in
-  List.iter (fun key -> write_back t key) keys;
-  List.length keys
+  Ltree_obs.Span.with_ ~name:"pager.flush" ~counters:t.counters (fun () ->
+      let keys = Hashtbl.fold (fun key () acc -> key :: acc) t.dirty [] in
+      List.iter (fun key -> write_back t key) keys;
+      Ltree_obs.Histogram.observe_int flush_pages (List.length keys);
+      List.length keys)
 
 let flush t =
   ignore (flush_dirty t);

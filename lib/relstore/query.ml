@@ -1,5 +1,18 @@
 module Counters = Ltree_metrics.Counters
+module Span = Ltree_obs.Span
 open Shredder
+
+(* Comparisons per structural join, straight off the counter delta the
+   join span accumulates -- the paper's query-cost metric. *)
+let join_comparisons =
+  Ltree_obs.Registry.histogram ~name:"query_join_comparisons"
+    ~help:"Label comparisons per structural join query"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:24)
+    ()
+
+let observe_join r =
+  Ltree_obs.Histogram.observe_int join_comparisons
+    (Ltree_obs.Trace.delta r "comparisons")
 
 (* Monomorphic comparison prelude (lint rule R2). *)
 let ( = ) : int -> int -> bool = Stdlib.( = )
@@ -235,32 +248,42 @@ let ids_of_entry (store : label_store) (e : Label_index.entry) =
 
 let label_descendants pager store ~anc ~desc =
   let counters = Pager.counters pager in
-  let a = tag_entry pager store anc in
-  let d = tag_entry pager store desc in
-  ids_of_entry store (join_to_entry counters a d)
+  Span.with_ ~name:"query.descendants" ~counters
+    ~attrs:[ ("anc", anc); ("desc", desc) ]
+    ~on_close:observe_join (fun () ->
+      let a = tag_entry pager store anc in
+      let d = tag_entry pager store desc in
+      ids_of_entry store (join_to_entry counters a d))
 
 let label_children pager store ~parent ~child =
   let counters = Pager.counters pager in
-  let a = tag_entry pager store parent in
-  let d = tag_entry pager store child in
-  let out = ref [] in
-  array_join counters a d ~emit:(fun apos dpos ->
-      let arow = Rel_table.get store.label_table a.rids.(apos) in
-      let drow = Rel_table.get store.label_table d.rids.(dpos) in
-      if drow.l_level = arow.l_level + 1 then out := drow.l_id :: !out);
-  List.sort_uniq Int.compare !out
+  Span.with_ ~name:"query.children" ~counters
+    ~attrs:[ ("parent", parent); ("child", child) ]
+    ~on_close:observe_join (fun () ->
+      let a = tag_entry pager store parent in
+      let d = tag_entry pager store child in
+      let out = ref [] in
+      array_join counters a d ~emit:(fun apos dpos ->
+          let arow = Rel_table.get store.label_table a.rids.(apos) in
+          let drow = Rel_table.get store.label_table d.rids.(dpos) in
+          if drow.l_level = arow.l_level + 1 then out := drow.l_id :: !out);
+      List.sort_uniq Int.compare !out)
 
 let label_path pager store = function
   | [] -> []
   | first :: rest ->
     let counters = Pager.counters pager in
-    let final =
-      List.fold_left
-        (fun acc tag -> join_to_entry counters acc (tag_entry pager store tag))
-        (tag_entry pager store first)
-        rest
-    in
-    ids_of_entry store final
+    Span.with_ ~name:"query.path" ~counters
+      ~attrs:[ ("steps", string_of_int (1 + List.length rest)) ]
+      ~on_close:observe_join (fun () ->
+        let final =
+          List.fold_left
+            (fun acc tag ->
+              join_to_entry counters acc (tag_entry pager store tag))
+            (tag_entry pager store first)
+            rest
+        in
+        ids_of_entry store final)
 
 (* The index-nested-loop plan over the same incremental index: for each
    ancestor, binary-search the descendant entry and scan its interval.
@@ -269,24 +292,27 @@ let label_path pager store = function
    the E8d crossover. *)
 let label_descendants_inl pager store ~anc ~desc =
   let counters = Pager.counters pager in
-  let a = tag_entry pager store anc in
-  let d = tag_entry pager store desc in
-  let out = ref [] in
-  for apos = 0 to a.len - 1 do
-    let astart = a.starts.(apos) and aend = a.ends.(apos) in
-    let i = ref (Label_index.upper_bound counters d astart) in
-    let scanning = ref true in
-    while !scanning && !i < d.len do
-      Counters.add_comparison counters 1;
-      if d.starts.(!i) < aend then begin
-        (* XML intervals nest, so start containment implies full
-           containment. *)
-        out := (Rel_table.get store.label_table d.rids.(!i)).l_id :: !out;
-        incr i
-      end
-      else scanning := false
-    done
-  done;
-  List.sort_uniq Int.compare !out
+  Span.with_ ~name:"query.descendants_inl" ~counters
+    ~attrs:[ ("anc", anc); ("desc", desc) ]
+    ~on_close:observe_join (fun () ->
+      let a = tag_entry pager store anc in
+      let d = tag_entry pager store desc in
+      let out = ref [] in
+      for apos = 0 to a.len - 1 do
+        let astart = a.starts.(apos) and aend = a.ends.(apos) in
+        let i = ref (Label_index.upper_bound counters d astart) in
+        let scanning = ref true in
+        while !scanning && !i < d.len do
+          Counters.add_comparison counters 1;
+          if d.starts.(!i) < aend then begin
+            (* XML intervals nest, so start containment implies full
+               containment. *)
+            out := (Rel_table.get store.label_table d.rids.(!i)).l_id :: !out;
+            incr i
+          end
+          else scanning := false
+        done
+      done;
+      List.sort_uniq Int.compare !out)
 
 let index_stats (store : label_store) = Label_index.stats store.label_index

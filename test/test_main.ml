@@ -26,6 +26,7 @@ let scheme_suites =
 let () =
   Alcotest.run "ltree"
     ([ Test_metrics.suite;
+       Test_obs.suite;
        Test_btree.suite;
        Test_ltree.suite;
        Test_virtual.suite;

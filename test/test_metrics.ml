@@ -50,6 +50,78 @@ let stats_welford_matches_naive =
       in
       Float.abs (Stats.variance s -. var) < 1e-6 *. (1. +. var))
 
+(* Nearest-rank percentile semantics, pinned: p = 0 is the minimum, p =
+   100 the maximum, and in between the result is the smallest sample
+   with at least p% of the samples at or below it. *)
+let percentile_spec =
+  QCheck.Test.make ~count:200 ~name:"percentile matches nearest-rank spec"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 40) (float_range (-100.) 100.))
+        (float_range 0. 100.))
+    (fun (xs, p) ->
+      let s = Stats.of_list xs in
+      let sorted = Array.of_list xs in
+      Array.sort Float.compare sorted;
+      let n = Array.length sorted in
+      let expected =
+        if Float.equal p 0. then sorted.(0)
+        else
+          let rank =
+            int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
+          in
+          sorted.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
+      in
+      Float.equal (Stats.percentile s p) expected)
+
+let percentile_endpoints_and_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile endpoints + monotone in p"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 40) (float_range (-100.) 100.))
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let s = Stats.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Float.equal (Stats.percentile s 0.) (Stats.min s)
+      && Float.equal (Stats.percentile s 100.) (Stats.max s)
+      && Float.compare (Stats.percentile s lo) (Stats.percentile s hi) <= 0)
+
+let percentile_zero_singleton () =
+  (* The p = 0 regression pinned directly: before the fix, ceil rounding
+     sent p = 0 to rank -1 (clamped to 0 only by accident of layout). *)
+  let s = Stats.of_list [ 5.; 1.; 9. ] in
+  Alcotest.(check (float 0.)) "p0 is min" 1. (Stats.percentile s 0.);
+  Alcotest.(check (float 0.)) "p eps stays smallest" 1.
+    (Stats.percentile s 0.001);
+  Alcotest.(check (float 0.)) "p100 is max" 9. (Stats.percentile s 100.)
+
+let counters_assoc_and_pp () =
+  let c = Counters.create () in
+  Counters.add_relabel c 2;
+  Counters.add_split c 1;
+  let assoc = Counters.to_assoc c in
+  Alcotest.(check bool) "relabels in assoc" true
+    (List.exists
+       (fun (k, v) -> String.equal k "relabels" && v = 2)
+       assoc);
+  Alcotest.(check bool) "every field named" true
+    (List.for_all (fun (k, _) -> String.length k > 0) assoc);
+  let printed = Format.asprintf "%a" Counters.pp c in
+  (* pp derives from to_assoc: every field appears as name=value. *)
+  List.iter
+    (fun (k, v) ->
+      let frag = Printf.sprintf "%s=%d" k v in
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i =
+          i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) ("pp shows " ^ k) true (contains printed frag))
+    assoc
+
 let table_render () =
   let contains hay needle =
     let n = String.length needle and h = String.length hay in
@@ -75,6 +147,10 @@ let table_render () =
 let suite =
   ( "metrics",
     [ case "counters" `Quick counters_basics;
+      case "counters to_assoc + pp" `Quick counters_assoc_and_pp;
       case "stats moments" `Quick stats_moments;
+      case "percentile p=0" `Quick percentile_zero_singleton;
       case "table rendering" `Quick table_render;
-      QCheck_alcotest.to_alcotest stats_welford_matches_naive ] )
+      QCheck_alcotest.to_alcotest stats_welford_matches_naive;
+      QCheck_alcotest.to_alcotest percentile_spec;
+      QCheck_alcotest.to_alcotest percentile_endpoints_and_monotone ] )

@@ -1,0 +1,322 @@
+(* Observability layer: spans, ring trace, histograms, exposition and
+   the amortized-cost accountant. *)
+
+module Counters = Ltree_metrics.Counters
+module Trace = Ltree_obs.Trace
+module Span = Ltree_obs.Span
+module Histogram = Ltree_obs.Histogram
+module Registry = Ltree_obs.Registry
+module Accountant = Ltree_obs.Accountant
+
+let case = Alcotest.test_case
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Other suites run instrumented code paths that append to the global
+   ring, so every span test starts from a fresh private ring. *)
+let fresh_ring () =
+  Span.set_enabled true;
+  Span.set_capacity 1024
+
+let span_nesting () =
+  fresh_ring ();
+  let r =
+    Span.with_ ~name:"outer" (fun () ->
+        Span.with_ ~name:"inner" (fun () -> Span.event "tick");
+        7)
+  in
+  Alcotest.(check int) "return value" 7 r;
+  Alcotest.(check int) "depth restored" 0 (Span.depth ());
+  match Span.records () with
+  | [ tick; inner; outer ] ->
+    (* Completion order: the point event first, then inner, then outer. *)
+    Alcotest.(check string) "event path" "outer/inner/tick" tick.Trace.path;
+    Alcotest.(check int) "event depth" 2 tick.Trace.depth;
+    Alcotest.(check (float 0.)) "event duration" 0. tick.Trace.duration;
+    Alcotest.(check string) "inner path" "outer/inner" inner.Trace.path;
+    Alcotest.(check string) "inner name" "inner" inner.Trace.name;
+    Alcotest.(check int) "inner depth" 1 inner.Trace.depth;
+    Alcotest.(check string) "outer path" "outer" outer.Trace.path;
+    Alcotest.(check int) "outer depth" 0 outer.Trace.depth;
+    Alcotest.(check bool) "outer spans inner" true
+      (outer.Trace.duration >= inner.Trace.duration)
+  | rs ->
+    Alcotest.failf "expected 3 records, got %d" (List.length rs)
+
+let span_exception_unwind () =
+  fresh_ring ();
+  let raised =
+    try
+      Span.with_ ~name:"outer" (fun () ->
+          Span.with_ ~name:"boom" (fun () -> failwith "lost label"))
+    with Failure _ -> true
+  in
+  Alcotest.(check bool) "exception re-raised" true raised;
+  Alcotest.(check int) "stack unwound" 0 (Span.depth ());
+  match Span.records () with
+  | [ boom; outer ] ->
+    Alcotest.(check string) "inner still recorded" "outer/boom"
+      boom.Trace.path;
+    Alcotest.(check bool) "error attr" true
+      (List.mem_assoc "error" boom.Trace.attrs);
+    Alcotest.(check bool) "outer error attr" true
+      (List.mem_assoc "error" outer.Trace.attrs)
+  | rs ->
+    Alcotest.failf "expected 2 records, got %d" (List.length rs)
+
+let span_counters_and_disabled () =
+  fresh_ring ();
+  let c = Counters.create () in
+  Span.with_ ~name:"work" ~counters:c (fun () -> Counters.add_relabel c 5);
+  (match Span.records () with
+   | [ r ] ->
+     Alcotest.(check int) "relabel delta" 5 (Trace.delta r "relabels");
+     Alcotest.(check int) "absent delta is 0" 0 (Trace.delta r "no_such")
+   | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs));
+  Span.set_enabled false;
+  let r = Span.with_ ~name:"ghost" (fun () -> Span.event "ghost2"; 3) in
+  Span.set_enabled true;
+  Alcotest.(check int) "disabled still runs fn" 3 r;
+  Alcotest.(check int) "disabled records nothing" 1
+    (List.length (Span.records ()))
+
+let ring_wraparound () =
+  let ring = Trace.create ~capacity:3 in
+  let mk i =
+    { Trace.name = string_of_int i;
+      path = string_of_int i;
+      depth = 0;
+      start = 0.;
+      duration = 0.;
+      deltas = [];
+      attrs = [] }
+  in
+  for i = 1 to 5 do
+    Trace.add ring (mk i)
+  done;
+  Alcotest.(check int) "capacity" 3 (Trace.capacity ring);
+  Alcotest.(check int) "length clamped" 3 (Trace.length ring);
+  Alcotest.(check int) "dropped" 2 (Trace.dropped ring);
+  Alcotest.(check (list string)) "oldest-first survivors" [ "3"; "4"; "5" ]
+    (List.map (fun r -> r.Trace.name) (Trace.to_list ring));
+  Trace.clear ring;
+  Alcotest.(check int) "cleared" 0 (Trace.length ring);
+  Alcotest.(check bool) "capacity >= 1 enforced" true
+    (try
+       ignore (Trace.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let histogram_buckets () =
+  let h =
+    Histogram.create ~name:"h" ~help:"test" ~bounds:[| 1.; 2.; 4. |]
+  in
+  (* Boundary values land in their own le bucket (le is inclusive). *)
+  List.iter (Histogram.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.0; 5.0 ];
+  Alcotest.(check (array int)) "disjoint counts" [| 2; 2; 1; 1 |]
+    (Histogram.counts h);
+  Alcotest.(check (array int)) "cumulative" [| 2; 4; 5; 6 |]
+    (Histogram.cumulative h);
+  Alcotest.(check int) "count" 6 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 14.0 (Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "exact stats ride along" 5.0
+    (Ltree_metrics.Stats.max (Histogram.stats h));
+  Histogram.reset h;
+  Alcotest.(check int) "reset" 0 (Histogram.count h);
+  Alcotest.(check (array int)) "reset counts" [| 0; 0; 0; 0 |]
+    (Histogram.counts h);
+  Alcotest.(check bool) "non-increasing bounds rejected" true
+    (try
+       ignore (Histogram.create ~name:"bad" ~help:"" ~bounds:[| 2.; 2. |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check (array (float 1e-9))) "log2 layout" [| 0.5; 1.; 2.; 4. |]
+    (Histogram.log2_bounds ~start:0.5 ~count:4);
+  Alcotest.(check (array (float 1e-9))) "linear layout" [| 0.; 8.; 16. |]
+    (Histogram.linear_bounds ~start:0. ~step:8. ~count:3)
+
+let exposition_golden () =
+  let reg = Registry.create () in
+  let h =
+    Registry.histogram ~registry:reg ~name:"demo_seconds"
+      ~help:"demo latencies" ~bounds:[| 1.; 2. |] ()
+  in
+  List.iter (Histogram.observe h) [ 0.5; 1.5; 9. ];
+  let expected =
+    String.concat "\n"
+      [ "# HELP demo_seconds demo latencies";
+        "# TYPE demo_seconds histogram";
+        "demo_seconds_bucket{le=\"1\"} 1";
+        "demo_seconds_bucket{le=\"2\"} 2";
+        "demo_seconds_bucket{le=\"+Inf\"} 3";
+        "demo_seconds_sum 11.000000";
+        "demo_seconds_count 3";
+        "" ]
+  in
+  Alcotest.(check string) "prometheus text format" expected
+    (Registry.expose ~registry:reg ());
+  (* Same name returns the same histogram; find sees it. *)
+  let h' =
+    Registry.histogram ~registry:reg ~name:"demo_seconds" ~help:"ignored"
+      ~bounds:[| 99. |] ()
+  in
+  Alcotest.(check int) "get-or-create returns existing" 3
+    (Histogram.count h');
+  Alcotest.(check bool) "find" true
+    (match Registry.find ~registry:reg "demo_seconds" with
+     | Some _ -> true
+     | None -> false);
+  let buf = Buffer.create 64 in
+  let c = Counters.create () in
+  Counters.add_relabel c 7;
+  Registry.expose_counters buf ~prefix:"t" c;
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "counter line" true
+    (contains out "t_relabels_total 7");
+  Alcotest.(check bool) "counter type" true
+    (contains out "# TYPE t_relabels_total counter")
+
+let jsonl_roundtrip () =
+  fresh_ring ();
+  Span.with_ ~name:"tricky"
+    ~attrs:[ ("msg", "say \"hi\"\\\nthere\ttab") ]
+    (fun () -> Span.event "sub");
+  let c = Counters.create () in
+  Counters.add_relabel c 2;
+  Span.with_ ~name:"counted" ~counters:c (fun () -> Counters.add_split c 1);
+  let jsonl = Trace.to_jsonl (Span.records ()) in
+  (match Trace.validate_jsonl jsonl with
+   | Ok n -> Alcotest.(check int) "all lines valid" 3 n
+   | Error e -> Alcotest.failf "invalid JSONL: %s" e);
+  Alcotest.(check bool) "escaped quote survives" true
+    (contains jsonl "say \\\"hi\\\"");
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) ("rejects " ^ bad) true
+        (match Trace.validate_json_line bad with
+         | Ok () -> false
+         | Error _ -> true))
+    [ "{"; "{} trailing"; "nope"; "{\"a\":}"; "{\"a\":1,}" ]
+
+let flamegraph_render () =
+  fresh_ring ();
+  for _ = 1 to 3 do
+    Span.with_ ~name:"op" (fun () ->
+        Span.with_ ~name:"leaf" (fun () -> ignore (Sys.opaque_identity 1)))
+  done;
+  let out = Trace.flamegraph (Span.records ()) in
+  Alcotest.(check bool) "parent path shown" true (contains out "op");
+  Alcotest.(check bool) "child indented under parent" true
+    (contains out "  leaf");
+  Alcotest.(check bool) "call count column" true (contains out "3")
+
+let accountant_bound_and_storm () =
+  Alcotest.(check (float 1e-9)) "default_c f=4 s=2" 13.0
+    (Accountant.default_c ~f:4 ~s:2);
+  Alcotest.(check (float 1e-9)) "default_c f=8 s=2" 16.5
+    (Accountant.default_c ~f:8 ~s:2);
+  Alcotest.(check bool) "default_c rejects s=1" true
+    (try
+       ignore (Accountant.default_c ~f:4 ~s:1);
+       false
+     with Invalid_argument _ -> true);
+  (* A well-behaved workload: O(log n) relabels per insert never trips. *)
+  let a = Accountant.create ~c:13.0 ~window:16 () in
+  for i = 1 to 200 do
+    let n = 100 + i in
+    Accountant.note a ~n ~relabels:(3 + (i mod 5))
+  done;
+  Alcotest.(check bool) "default workload ok" true (Accountant.ok a);
+  Alcotest.(check int) "insertions counted" 200 (Accountant.insertions a);
+  (* Injected storm: one full window of pathological relabel counts. *)
+  let b = Accountant.create ~c:13.0 ~window:16 () in
+  for _ = 1 to 16 do
+    Accountant.note b ~n:1000 ~relabels:100_000
+  done;
+  Alcotest.(check bool) "storm breaches" false (Accountant.ok b);
+  (match Accountant.breaches b with
+   | [ br ] ->
+     Alcotest.(check int) "window start" 0 br.Accountant.window_start;
+     Alcotest.(check int) "window len" 16 br.Accountant.window_len;
+     Alcotest.(check (float 1e-6)) "mean" 100_000. br.Accountant.mean_relabels;
+     Alcotest.(check (float 1e-6)) "bound is c*log2 n"
+       (13.0 *. (log 1000. /. log 2.))
+       br.Accountant.bound;
+     Alcotest.(check bool) "check raises" true
+       (try
+          Accountant.check b;
+          false
+        with Accountant.Budget_exceeded br' ->
+          Float.equal br'.Accountant.mean_relabels 100_000.)
+   | brs -> Alcotest.failf "expected 1 breach, got %d" (List.length brs));
+  Alcotest.(check bool) "breach message names the bound" true
+    (contains
+       (Accountant.breach_to_string (List.hd (Accountant.breaches b)))
+       "bound")
+
+let accountant_partial_windows () =
+  (* note_batch spreads a batch's relabels across its insertions. *)
+  let a = Accountant.create ~c:13.0 ~window:16 () in
+  Accountant.note_batch a ~n:1000 ~count:16 ~relabels:(16 * 100_000);
+  Alcotest.(check bool) "batched storm breaches" false (Accountant.ok a);
+  (* A fragment smaller than half a window is discarded unjudged: one
+     legitimately expensive insertion (e.g. a root grow relabeling O(n)
+     nodes) must not breach an amortized bound on its own. *)
+  let b = Accountant.create ~c:13.0 ~window:16 () in
+  Accountant.note b ~n:64 ~relabels:100_000;
+  Alcotest.(check bool) "small fragment discarded" true (Accountant.ok b);
+  (* At half a window or more the fragment is judged on flush. *)
+  let d = Accountant.create ~c:13.0 ~window:16 () in
+  for _ = 1 to 8 do
+    Accountant.note d ~n:64 ~relabels:100_000
+  done;
+  Alcotest.(check bool) "half-window fragment judged" false (Accountant.ok d)
+
+(* End to end: the instrumented tree records spans whose relabel deltas
+   satisfy the paper bound under the default accountant. *)
+let instrumented_insert_accounting () =
+  let module Ltree = Ltree_core.Ltree in
+  let counters = Counters.create () in
+  let t, leaves = Ltree.bulk_load ~counters 256 in
+  fresh_ring ();
+  let a = Accountant.create ~c:16.5 ~window:32 () in
+  let anchor = ref leaves.(128) in
+  for _ = 1 to 100 do
+    let before = Counters.relabels counters in
+    anchor := Ltree.insert_after t !anchor;
+    Accountant.note a ~n:(Ltree.length t)
+      ~relabels:(Counters.relabels counters - before)
+  done;
+  Alcotest.(check bool) "paper bound holds on hotspot inserts" true
+    (Accountant.ok a);
+  let insert_spans =
+    List.filter
+      (fun r -> String.equal r.Trace.name "ltree.insert")
+      (Span.records ())
+  in
+  Alcotest.(check int) "one span per insert" 100 (List.length insert_spans);
+  let total_delta =
+    List.fold_left
+      (fun acc r -> acc + Trace.delta r "relabels")
+      0 insert_spans
+  in
+  Alcotest.(check int) "span deltas account for all relabels"
+    (Counters.relabels counters) total_delta
+
+let suite =
+  ( "obs",
+    [ case "span nesting" `Quick span_nesting;
+      case "span unwind on exception" `Quick span_exception_unwind;
+      case "span counters + disabled" `Quick span_counters_and_disabled;
+      case "ring wraparound" `Quick ring_wraparound;
+      case "histogram buckets" `Quick histogram_buckets;
+      case "exposition golden" `Quick exposition_golden;
+      case "jsonl roundtrip" `Quick jsonl_roundtrip;
+      case "flamegraph" `Quick flamegraph_render;
+      case "accountant bound + storm" `Quick accountant_bound_and_storm;
+      case "accountant partial windows" `Quick accountant_partial_windows;
+      case "instrumented insert accounting" `Quick
+        instrumented_insert_accounting ] )

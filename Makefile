@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-query bench-recovery examples soak lint selfcheck selfcheck-quick crash-matrix crash-matrix-quick trace-smoke ci clean
+.PHONY: all build test bench bench-query bench-recovery bench-parallel bench-parallel-smoke examples soak lint selfcheck selfcheck-quick crash-matrix crash-matrix-quick trace-smoke ci clean
 
 all: build
 
@@ -9,7 +9,7 @@ test:
 	dune runtest --force
 
 # Static analysis: the compiler-libs lint pass (tools/lint) over
-# lib/ bin/ bench/ examples/.  Fails on any R1-R6 violation.
+# lib/ bin/ bench/ examples/.  Fails on any R1-R7 violation.
 lint:
 	dune build @lint
 
@@ -44,7 +44,7 @@ trace-smoke:
 ci:
 	dune build @all && dune runtest --force && dune build @lint && \
 	$(MAKE) selfcheck-quick && $(MAKE) crash-matrix-quick && \
-	$(MAKE) trace-smoke && \
+	$(MAKE) trace-smoke && $(MAKE) bench-parallel-smoke && \
 	dune exec bench/exp_query.exe -- --n 2000 --queries 100 --json BENCH_query.json
 
 bench:
@@ -61,6 +61,19 @@ bench-query:
 # BENCH_recovery.json.
 bench-recovery:
 	dune exec bench/exp_recovery.exe -- --json BENCH_recovery.json
+
+# Multicore speedup: batched structural joins over an immutable read
+# snapshot at 1/2/4 domains, per workload and document size, plus the
+# disabled-span overhead micro-bench; emits BENCH_parallel.json.  The
+# >= 2x @ 4 domains assertion binds only on machines with >= 4 cores.
+bench-parallel:
+	dune exec bench/exp_parallel.exe -- --json BENCH_parallel.json
+
+# Tiny run wired into `make ci`: exercises the pool, the determinism
+# cross-check and the span fast-path bound without the full sweep.
+bench-parallel-smoke:
+	dune exec bench/exp_parallel.exe -- \
+	  --sizes 500 --domains-list 1,2 --reps 2 --batch 16 > /dev/null
 
 tables:
 	dune exec bench/main.exe -- --tables

@@ -27,6 +27,9 @@ module Durable_doc = Ltree_recovery.Durable_doc
 module Crash_matrix = Ltree_recovery.Crash_matrix
 module Span = Ltree_obs.Span
 module Accountant = Ltree_obs.Accountant
+module Pool = Ltree_exec.Pool
+module Read_snapshot = Ltree_exec.Read_snapshot
+module Par_query = Ltree_exec.Par_query
 
 type t = {
   params : Params.t;
@@ -49,6 +52,9 @@ type t = {
   acct : Accountant.t;
       (* fed the materialized twin's per-insertion relabel deltas;
          judged by the obs.amortized-bound invariant *)
+  pool : Pool.t option;
+      (* when present, exec.parallel-plans-agree reruns every query
+         plan over a frozen snapshot on this pool *)
   registry : Invariant.registry;
   mutable log : string list;  (* newest first *)
 }
@@ -164,6 +170,69 @@ let register_invariants t =
       Label_index.check t.store.Shredder.label_index ~fetch:(fun rid ->
           let row = Rel_table.get t.store.Shredder.label_table rid in
           (row.Shredder.l_start, row.Shredder.l_end, row.Shredder.l_dead)));
+  (* Parallel plans over a frozen snapshot must agree with the serial
+     plans on every tag pair, at whatever pool size the harness was
+     given — the determinism contract of lib/exec.  Also proves the
+     staleness guard: the snapshot is taken after the flush, so it must
+     still be fresh when queried. *)
+  (match t.pool with
+  | None -> ()
+  | Some pool ->
+    Invariant.register reg ~name:"exec.parallel-plans-agree"
+      ~depth:Invariant.Deep (fun () ->
+        ignore (Label_sync.flush t.sync);
+        let snap = Read_snapshot.of_store t.pager t.store t.ldoc in
+        let tags =
+          Hashtbl.fold
+            (fun tag _ acc -> tag :: acc)
+            t.store.Shredder.label_by_tag []
+          |> List.sort String.compare
+        in
+        let check name got want =
+          if not (List.equal Int.equal got want) then
+            Invariant.fail ~name:"exec.parallel-plans-agree"
+              "%s: parallel plan found %d ids, serial %d (or a different \
+               order)"
+              name (List.length got) (List.length want)
+        in
+        List.iter
+          (fun anc ->
+            List.iter
+              (fun desc ->
+                check
+                  (Printf.sprintf "%s//%s" anc desc)
+                  (Par_query.descendants pool snap ~anc ~desc)
+                  (Query.label_descendants t.pager t.store ~anc ~desc);
+                check
+                  (Printf.sprintf "%s/%s" anc desc)
+                  (Par_query.children pool snap ~parent:anc ~child:desc)
+                  (Query.label_children t.pager t.store ~parent:anc
+                     ~child:desc);
+                check
+                  (Printf.sprintf "inl:%s//%s" anc desc)
+                  (Par_query.descendants_inl pool snap ~anc ~desc)
+                  (Query.label_descendants_inl t.pager t.store ~anc ~desc))
+              tags)
+          tags;
+        (match tags with
+        | a :: b :: c :: _ ->
+          check
+            (Printf.sprintf "%s//%s//%s" a b c)
+            (Par_query.path pool snap [ a; b; c ])
+            (Query.label_path t.pager t.store [ a; b; c ])
+        | _ -> ());
+        let batch =
+          Array.of_list
+            (List.concat_map (fun a -> List.map (fun d -> (a, d)) tags) tags)
+        in
+        let got = Par_query.descendants_batch pool snap batch in
+        Array.iteri
+          (fun i (anc, desc) ->
+            check
+              (Printf.sprintf "batch:%s//%s" anc desc)
+              got.(i)
+              (Query.label_descendants t.pager t.store ~anc ~desc))
+          batch));
   Invariant.register reg ~name:"recovery.roundtrip" ~depth:Invariant.Deep
     (fun () ->
       let recovered = Snapshot.load t.snapshot in
@@ -196,7 +265,7 @@ let register_invariants t =
 
 (* {1 Construction} *)
 
-let create ?(params = Params.make ~f:8 ~s:2) ~seed ~make_doc () =
+let create ?(params = Params.make ~f:8 ~s:2) ?pool ~seed ~make_doc () =
   let doc : Dom.document = make_doc () in
   let root =
     match doc.root with
@@ -231,6 +300,7 @@ let create ?(params = Params.make ~f:8 ~s:2) ~seed ~make_doc () =
         Accountant.create
           ~c:(Accountant.default_c ~f:params.Params.f ~s:params.Params.s)
           ~window:32 ();
+      pool;
       registry = Invariant.create ();
       log = [];
     }

@@ -15,6 +15,20 @@ module Labeled_doc = Ltree_doc.Labeled_doc
 module Counters = Ltree_metrics.Counters
 module Xml_gen = Ltree_workload.Xml_gen
 module Driver = Ltree_workload.Driver
+module Pool = Ltree_exec.Pool
+
+(* Shared --domains K flag: pool size for the parallel read path.
+   Defaults to $LTREE_DOMAINS, else 1 (serial). *)
+let domains_arg =
+  Arg.(value & opt int (Pool.default_size ())
+       & info [ "domains" ] ~docv:"K"
+           ~doc:"Fan work across $(docv) domains (1 = serial; defaults \
+                 to \\$LTREE_DOMAINS).")
+
+(* Run [f] with a pool of [k] domains, or no pool when serial. *)
+let with_domains k f =
+  if k <= 1 then f None
+  else Pool.with_pool ~size:k (fun p -> f (Some p))
 
 let read_file path =
   let ic = open_in_bin path in
@@ -144,7 +158,24 @@ let query_cmd =
   let show =
     Arg.(value & flag & info [ "print" ] ~doc:"Print matching subtrees.")
   in
-  let run file path engine show f s =
+  (* The parallel read path covers absolute descendant-only name chains
+     ([//a//b//c]): exactly the shape [Par_query.path] shards.  Anything
+     else falls back to the serial engine. *)
+  let parallel_path_tags (ast : Ltree_xpath.Ast.t) =
+    if not ast.Ltree_xpath.Ast.absolute then None
+    else
+      let rec go acc = function
+        | [] -> ( match acc with [] -> None | _ :: _ -> Some (List.rev acc))
+        | { Ltree_xpath.Ast.axis = Ltree_xpath.Ast.Descendant;
+            test = Ltree_xpath.Ast.Name tag;
+            preds = [] }
+          :: rest ->
+          go (tag :: acc) rest
+        | _ :: _ -> None
+      in
+      go [] ast.Ltree_xpath.Ast.steps
+  in
+  let run file path engine show f s domains =
     let doc = parse_doc file in
     let ast =
       try Ltree_xpath.Xpath_parser.parse path
@@ -152,13 +183,33 @@ let query_cmd =
         Printf.eprintf "bad XPath (offset %d): %s\n" off msg;
         exit 2
     in
-    let results =
+    let serial () =
       match engine with
       | `Dom -> Ltree_xpath.Dom_eval.eval doc ast
       | `Label ->
         let ldoc = Labeled_doc.of_document ~params:(params_of f s) doc in
         let eng = Ltree_xpath.Label_eval.create ldoc in
         Ltree_xpath.Label_eval.eval eng ast
+    in
+    let results =
+      match engine with
+      | `Label when domains > 1 -> (
+        match parallel_path_tags ast with
+        | None ->
+          Printf.eprintf
+            "note: --domains only parallelizes absolute descendant name \
+             chains (//a//b); evaluating serially\n%!";
+          serial ()
+        | Some tags ->
+          with_domains domains @@ fun pool ->
+          let pool = Option.get pool in
+          let ldoc = Labeled_doc.of_document ~params:(params_of f s) doc in
+          let pager = Ltree_relstore.Pager.create (Counters.create ()) in
+          let store = Ltree_relstore.Shredder.shred_label pager ldoc in
+          let snap = Ltree_exec.Read_snapshot.of_store pager store ldoc in
+          let ids = Ltree_exec.Par_query.path pool snap tags in
+          List.filter_map (Labeled_doc.node_by_id ldoc) ids)
+      | _ -> serial ()
     in
     Printf.printf "%d matches\n" (List.length results);
     if show then
@@ -168,7 +219,8 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath over a document.")
-    Term.(const run $ file_arg $ path_arg $ engine_arg $ show $ f_arg $ s_arg)
+    Term.(const run $ file_arg $ path_arg $ engine_arg $ show $ f_arg $ s_arg
+          $ domains_arg)
 
 (* tune *)
 
@@ -532,14 +584,15 @@ let check_cmd =
            ~docv:"PATH"
            ~doc:"Where to write the minimized counterexample on failure.")
   in
-  let run file f s ops seed inject storm dump =
+  let run file f s ops seed inject storm dump domains =
+    with_domains domains @@ fun pool ->
     let params = params_of f s in
     let make_doc =
       match file with
       | Some path -> fun () -> parse_doc path
       | None -> fun () -> Xml_gen.xmark ~seed ~scale:0.3 ()
     in
-    let t = Harness.create ~params ~seed ~make_doc () in
+    let t = Harness.create ~params ?pool ~seed ~make_doc () in
     let prng = Ltree_workload.Prng.create seed in
     for i = 1 to ops do
       List.iter (Harness.apply t) (Harness.random_ops prng);
@@ -574,7 +627,7 @@ let check_cmd =
        ~doc:"Replay a workload and deep-validate every registered \
              invariant.")
     Term.(const run $ file_opt $ f_arg $ s_arg $ ops_arg $ seed_arg
-          $ inject_arg $ storm_arg $ dump_arg)
+          $ inject_arg $ storm_arg $ dump_arg $ domains_arg)
 
 (* crash-matrix *)
 
@@ -604,14 +657,15 @@ let crash_matrix_cmd =
          & info [ "checkpoint-every" ] ~docv:"K"
              ~doc:"Operations between snapshot rotations.")
   in
-  let run ops seed nodes group_commit checkpoint_every =
+  let run ops seed nodes group_commit checkpoint_every domains =
+    with_domains domains @@ fun pool ->
     let config =
       { M.seed; ops; doc_nodes = nodes; group_commit; checkpoint_every }
     in
     Printf.printf
       "crash matrix: %d ops, doc ~%d nodes, group commit %d, checkpoint \
-       every %d, seed %d\n%!"
-      ops nodes group_commit checkpoint_every seed;
+       every %d, seed %d, %d domain(s)\n%!"
+      ops nodes group_commit checkpoint_every seed (max 1 domains);
     let last = ref 0 in
     let progress ~done_cells ~total =
       let decile = done_cells * 10 / total in
@@ -621,7 +675,7 @@ let crash_matrix_cmd =
           total
       end
     in
-    let s = M.run ~progress config in
+    let s = M.run ?pool ~progress config in
     Printf.printf
       "swept %d write points x %d modes = %d cells (%d init-phase points)\n"
       s.M.total_points
@@ -664,7 +718,7 @@ let crash_matrix_cmd =
              corruption mode, recover, and verify against a bit-exact \
              oracle.")
     Term.(const run $ ops_arg $ seed_arg $ nodes_arg $ group_arg
-          $ ckpt_arg)
+          $ ckpt_arg $ domains_arg)
 
 (* trace / metrics: the observability front ends.  Both replay the same
    deterministic harness workload `ltree check` uses — it exercises the

@@ -41,17 +41,18 @@ type t = {
   mutable nlive : int;
   mutable relabel_hook : (node -> unit) option;
   mutable version : int;
+  mutable next_leaf_id : int;
+      (* per-tree so leaf ids are reproducible per tree and allocation
+         never races across domains building distinct trees *)
 }
 
 let dummy =
   { id = 0; num = 0; parent = None; height = 0; nleaves = 0; children = [||];
     nchildren = 0; deleted = false }
 
-let next_leaf_id = ref 0
-
-let new_leaf () =
-  incr next_leaf_id;
-  { id = !next_leaf_id; num = 0; parent = None; height = 0; nleaves = 1;
+let new_leaf t =
+  t.next_leaf_id <- t.next_leaf_id + 1;
+  { id = t.next_leaf_id; num = 0; parent = None; height = 0; nleaves = 1;
     children = [||]; nchildren = 0; deleted = false }
 
 let new_internal (params : Params.t) ~height ~nleaves =
@@ -61,7 +62,8 @@ let new_internal (params : Params.t) ~height ~nleaves =
 
 let create ?(params = Params.fig2) ?(counters = Counters.create ()) () =
   { params; counters; root = new_internal params ~height:1 ~nleaves:0;
-    nslots = 0; nlive = 0; relabel_hook = None; version = 0 }
+    nslots = 0; nlive = 0; relabel_hook = None; version = 0;
+    next_leaf_id = 0 }
 
 let leaf_id w = w.id
 let on_relabel t f = t.relabel_hook <- Some f
@@ -194,7 +196,7 @@ let bulk_load ?(params = Params.fig2) ?(counters = Counters.create ()) n =
   if n = 0 then (t, [||])
   else begin
     let height = Params.height_for params n in
-    let leaves = Array.init n (fun _ -> new_leaf ()) in
+    let leaves = Array.init n (fun _ -> new_leaf t) in
     let root = build_sub t leaves ~lo:0 ~hi:n ~height in
     root.parent <- None;
     t.root <- root;
@@ -226,7 +228,7 @@ let of_labels ?(params = Params.fig2) ?(counters = Counters.create ())
     (t, [||])
   end
   else begin
-    let leaves = Array.init n (fun _ -> new_leaf ()) in
+    let leaves = Array.init n (fun _ -> new_leaf t) in
     (* Build the subtree over labels.(lo, hi), all inside the interval of
        the height-[h] node numbered [base]. *)
     let rec build ~lo ~hi ~h ~base =
@@ -347,7 +349,7 @@ let split t x =
 let insert_at t p idx =
   Span.with_ ~name:"ltree.insert" ~counters:t.counters
     ~on_close:observe_insert (fun () ->
-      let leaf = new_leaf () in
+      let leaf = new_leaf t in
       children_splice p ~at:idx ~remove:0 [| leaf |];
       t.nslots <- t.nslots + 1;
       t.nlive <- t.nlive + 1;
@@ -449,7 +451,7 @@ let rebuild_root t merged =
   assign t root 0
 
 let insert_batch_at_raw t p idx k =
-  let fresh = Array.init k (fun _ -> new_leaf ()) in
+  let fresh = Array.init k (fun _ -> new_leaf t) in
   (match highest_overflowing t p k with
    | None ->
      (* Room everywhere: the new leaves become ordinary children of [p]. *)

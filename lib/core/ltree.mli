@@ -101,8 +101,10 @@ val compact : t -> unit
 (** [label t w] is the current number of leaf [w]: O(1). *)
 val label : t -> leaf -> int
 
-(** [leaf_id w] is a process-unique identity for the slot, stable across
-    relabelings — key external tables with it. *)
+(** [leaf_id w] is a tree-unique identity for the slot (allocated from a
+    per-tree counter, so a given construction sequence is reproducible),
+    stable across relabelings — key external tables with it.  Ids from
+    different trees may collide; qualify with the tree if you mix them. *)
 val leaf_id : leaf -> int
 
 (** [on_relabel t f] registers [f] to run whenever a leaf's number

@@ -1,0 +1,248 @@
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( <> ) : int -> int -> bool = Stdlib.( <> )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( > ) : int -> int -> bool = Stdlib.( > )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+let max : int -> int -> int = Stdlib.max
+
+let _ = ( > )
+let _ = ( <= )
+
+module Counters = Ltree_metrics.Counters
+module Span = Ltree_obs.Span
+module Label_index = Ltree_relstore.Label_index
+module Query = Ltree_relstore.Query
+
+(* Parallel structural-join plans over a frozen {!Read_snapshot}.
+
+   Sharding model: every plan cuts the {e output-driving} side of the
+   join (the descendant array; the ancestor array for the INL plan)
+   into fixed-size chunks and fans the chunks across the pool.  A
+   descendant's matches depend only on the shared ancestor input, so a
+   chunk can be joined in isolation against the full ancestor entry;
+   per-chunk emit buffers are then concatenated in chunk order, which
+   reproduces the serial emission order exactly.  Each chunk charges
+   comparisons to its own scratch [Counters] (no shared mutable state
+   in workers); the caller aggregates them after the barrier.  All
+   plans finish with the same [sort_uniq] as the serial plans, so
+   results are element-for-element identical for every pool size. *)
+
+let join_comparisons =
+  Ltree_obs.Registry.histogram ~name:"query_join_comparisons"
+    ~help:"Label comparisons per structural join query"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:24)
+    ()
+
+(* Chunk length for an input of [len] rows: roughly eight chunks per
+   participant so the tail rebalances, but never so small that the
+   claim cursor becomes the bottleneck. *)
+let chunk_for pool len =
+  max 64 ((len + (8 * Pool.size pool) - 1) / (8 * Pool.size pool))
+
+(* Entry view of [starts]/[ends] positions [lo, hi) of a slice.  The
+   join never reads [rids], so no id copy is made. *)
+let sub_entry (s : Read_snapshot.slice) lo hi =
+  { Label_index.starts = Array.sub s.s_starts lo (hi - lo);
+    ends = Array.sub s.s_ends lo (hi - lo);
+    rids = [||];
+    len = hi - lo }
+
+(* Run [body ci lo hi local_counters] over aligned chunks of [0, len),
+   then return total comparisons charged.  [ci] is the chunk index:
+   distinct per invocation because the pool claims aligned ranges. *)
+let chunked pool len ~chunk body =
+  let nchunks = (len + chunk - 1) / chunk in
+  let comps = Array.make (max 1 nchunks) 0 in
+  Pool.parallel_for ~chunk pool ~lo:0 ~hi:len (fun lo hi ->
+      let local = Counters.create () in
+      body (lo / chunk) lo hi local;
+      comps.(lo / chunk) <- Counters.comparisons local);
+  Array.fold_left ( + ) 0 comps
+
+let note ?counters comparisons =
+  (match counters with
+  | Some c -> Counters.add_comparison c comparisons
+  | None -> ());
+  Ltree_obs.Histogram.observe_int join_comparisons comparisons
+
+let descendants ?counters pool snap ~anc ~desc =
+  Read_snapshot.ensure_fresh snap;
+  Span.with_ ~name:"par_query.descendants"
+    ~attrs:[ ("anc", anc); ("desc", desc) ] (fun () ->
+      let a = Read_snapshot.entry_of_slice (Read_snapshot.slice snap anc) in
+      let d = Read_snapshot.slice snap desc in
+      if d.s_len = 0 || a.Label_index.len = 0 then []
+      else begin
+        let chunk = chunk_for pool d.s_len in
+        let buffers = Array.make ((d.s_len + chunk - 1) / chunk) [] in
+        let comparisons =
+          chunked pool d.s_len ~chunk (fun ci lo hi local ->
+              let out = ref [] in
+              let last = ref (-1) in
+              Query.array_join local a (sub_entry d lo hi)
+                ~emit:(fun _ dpos ->
+                  if dpos <> !last then begin
+                    last := dpos;
+                    out := d.s_ids.(lo + dpos) :: !out
+                  end);
+              buffers.(ci) <- !out)
+        in
+        note ?counters comparisons;
+        List.sort_uniq Int.compare (List.concat (Array.to_list buffers))
+      end)
+
+let children ?counters pool snap ~parent ~child =
+  Read_snapshot.ensure_fresh snap;
+  Span.with_ ~name:"par_query.children"
+    ~attrs:[ ("parent", parent); ("child", child) ] (fun () ->
+      let pa = Read_snapshot.slice snap parent in
+      let a = Read_snapshot.entry_of_slice pa in
+      let d = Read_snapshot.slice snap child in
+      if d.s_len = 0 || pa.s_len = 0 then []
+      else begin
+        let chunk = chunk_for pool d.s_len in
+        let buffers = Array.make ((d.s_len + chunk - 1) / chunk) [] in
+        let comparisons =
+          chunked pool d.s_len ~chunk (fun ci lo hi local ->
+              let out = ref [] in
+              Query.array_join local a (sub_entry d lo hi)
+                ~emit:(fun apos dpos ->
+                  if d.s_levels.(lo + dpos) = pa.s_levels.(apos) + 1 then
+                    out := d.s_ids.(lo + dpos) :: !out);
+              buffers.(ci) <- !out)
+        in
+        note ?counters comparisons;
+        List.sort_uniq Int.compare (List.concat (Array.to_list buffers))
+      end)
+
+let descendants_inl ?counters pool snap ~anc ~desc =
+  Read_snapshot.ensure_fresh snap;
+  Span.with_ ~name:"par_query.descendants_inl"
+    ~attrs:[ ("anc", anc); ("desc", desc) ] (fun () ->
+      let a = Read_snapshot.slice snap anc in
+      let d = Read_snapshot.entry_of_slice (Read_snapshot.slice snap desc) in
+      let dids = (Read_snapshot.slice snap desc).s_ids in
+      if a.s_len = 0 || d.Label_index.len = 0 then []
+      else begin
+        let chunk = chunk_for pool a.s_len in
+        let buffers = Array.make ((a.s_len + chunk - 1) / chunk) [] in
+        let comparisons =
+          chunked pool a.s_len ~chunk (fun ci lo hi local ->
+              let out = ref [] in
+              for apos = lo to hi - 1 do
+                let astart = a.s_starts.(apos) and aend = a.s_ends.(apos) in
+                let i = ref (Label_index.upper_bound local d astart) in
+                let scanning = ref true in
+                while !scanning && !i < d.Label_index.len do
+                  Counters.add_comparison local 1;
+                  if d.Label_index.starts.(!i) < aend then begin
+                    out := dids.(!i) :: !out;
+                    incr i
+                  end
+                  else scanning := false
+                done
+              done;
+              buffers.(ci) <- !out)
+        in
+        note ?counters comparisons;
+        List.sort_uniq Int.compare (List.concat (Array.to_list buffers))
+      end)
+
+(* One path step: join the accumulated entry against the next tag's
+   slice, producing the matched sub-slice as a fresh entry whose [rids]
+   carry Dom ids (adjacent duplicates collapsed, ascending starts) —
+   the parallel twin of [Query.join_to_entry]. *)
+let step_entry pool (acc : Label_index.entry) (d : Read_snapshot.slice)
+    comparisons_acc =
+  if d.s_len = 0 || acc.Label_index.len = 0 then
+    { Label_index.starts = [||]; ends = [||]; rids = [||]; len = 0 }
+  else begin
+    let chunk = chunk_for pool d.s_len in
+    let nchunks = (d.s_len + chunk - 1) / chunk in
+    let buffers = Array.make nchunks [] in
+    let lens = Array.make nchunks 0 in
+    let comparisons =
+      chunked pool d.s_len ~chunk (fun ci lo hi local ->
+          let out = ref [] in
+          let n = ref 0 in
+          let last = ref (-1) in
+          Query.array_join local acc (sub_entry d lo hi)
+            ~emit:(fun _ dpos ->
+              if dpos <> !last then begin
+                last := dpos;
+                out := (lo + dpos) :: !out;
+                incr n
+              end);
+          buffers.(ci) <- !out;
+          lens.(ci) <- !n)
+    in
+    comparisons_acc := !comparisons_acc + comparisons;
+    let total = Array.fold_left ( + ) 0 lens in
+    let starts = Array.make (max 1 total) 0
+    and ends = Array.make (max 1 total) 0
+    and rids = Array.make (max 1 total) 0 in
+    (* Fill back-to-front per chunk: each buffer is reversed. *)
+    let pos = ref total in
+    for ci = nchunks - 1 downto 0 do
+      List.iter
+        (fun dpos ->
+          decr pos;
+          starts.(!pos) <- d.s_starts.(dpos);
+          ends.(!pos) <- d.s_ends.(dpos);
+          rids.(!pos) <- d.s_ids.(dpos))
+        buffers.(ci)
+    done;
+    { Label_index.starts; ends; rids; len = total }
+  end
+
+let path ?counters pool snap tags =
+  match tags with
+  | [] -> []
+  | first :: rest ->
+    Read_snapshot.ensure_fresh snap;
+    Span.with_ ~name:"par_query.path"
+      ~attrs:[ ("steps", string_of_int (1 + List.length rest)) ] (fun () ->
+        let comparisons = ref 0 in
+        let final =
+          List.fold_left
+            (fun acc tag ->
+              step_entry pool acc (Read_snapshot.slice snap tag) comparisons)
+            (Read_snapshot.entry_of_slice (Read_snapshot.slice snap first))
+            rest
+        in
+        note ?counters !comparisons;
+        let out = ref [] in
+        for i = final.Label_index.len - 1 downto 0 do
+          out := final.Label_index.rids.(i) :: !out
+        done;
+        List.sort_uniq Int.compare !out)
+
+(* Batched execution: one task per query, each run serially inside its
+   worker — the shape benchmarked by BENCH_parallel.json. *)
+let descendants_batch ?counters pool snap queries =
+  Read_snapshot.ensure_fresh snap;
+  Span.with_ ~name:"par_query.descendants_batch"
+    ~attrs:[ ("queries", string_of_int (Array.length queries)) ] (fun () ->
+      let comps = Array.make (max 1 (Array.length queries)) 0 in
+      let results =
+        Pool.map ~chunk:1 pool
+          (fun (i, (anc, desc)) ->
+            let local = Counters.create () in
+            let a = Read_snapshot.entry_of_slice (Read_snapshot.slice snap anc) in
+            let d = Read_snapshot.slice snap desc in
+            let out = ref [] in
+            let last = ref (-1) in
+            Query.array_join local a
+              (Read_snapshot.entry_of_slice d)
+              ~emit:(fun _ dpos ->
+                if dpos <> !last then begin
+                  last := dpos;
+                  out := d.s_ids.(dpos) :: !out
+                end);
+            comps.(i) <- Counters.comparisons local;
+            List.sort_uniq Int.compare !out)
+          (Array.mapi (fun i q -> (i, q)) queries)
+      in
+      note ?counters (Array.fold_left ( + ) 0 comps);
+      results)

@@ -1,0 +1,259 @@
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( > ) : int -> int -> bool = Stdlib.( > )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+let min : int -> int -> int = Stdlib.min
+let max : int -> int -> int = Stdlib.max
+
+let _ = ( < )
+let _ = ( <= )
+
+(* A fixed-size domain pool with a single-slot chunked job queue.
+
+   The pool runs one job at a time.  A job is a half-open index range
+   [lo, hi) cut into fixed-size chunks; participants (the submitting
+   domain plus every worker domain) claim chunks with a single
+   [Atomic.fetch_and_add] on a shared cursor, so no chunk is ever run
+   twice and load balancing falls out of claim order.  The submitting
+   domain always participates, which keeps the serial fallback and the
+   parallel path on the same code shape and means a pool of size 1
+   never blocks on a condition variable. *)
+
+type job = {
+  j_id : int;
+  j_hi : int;
+  j_chunk : int;
+  j_next : int Atomic.t;     (* next un-claimed chunk start *)
+  j_pending : int Atomic.t;  (* chunks not yet finished *)
+  j_body : int -> int -> unit;
+  mutable j_failure : exn option;  (* first failure wins; guarded by [mu] *)
+}
+
+type t = {
+  pool_size : int;
+  mu : Mutex.t;
+  work : Condition.t;      (* workers wait here for a fresh job *)
+  finished : Condition.t;  (* the submitter waits here for completion *)
+  mutable current : job option;
+  mutable next_job_id : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  (* Stats, guarded by [mu] except [worker_tasks] whose slot [k] is
+     only ever written by participant [k]. *)
+  mutable jobs : int;
+  mutable inline_jobs : int;
+  mutable tasks : int;
+  worker_tasks : int array;  (* per participant; slot 0 = submitter *)
+}
+
+type stats = {
+  size : int;
+  parallel_jobs : int;
+  serial_jobs : int;
+  chunk_tasks : int;
+  per_worker : int array;
+}
+
+(* Run chunks of [job] until the claim cursor is exhausted.  Called by
+   the submitter (slot 0) and by any worker that saw the job. *)
+let run_chunks t job ~slot =
+  let rec loop () =
+    let start = Atomic.fetch_and_add job.j_next job.j_chunk in
+    if start < job.j_hi then begin
+      (match job.j_failure with
+      | Some _ -> ()  (* racy peek; worst case we run a doomed chunk *)
+      | None -> (
+        let stop = min job.j_hi (start + job.j_chunk) in
+        try job.j_body start stop
+        with e ->
+          Mutex.lock t.mu;
+          (match job.j_failure with
+          | None -> job.j_failure <- Some e
+          | Some _ -> ());
+          Mutex.unlock t.mu));
+      t.worker_tasks.(slot) <- t.worker_tasks.(slot) + 1;
+      let left = Atomic.fetch_and_add job.j_pending (-1) - 1 in
+      if left = 0 then begin
+        Mutex.lock t.mu;
+        (match t.current with
+        | Some j when j.j_id = job.j_id -> t.current <- None
+        | _ -> ());
+        Condition.broadcast t.finished;
+        Mutex.unlock t.mu
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t ~slot =
+  let last = ref (-1) in
+  Mutex.lock t.mu;
+  let rec loop () =
+    if t.stopping then Mutex.unlock t.mu
+    else
+      match t.current with
+      | Some job when not (job.j_id = !last) ->
+        last := job.j_id;
+        Mutex.unlock t.mu;
+        run_chunks t job ~slot;
+        Mutex.lock t.mu;
+        loop ()
+      | _ ->
+        Condition.wait t.work t.mu;
+        loop ()
+  in
+  loop ()
+
+let create ~size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    { pool_size = size;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      current = None;
+      next_job_id = 0;
+      stopping = false;
+      domains = [];
+      jobs = 0;
+      inline_jobs = 0;
+      tasks = 0;
+      worker_tasks = Array.make size 0 }
+  in
+  t.domains <-
+    List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t ~slot:(i + 1)));
+  t
+
+let size t = t.pool_size
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~size f =
+  let t = create ~size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    { size = t.pool_size;
+      parallel_jobs = t.jobs;
+      serial_jobs = t.inline_jobs;
+      chunk_tasks = t.tasks;
+      per_worker = Array.copy t.worker_tasks }
+  in
+  Mutex.unlock t.mu;
+  s
+
+(* Pool health as Prometheus histograms in the shared registry.  Only
+   the submitting domain observes, once per parallel job. *)
+let tasks_hist () =
+  Ltree_obs.Registry.histogram ~name:"exec_pool_tasks_per_job"
+    ~help:"chunk tasks per parallel job"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:12)
+    ()
+
+let stolen_hist () =
+  Ltree_obs.Registry.histogram ~name:"exec_pool_stolen_per_job"
+    ~help:"chunk tasks claimed by worker domains (not the submitter) per job"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:12)
+    ()
+
+let share_hist () =
+  Ltree_obs.Registry.histogram ~name:"exec_pool_worker_share"
+    ~help:"fraction of a job's chunk tasks run by worker domains"
+    ~bounds:(Ltree_obs.Histogram.linear_bounds ~start:0.1 ~step:0.1 ~count:10)
+    ()
+
+let note_job t ~nchunks ~caller_chunks =
+  Mutex.lock t.mu;
+  t.jobs <- t.jobs + 1;
+  t.tasks <- t.tasks + nchunks;
+  Mutex.unlock t.mu;
+  let stolen = nchunks - caller_chunks in
+  Ltree_obs.Histogram.observe_int (tasks_hist ()) nchunks;
+  Ltree_obs.Histogram.observe_int (stolen_hist ()) stolen;
+  Ltree_obs.Histogram.observe (share_hist ())
+    (float_of_int stolen /. float_of_int nchunks)
+
+let serial_run t body lo hi =
+  Mutex.lock t.mu;
+  t.inline_jobs <- t.inline_jobs + 1;
+  Mutex.unlock t.mu;
+  body lo hi
+
+let parallel_for ?chunk t ~lo ~hi body =
+  let n = hi - lo in
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | _ ->
+        (* about four chunks per participant, so stragglers rebalance *)
+        max 1 ((n + (4 * t.pool_size) - 1) / (4 * t.pool_size))
+    in
+    if t.pool_size = 1 || n <= chunk then serial_run t body lo hi
+    else begin
+      Mutex.lock t.mu;
+      if t.stopping then begin
+        Mutex.unlock t.mu;
+        serial_run t body lo hi
+      end
+      else
+        match t.current with
+        | Some _ ->
+          (* Re-entrant submission from inside a running task: run
+             inline rather than deadlock on the single job slot. *)
+          Mutex.unlock t.mu;
+          serial_run t body lo hi
+        | None ->
+          let nchunks = (n + chunk - 1) / chunk in
+          let job =
+            { j_id = t.next_job_id;
+              j_hi = hi;
+              j_chunk = chunk;
+              j_next = Atomic.make lo;
+              j_pending = Atomic.make nchunks;
+              j_body = body;
+              j_failure = None }
+          in
+          t.next_job_id <- t.next_job_id + 1;
+          t.current <- Some job;
+          Condition.broadcast t.work;
+          Mutex.unlock t.mu;
+          let caller_before = t.worker_tasks.(0) in
+          run_chunks t job ~slot:0;
+          Mutex.lock t.mu;
+          while Atomic.get job.j_pending > 0 do
+            Condition.wait t.finished t.mu
+          done;
+          Mutex.unlock t.mu;
+          note_job t ~nchunks ~caller_chunks:(t.worker_tasks.(0) - caller_before);
+          (match job.j_failure with Some e -> raise e | None -> ())
+    end
+  end
+
+let map ?chunk t f arr =
+  let n = Array.length arr in
+  let out = Array.make n None in
+  parallel_for ?chunk t ~lo:0 ~hi:n (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- Some (f arr.(i))
+      done);
+  Array.map (function Some v -> v | None -> assert false) out
+
+let default_size () =
+  match Sys.getenv_opt "LTREE_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some k when k >= 1 -> min k 64
+    | Some _ | None -> 1)

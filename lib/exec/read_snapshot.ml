@@ -1,0 +1,120 @@
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( <> ) : int -> int -> bool = Stdlib.( <> )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let max : int -> int -> int = Stdlib.max
+
+let _ = ( = )
+let _ = ( < )
+
+module Label_index = Ltree_relstore.Label_index
+module Query = Ltree_relstore.Query
+module Rel_table = Ltree_relstore.Rel_table
+module Shredder = Ltree_relstore.Shredder
+
+(* A frozen structure-of-arrays view of the label store: per tag, the
+   sorted (start, end) interval arrays plus the Dom id and tree level
+   of every row, all copied out of the live index at freeze time.
+   Workers share the snapshot read-only; nothing here aliases a mutable
+   structure, so no query ever touches the pager, the row tables or the
+   repairable index arrays. *)
+
+type slice = {
+  s_starts : int array;
+  s_ends : int array;
+  s_ids : int array;
+  s_levels : int array;
+  s_len : int;
+}
+
+type source = {
+  src_pager : Ltree_relstore.Pager.t;
+  src_store : Shredder.label_store;
+  src_doc : Ltree_doc.Labeled_doc.t;
+}
+
+type t = {
+  slices : (string, slice) Hashtbl.t;
+  snap_version : int;
+  snap_generation : int;
+  src : source;
+}
+
+exception Stale of string
+
+let empty_slice =
+  { s_starts = [||]; s_ends = [||]; s_ids = [||]; s_levels = [||]; s_len = 0 }
+
+let freeze_tag pager store tag =
+  let e = Query.tag_entry pager store tag in
+  let n = e.Label_index.len in
+  if n = 0 then empty_slice
+  else begin
+    let ids = Array.make n 0 and levels = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let row = Rel_table.get store.Shredder.label_table e.Label_index.rids.(i) in
+      ids.(i) <- row.Shredder.l_id;
+      levels.(i) <- row.Shredder.l_level
+    done;
+    { s_starts = Array.sub e.Label_index.starts 0 n;
+      s_ends = Array.sub e.Label_index.ends 0 n;
+      s_ids = ids;
+      s_levels = levels;
+      s_len = n }
+  end
+
+let of_store pager store doc =
+  let tag_list =
+    List.sort_uniq String.compare
+      (Hashtbl.fold
+         (fun tag _ acc -> tag :: acc)
+         store.Shredder.label_by_tag [])
+  in
+  let slices = Hashtbl.create (max 16 (List.length tag_list)) in
+  List.iter (fun tag -> Hashtbl.replace slices tag (freeze_tag pager store tag)) tag_list;
+  (* Stamp after freezing: [tag_entry] may repair the index (bumping
+     nothing — repairs consume, not produce, change notes), so the
+     stamps taken here describe exactly the state the slices mirror. *)
+  { slices;
+    snap_version = Ltree_doc.Labeled_doc.version doc;
+    snap_generation = Label_index.generation store.Shredder.label_index;
+    src = { src_pager = pager; src_store = store; src_doc = doc } }
+
+let version t = t.snap_version
+let generation t = t.snap_generation
+
+let tags t =
+  List.sort String.compare
+    (Hashtbl.fold (fun tag _ acc -> tag :: acc) t.slices [])
+
+let slice t tag =
+  match Hashtbl.find_opt t.slices tag with
+  | Some s -> s
+  | None -> empty_slice
+
+(* An entry view of a slice for the shared array-join code.  The [rids]
+   slot carries Dom ids, not row ids: snapshot joins never go back to
+   the row table.  Callers must treat the entry as immutable. *)
+let entry_of_slice s =
+  { Label_index.starts = s.s_starts;
+    ends = s.s_ends;
+    rids = s.s_ids;
+    len = s.s_len }
+
+let is_fresh t =
+  t.snap_version = Ltree_doc.Labeled_doc.version t.src.src_doc
+  && t.snap_generation = Label_index.generation t.src.src_store.Shredder.label_index
+
+let ensure_fresh t =
+  let live_v = Ltree_doc.Labeled_doc.version t.src.src_doc in
+  let live_g = Label_index.generation t.src.src_store.Shredder.label_index in
+  if t.snap_version <> live_v || t.snap_generation <> live_g then
+    raise
+      (Stale
+         (Printf.sprintf
+            "snapshot stamped version=%d generation=%d but live is \
+             version=%d generation=%d"
+            t.snap_version t.snap_generation live_v live_g))
+
+let refresh t =
+  if is_fresh t then t else of_store t.src.src_pager t.src.src_store t.src.src_doc

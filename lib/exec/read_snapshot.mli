@@ -1,0 +1,66 @@
+(** Immutable read snapshots of the label store.
+
+    A snapshot is a frozen structure-of-arrays copy of the incremental
+    per-tag label index ({!Ltree_relstore.Label_index}): for every tag,
+    the sorted [(start, end)] interval arrays plus each row's Dom id
+    and tree level.  Worker domains share it read-only — parallel query
+    plans never touch the pager, the row tables, or the live index.
+
+    Freshness contract: a snapshot is stamped with the labeled
+    document's version ({!Ltree_doc.Labeled_doc.version}, i.e. the
+    L-Tree mutation stamp) and the index generation at freeze time.
+    Once either stamp moves — any tree mutation, or any
+    {!Ltree_relstore.Label_sync.flush} that notes a change —
+    {!ensure_fresh} refuses the snapshot with {!Stale} and {!refresh}
+    rebuilds it from the live store. *)
+
+type t
+
+(** One tag's frozen rows, parallel arrays over [0 .. s_len):
+    [s_starts] strictly increasing. *)
+type slice = {
+  s_starts : int array;
+  s_ends : int array;
+  s_ids : int array;  (** Dom node ids *)
+  s_levels : int array;  (** tree depth, root = 0 *)
+  s_len : int;
+}
+
+exception Stale of string
+
+(** [of_store pager store doc] freezes every tag currently in the
+    store.  Must be called from one domain with no concurrent writers
+    (it may repair the live index on the way). *)
+val of_store :
+  Ltree_relstore.Pager.t ->
+  Ltree_relstore.Shredder.label_store ->
+  Ltree_doc.Labeled_doc.t ->
+  t
+
+(** Document version the snapshot was frozen at. *)
+val version : t -> int
+
+(** Index generation the snapshot was frozen at. *)
+val generation : t -> int
+
+(** Tags with a (possibly empty) slice, sorted. *)
+val tags : t -> string list
+
+(** [slice t tag] is the tag's frozen slice; an empty slice for tags
+    the snapshot has never seen. *)
+val slice : t -> string -> slice
+
+(** An entry view of a slice for {!Ltree_relstore.Query.array_join}.
+    The entry's [rids] field carries {e Dom ids}; treat it as
+    immutable. *)
+val entry_of_slice : slice -> Ltree_relstore.Label_index.entry
+
+val is_fresh : t -> bool
+
+(** [ensure_fresh t] raises {!Stale} if the live document version or
+    index generation moved since the freeze. *)
+val ensure_fresh : t -> unit
+
+(** [refresh t] is [t] if still fresh, else a new snapshot of the same
+    source store. *)
+val refresh : t -> t

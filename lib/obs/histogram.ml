@@ -16,7 +16,14 @@ type t = {
   mutable stats : Stats.t;
       (* exact stats layered under the buckets, so exposition can carry
          mean/percentiles that bucketing alone would lose *)
+  mu : Mutex.t;
+      (* guards [counts] and [stats]: histograms are shared process-wide
+         through the registry, so worker domains may observe concurrently *)
 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let create ~name ~help ~bounds =
   let n = Array.length bounds in
@@ -29,7 +36,8 @@ let create ~name ~help ~bounds =
     help;
     bounds = Array.copy bounds;
     counts = Array.make (n + 1) 0;
-    stats = Stats.create () }
+    stats = Stats.create ();
+    mu = Mutex.create () }
 
 let name t = t.name
 let help t = t.help
@@ -48,30 +56,34 @@ let bucket_index t x =
   !lo
 
 let observe t x =
-  t.counts.(bucket_index t x) <- t.counts.(bucket_index t x) + 1;
-  Stats.add t.stats x
+  let i = bucket_index t x in
+  locked t (fun () ->
+      t.counts.(i) <- t.counts.(i) + 1;
+      Stats.add t.stats x)
 
 let observe_int t v = observe t (float_of_int v)
-let count t = Stats.count t.stats
-let sum t = Stats.sum t.stats
+let count t = locked t (fun () -> Stats.count t.stats)
+let sum t = locked t (fun () -> Stats.sum t.stats)
 
 (* Disjoint per-bucket counts, +Inf last. *)
-let counts t = Array.copy t.counts
+let counts t = locked t (fun () -> Array.copy t.counts)
 
 (* Cumulative count of observations <= bounds.(i), Prometheus-style. *)
 let cumulative t =
-  let out = Array.make (Array.length t.counts) 0 in
-  let acc = ref 0 in
-  Array.iteri
-    (fun i c ->
-      acc := !acc + c;
-      out.(i) <- !acc)
-    t.counts;
-  out
+  locked t (fun () ->
+      let out = Array.make (Array.length t.counts) 0 in
+      let acc = ref 0 in
+      Array.iteri
+        (fun i c ->
+          acc := !acc + c;
+          out.(i) <- !acc)
+        t.counts;
+      out)
 
 let reset t =
-  Array.fill t.counts 0 (Array.length t.counts) 0;
-  t.stats <- Stats.create ()
+  locked t (fun () ->
+      Array.fill t.counts 0 (Array.length t.counts) 0;
+      t.stats <- Stats.create ())
 
 (* {1 Bucket layouts} *)
 

@@ -6,29 +6,45 @@ let ( > ) : int -> int -> bool = Stdlib.( > )
 let _ = ( = )
 let _ = ( > )
 
-type t = { tbl : (string, Histogram.t) Hashtbl.t }
+(* The table is mutex-guarded: get-or-create races from worker domains
+   must hand every caller the same histogram instance. *)
+type t = { tbl : (string, Histogram.t) Hashtbl.t; mu : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 32 }
+let create () = { tbl = Hashtbl.create 32; mu = Mutex.create () }
 let default = create ()
 
-let histogram ?(registry = default) ~name ~help ~bounds () =
-  match Hashtbl.find_opt registry.tbl name with
-  | Some h -> h
-  | None ->
-    let h = Histogram.create ~name ~help ~bounds in
-    Hashtbl.replace registry.tbl name h;
-    h
+let locked registry f =
+  Mutex.lock registry.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry.mu) f
 
-let find ?(registry = default) name = Hashtbl.find_opt registry.tbl name
+let histogram ?(registry = default) ~name ~help ~bounds () =
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some h -> h
+      | None ->
+        let h = Histogram.create ~name ~help ~bounds in
+        Hashtbl.replace registry.tbl name h;
+        h)
+
+let find ?(registry = default) name =
+  locked registry (fun () -> Hashtbl.find_opt registry.tbl name)
 
 let histograms ?(registry = default) () =
-  let out = Hashtbl.fold (fun _ h acc -> h :: acc) registry.tbl [] in
+  let out =
+    locked registry (fun () ->
+        Hashtbl.fold (fun _ h acc -> h :: acc) registry.tbl [])
+  in
   List.sort (fun a b -> String.compare (Histogram.name a) (Histogram.name b)) out
 
-let clear ?(registry = default) () = Hashtbl.reset registry.tbl
+let clear ?(registry = default) () =
+  locked registry (fun () -> Hashtbl.reset registry.tbl)
 
 let reset_observations ?(registry = default) () =
-  Hashtbl.iter (fun _ h -> Histogram.reset h) registry.tbl
+  let hs =
+    locked registry (fun () ->
+        Hashtbl.fold (fun _ h acc -> h :: acc) registry.tbl [])
+  in
+  List.iter Histogram.reset hs
 
 (* Prometheus text exposition.  The "le" label is the bucket's inclusive
    upper bound; the final bucket is "+Inf" and equals [_count]. *)

@@ -3,29 +3,43 @@ let ( = ) : int -> int -> bool = Stdlib.( = )
 
 let _ = ( = )
 
-(* Global state: one process-wide ring plus the stack of open span
-   names.  The stack is names only -- a span that is still open has no
-   record yet; records are appended on exit, so the trace lists spans
-   in completion order (children before parents). *)
+(* Global state: one process-wide ring plus a per-domain stack of open
+   span names.  The stack is names only -- a span that is still open
+   has no record yet; records are appended on exit, so the trace lists
+   spans in completion order (children before parents).  The stack
+   lives in domain-local storage so spans opened by worker domains
+   nest among themselves and never interleave with another domain's
+   path; the ring is shared and guarded by a mutex so records from all
+   domains land in one trace. *)
 
-let enabled = ref true
+let enabled = Atomic.make true
+let ring_mu = Mutex.create ()
 let ring = ref (Trace.create ~capacity:4096)
-let stack : string list ref = ref []
 
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let set_capacity capacity = ring := Trace.create ~capacity
-let records () = Trace.to_list !ring
-let dropped () = Trace.dropped !ring
-let depth () = List.length !stack
+let stack () = Domain.DLS.get stack_key
+
+let locked f =
+  Mutex.lock ring_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ring_mu) f
+
+(* [set_enabled]/[is_enabled] are a single atomic flag: the disabled
+   fast path in [with_]/[event] reads it and nothing else. *)
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let set_capacity capacity = locked (fun () -> ring := Trace.create ~capacity)
+let records () = locked (fun () -> Trace.to_list !ring)
+let dropped () = locked (fun () -> Trace.dropped !ring)
+let depth () = List.length !(stack ())
 
 let reset () =
-  Trace.clear !ring;
-  stack := []
+  locked (fun () -> Trace.clear !ring);
+  stack () := []
 
-let current_path name =
-  String.concat "/" (List.rev (name :: !stack))
+let current_path stack name = String.concat "/" (List.rev (name :: !stack))
 
 let finish ~name ~path ~depth ~start ~before ~attrs ~on_close counters =
   let duration = Unix.gettimeofday () -. start in
@@ -35,13 +49,16 @@ let finish ~name ~path ~depth ~start ~before ~attrs ~on_close counters =
     | _ -> []
   in
   let r = { Trace.name; path; depth; start; duration; deltas; attrs } in
-  Trace.add !ring r;
+  locked (fun () -> Trace.add !ring r);
   (match on_close with Some f -> f r | None -> ())
 
 let with_ ?(attrs = []) ?counters ?on_close ~name fn =
-  if not !enabled then fn ()
+  (* Disabled fast path: one atomic flag read, then straight to [fn].
+     No clock read, no stack or DLS touch, no allocation. *)
+  if not (Atomic.get enabled) then fn ()
   else begin
-    let path = current_path name in
+    let stack = stack () in
+    let path = current_path stack name in
     let depth = List.length !stack in
     let before =
       match counters with
@@ -68,8 +85,9 @@ let with_ ?(attrs = []) ?counters ?on_close ~name fn =
   end
 
 let event ?(attrs = []) name =
-  if !enabled then begin
-    let path = current_path name in
+  if Atomic.get enabled then begin
+    let stack = stack () in
+    let path = current_path stack name in
     let r =
       { Trace.name;
         path;
@@ -79,5 +97,5 @@ let event ?(attrs = []) name =
         deltas = [];
         attrs }
     in
-    Trace.add !ring r
+    locked (fun () -> Trace.add !ring r)
   end

@@ -4,11 +4,18 @@
     one pushes a name onto a stack and reads the clock; leaving it builds
     one {!Trace.record} and appends it to the global ring.  When disabled
     ({!set_enabled} [false]), [with_] runs its thunk with no overhead
-    beyond one flag read. *)
+    beyond one atomic flag read — no clock read, no allocation, no
+    domain-local-storage access.
+
+    Domain safety: the stack of open spans is domain-local, so spans
+    opened by a worker domain nest among themselves and never corrupt
+    another domain's path; the shared record ring is mutex-guarded.
+    {!depth} and the stack-clearing part of {!reset} act on the calling
+    domain's stack only. *)
 
 (** [with_ ?attrs ?counters ?on_close ~name fn] runs [fn ()] inside a
     span called [name], nested under any spans already open on this
-    stack.  When [counters] is given, the span's record carries the
+    domain's stack.  When [counters] is given, the span's record carries the
     counter deltas accumulated while it ran ([Counters.diff] of after
     vs. entry snapshot).  [on_close] receives the completed record --
     instrumented modules use it to feed histograms.  If [fn] raises, the
@@ -41,8 +48,8 @@ val records : unit -> Trace.record list
 (** Records overwritten because the ring was full. *)
 val dropped : unit -> int
 
-(** Current nesting depth (number of open spans). *)
+(** Current nesting depth on this domain (number of open spans). *)
 val depth : unit -> int
 
-(** Drop all records and force-close any open spans. *)
+(** Drop all records and force-close any spans open on this domain. *)
 val reset : unit -> unit

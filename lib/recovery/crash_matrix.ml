@@ -305,9 +305,19 @@ let run_workload config script sim state =
   init_points
 
 (* From-scratch query answers for the [durable]-op prefix, memoized:
-   many matrix cells land on the same durable prefix. *)
-let pristine_query config script query_cache durable =
-  match Hashtbl.find_opt query_cache durable with
+   many matrix cells land on the same durable prefix.  The cache is
+   shared across cells, which may evaluate on different domains, so
+   lookups and publication go through [cache_mu]; the (deterministic)
+   computation itself runs outside the lock, and the first published
+   value wins. *)
+let pristine_query config script ~cache_mu query_cache durable =
+  let cached =
+    Mutex.lock cache_mu;
+    let v = Hashtbl.find_opt query_cache durable in
+    Mutex.unlock cache_mu;
+    v
+  in
+  match cached with
   | Some v -> v
   | None ->
     let pristine = fresh_ldoc config in
@@ -316,10 +326,18 @@ let pristine_query config script query_cache durable =
       script;
     let anc, desc = top_tags pristine in
     let v = (anc, desc, query_starts pristine ~anc ~desc) in
-    Hashtbl.replace query_cache durable v;
+    Mutex.lock cache_mu;
+    let v =
+      match Hashtbl.find_opt query_cache durable with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.replace query_cache durable v;
+        v
+    in
+    Mutex.unlock cache_mu;
     v
 
-let verify config ~io ~script ~oracle ~query_cache ~state ~report t =
+let verify config ~io ~script ~oracle ~cache_mu ~query_cache ~state ~report t =
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   let durable = report.Durable_doc.durable_seq in
@@ -347,7 +365,9 @@ let verify config ~io ~script ~oracle ~query_cache ~state ~report t =
       (Invariant.run_all ~depth:Invariant.Deep reg);
     (* Query plans over the recovered store agree with a from-scratch
        shred of the same prefix. *)
-    let anc, desc, want = pristine_query config script query_cache durable in
+    let anc, desc, want =
+      pristine_query config script ~cache_mu query_cache durable
+    in
     match (query_starts ldoc ~anc ~desc, want) with
     | None, _ ->
       fail "recovered store: indexed and baseline %s//%s plans disagree" anc
@@ -362,11 +382,12 @@ let verify config ~io ~script ~oracle ~query_cache ~state ~report t =
   end;
   List.rev !failures
 
-let run ?progress config =
+let run ?pool ?progress config =
   if config.ops < 1 then invalid_arg "Crash_matrix.run: ops must be >= 1";
   let script = generate_script config in
   let oracle = build_oracle config script in
   let query_cache = Hashtbl.create 64 in
+  let cache_mu = Mutex.create () in
   (* Profile pass: same workload, no plan — learns the matrix width and
      how many write points initialization itself consumes. *)
   let profile_sim = Fault.create_sim () in
@@ -375,76 +396,101 @@ let run ?progress config =
       { attempted = 0; synced = 0 }
   in
   let total_points = Fault.points profile_sim in
-  let fault_counts = Hashtbl.create 16 in
-  let count_faults kinds =
-    List.iter
-      (fun k ->
-        Hashtbl.replace fault_counts k
-          (1 + Option.value ~default:0 (Hashtbl.find_opt fault_counts k)))
-      kinds
-  in
-  let cells = ref [] in
+  (* Cells are independent — each builds its own fault-sim fs, document
+     and store — so they fan out across the pool.  The only shared
+     mutable pieces are the memoized query cache (mutex above) and the
+     progress counter (mutex below); fault tallies are aggregated from
+     the cell outcomes afterwards. *)
+  let progress_mu = Mutex.create () in
   let done_cells = ref 0 in
+  let note_progress () =
+    match progress with
+    | None -> ()
+    | Some f ->
+      Mutex.lock progress_mu;
+      incr done_cells;
+      let d = !done_cells in
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock progress_mu)
+        (fun () -> f ~done_cells:d ~total:(3 * total_points))
+  in
+  let eval_cell (mode, point) =
+    let plan = { Fault.crash_point = point; mode; seed = config.seed } in
+    let sim = Fault.create_sim ~plan () in
+    let state = { attempted = 0; synced = 0 } in
+    let crashed =
+      match run_workload config script sim state with
+      | (_ : int) -> false
+      | exception Fault.Crash _ -> true
+    in
+    let files = Fault.dump sim in
+    let rsim = Fault.create_sim ~files () in
+    let io = Fault.sim_io rsim in
+    let outcome, failures =
+      match
+        Durable_doc.recover ~io ~group_commit:config.group_commit
+          ~dir:store_dir ()
+      with
+      | Error faults ->
+        let kinds = List.map Durable_doc.fault_kind faults in
+        ( Unrecoverable { fault_kinds = kinds },
+          (* Losing the whole store is only legitimate before the
+             very first checkpoint ever completed. *)
+          if state.attempted = 0 && point <= init_points then []
+          else
+            [ Printf.sprintf
+                "unrecoverable after %d applied ops (point %d): %s"
+                state.attempted point
+                (String.concat ", " kinds) ] )
+      | Ok (report, t) ->
+        let kinds =
+          List.map Durable_doc.fault_kind report.Durable_doc.faults
+        in
+        let failures =
+          verify config ~io ~script ~oracle ~cache_mu ~query_cache ~state
+            ~report t
+        in
+        let failures =
+          if crashed then failures
+          else "workload did not crash at an in-range point" :: failures
+        in
+        ( Recovered
+            { durable_seq = report.Durable_doc.durable_seq;
+              attempted = state.attempted;
+              synced = state.synced;
+              replayed = report.Durable_doc.entries_replayed;
+              dropped = report.Durable_doc.entries_dropped;
+              fault_kinds = kinds },
+          failures )
+    in
+    note_progress ();
+    { point; mode; outcome; failures }
+  in
+  let descrs =
+    Array.of_list
+      (List.concat_map
+         (fun mode -> List.init total_points (fun i -> (mode, i + 1)))
+         Fault.all_modes)
+  in
+  let cells =
+    match pool with
+    | Some pool -> Array.to_list (Ltree_exec.Pool.map ~chunk:1 pool eval_cell descrs)
+    | None -> Array.to_list (Array.map eval_cell descrs)
+  in
+  let fault_counts = Hashtbl.create 16 in
   List.iter
-    (fun mode ->
-      for point = 1 to total_points do
-        let plan = { Fault.crash_point = point; mode; seed = config.seed } in
-        let sim = Fault.create_sim ~plan () in
-        let state = { attempted = 0; synced = 0 } in
-        let crashed =
-          match run_workload config script sim state with
-          | (_ : int) -> false
-          | exception Fault.Crash _ -> true
-        in
-        let files = Fault.dump sim in
-        let rsim = Fault.create_sim ~files () in
-        let io = Fault.sim_io rsim in
-        let outcome, failures =
-          match
-            Durable_doc.recover ~io ~group_commit:config.group_commit
-              ~dir:store_dir ()
-          with
-          | Error faults ->
-            let kinds = List.map Durable_doc.fault_kind faults in
-            count_faults kinds;
-            ( Unrecoverable { fault_kinds = kinds },
-              (* Losing the whole store is only legitimate before the
-                 very first checkpoint ever completed. *)
-              if state.attempted = 0 && point <= init_points then []
-              else
-                [ Printf.sprintf
-                    "unrecoverable after %d applied ops (point %d): %s"
-                    state.attempted point
-                    (String.concat ", " kinds) ] )
-          | Ok (report, t) ->
-            let kinds =
-              List.map Durable_doc.fault_kind report.Durable_doc.faults
-            in
-            count_faults kinds;
-            let failures =
-              verify config ~io ~script ~oracle ~query_cache ~state ~report t
-            in
-            let failures =
-              if crashed then failures
-              else "workload did not crash at an in-range point" :: failures
-            in
-            ( Recovered
-                { durable_seq = report.Durable_doc.durable_seq;
-                  attempted = state.attempted;
-                  synced = state.synced;
-                  replayed = report.Durable_doc.entries_replayed;
-                  dropped = report.Durable_doc.entries_dropped;
-                  fault_kinds = kinds },
-              failures )
-        in
-        cells := { point; mode; outcome; failures } :: !cells;
-        incr done_cells;
-        match progress with
-        | Some f -> f ~done_cells:!done_cells ~total:(3 * total_points)
-        | None -> ()
-      done)
-    Fault.all_modes;
-  let cells = List.rev !cells in
+    (fun c ->
+      let kinds =
+        match c.outcome with
+        | Recovered r -> r.fault_kinds
+        | Unrecoverable u -> u.fault_kinds
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.replace fault_counts k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fault_counts k)))
+        kinds)
+    cells;
   { config;
     total_points;
     init_points;

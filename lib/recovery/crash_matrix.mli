@@ -98,7 +98,16 @@ type summary = {
 (** [ok s]: every cell verified and the matrix was exhaustive. *)
 val ok : summary -> bool
 
-(** [run ?progress config] executes the full matrix.  [progress] is
-    called after each cell (printing is the caller's business). *)
+(** [run ?pool ?progress config] executes the full matrix.  With
+    [pool], cells fan out across its domains (each cell already owns
+    its fault-sim fs, document, and store; results are identical to a
+    serial run — cell order is fixed and tallies are aggregated after
+    the sweep).  [progress] is called after each cell, serialized
+    under a mutex, with a monotone [done_cells]; completion order may
+    interleave across modes when parallel (printing is the caller's
+    business). *)
 val run :
-  ?progress:(done_cells:int -> total:int -> unit) -> config -> summary
+  ?pool:Ltree_exec.Pool.t ->
+  ?progress:(done_cells:int -> total:int -> unit) ->
+  config ->
+  summary

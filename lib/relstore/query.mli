@@ -64,3 +64,21 @@ val label_path :
 (** [index_stats store] is the store's {!Label_index.stats} — repairs
     performed, full rebuilds, rows merged. *)
 val index_stats : Shredder.label_store -> Label_index.stats
+
+(** [tag_entry pager store tag] is the tag's live index entry: sorted
+    [(start, end, rid)] arrays, rebuilt or merge-repaired on access.
+    Exposed so read-only execution layers (snapshots in [lib/exec]) can
+    freeze a consistent copy; treat the arrays as immutable. *)
+val tag_entry :
+  Pager.t -> Shredder.label_store -> string -> Label_index.entry
+
+(** [array_join counters a d ~emit] is the array-cursor stack join over
+    two sorted entries: [emit apos dpos] fires for every containment
+    pair, descendant positions ascending with duplicates adjacent.
+    Exposed for executors that join frozen snapshot slices. *)
+val array_join :
+  Ltree_metrics.Counters.t ->
+  Label_index.entry ->
+  Label_index.entry ->
+  emit:(int -> int -> unit) ->
+  unit

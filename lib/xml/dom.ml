@@ -19,11 +19,13 @@ type document = {
   mutable prolog_misc : node list;
 }
 
-let next_id = ref 0
+(* Atomic so documents can be built from worker domains without ever
+   handing out a duplicate node id. *)
+let next_id = Atomic.make 0
 
 let make kind =
-  incr next_id;
-  { node_id = !next_id; node_kind = kind; node_attrs = [];
+  let id = Atomic.fetch_and_add next_id 1 + 1 in
+  { node_id = id; node_kind = kind; node_attrs = [];
     node_children = []; node_parent = None }
 
 let id n = n.node_id

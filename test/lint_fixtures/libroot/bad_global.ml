@@ -1,0 +1,12 @@
+(* R7 fixture: top-level mutable globals fire, including inside nested
+   modules; the allowlisted binding, Atomic.make and fn-local refs do not. *)
+let counter = ref 0
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+module Nested = struct
+  let buf = Buffer.create 64
+end
+
+let ring = ref 0
+let gauge = Atomic.make 0
+let fresh () = ref 0

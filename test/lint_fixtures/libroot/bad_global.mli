@@ -1,0 +1,2 @@
+(* Interface present so R6 stays silent for this fixture. *)
+val fresh : unit -> int ref

@@ -1,0 +1,241 @@
+(* The multicore execution layer: pool mechanics, snapshot freshness,
+   and — the load-bearing property — determinism: every parallel plan
+   must return element-for-element what the serial plan returns, for
+   every pool size, on every document.  See DESIGN.md §11. *)
+
+open Ltree_xml
+open Ltree_relstore
+module Counters = Ltree_metrics.Counters
+module Labeled_doc = Ltree_doc.Labeled_doc
+module Xml_gen = Ltree_workload.Xml_gen
+module Pool = Ltree_exec.Pool
+module Read_snapshot = Ltree_exec.Read_snapshot
+module Par_query = Ltree_exec.Par_query
+
+let case = Alcotest.test_case
+
+(* {1 Pool mechanics} *)
+
+let covers_range_once () =
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let n = 10_000 in
+          let hits = Array.make n 0 in
+          (* Disjoint chunks: no two participants share a slot, so the
+             unsynchronised increments are race-free by construction. *)
+          Pool.parallel_for ~chunk:64 pool ~lo:0 ~hi:n (fun lo hi ->
+              for i = lo to hi - 1 do
+                hits.(i) <- hits.(i) + 1
+              done);
+          Alcotest.(check bool)
+            (Printf.sprintf "size %d: every index run exactly once" size)
+            true
+            (Array.for_all (fun c -> c = 1) hits)))
+    [ 1; 2; 4 ]
+
+let map_preserves_order () =
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let input = Array.init 1_000 (fun i -> i) in
+          let out = Pool.map ~chunk:7 pool (fun i -> i * i) input in
+          Alcotest.(check bool)
+            (Printf.sprintf "size %d: map order" size)
+            true
+            (Array.for_all (fun i -> out.(i) = i * i) input)))
+    [ 1; 2; 4 ]
+
+let exceptions_propagate () =
+  Pool.with_pool ~size:2 (fun pool ->
+      let raised =
+        try
+          Pool.parallel_for ~chunk:8 pool ~lo:0 ~hi:1_000 (fun lo _ ->
+              if lo >= 496 then failwith "chunk boom");
+          false
+        with Failure m -> String.equal m "chunk boom"
+      in
+      Alcotest.(check bool) "body failure reaches the caller" true raised;
+      (* The pool survives a failed job. *)
+      let total = Atomic.make 0 in
+      Pool.parallel_for ~chunk:16 pool ~lo:0 ~hi:100 (fun lo hi ->
+          ignore (Atomic.fetch_and_add total (hi - lo)));
+      Alcotest.(check int) "pool usable after failure" 100 (Atomic.get total))
+
+let reentrant_runs_inline () =
+  Pool.with_pool ~size:2 (fun pool ->
+      let inner_total = Atomic.make 0 in
+      Pool.parallel_for ~chunk:16 pool ~lo:0 ~hi:64 (fun _ _ ->
+          (* A nested submission must not deadlock on the job slot. *)
+          Pool.parallel_for ~chunk:4 pool ~lo:0 ~hi:8 (fun lo hi ->
+              ignore (Atomic.fetch_and_add inner_total (hi - lo))));
+      Alcotest.(check bool) "nested parallel_for completed" true
+        (Atomic.get inner_total > 0))
+
+let stats_account_for_work () =
+  Pool.with_pool ~size:2 (fun pool ->
+      Pool.parallel_for ~chunk:10 pool ~lo:0 ~hi:1_000 (fun _ _ -> ());
+      Pool.parallel_for ~chunk:8 pool ~lo:0 ~hi:3 (fun _ _ -> ());
+      let s = Pool.stats pool in
+      Alcotest.(check int) "size" 2 s.Pool.size;
+      Alcotest.(check int) "one parallel job" 1 s.Pool.parallel_jobs;
+      Alcotest.(check int) "tiny range ran serial" 1 s.Pool.serial_jobs;
+      Alcotest.(check int) "100 chunks accounted" 100 s.Pool.chunk_tasks;
+      Alcotest.(check int) "per-worker tallies sum to the chunk count"
+        100
+        (Array.fold_left ( + ) 0 s.Pool.per_worker));
+  Pool.with_pool ~size:1 (fun pool ->
+      Pool.parallel_for ~chunk:10 pool ~lo:0 ~hi:1_000 (fun _ _ -> ());
+      let s = Pool.stats pool in
+      Alcotest.(check int) "size-1 pools only run serial jobs" 0
+        s.Pool.parallel_jobs;
+      Alcotest.(check int) "the job still ran" 1 s.Pool.serial_jobs)
+
+(* {1 Determinism: parallel plans == serial plans} *)
+
+let setup_generated ~seed ~nodes =
+  let doc =
+    Xml_gen.generate ~seed (Xml_gen.default_profile ~target_nodes:nodes ())
+  in
+  let ldoc = Labeled_doc.of_document doc in
+  let counters = Counters.create () in
+  let pager = Pager.create counters in
+  let store = Shredder.shred_label pager ldoc in
+  (doc, ldoc, pager, store)
+
+(* Tags that actually have rows, most populous first, so the tag pairs
+   below exercise non-trivial joins. *)
+let busy_tags snap =
+  Read_snapshot.tags snap
+  |> List.map (fun t -> (t, (Read_snapshot.slice snap t).Read_snapshot.s_len))
+  |> List.filter (fun (_, n) -> n > 0)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  |> List.map fst
+
+let check_same what expected got =
+  Alcotest.(check (list int)) what expected got
+
+let parallel_matches_serial () =
+  List.iter
+    (fun seed ->
+      let _, ldoc, pager, store = setup_generated ~seed ~nodes:2_000 in
+      let snap = Read_snapshot.of_store pager store ldoc in
+      let tags =
+        match busy_tags snap with
+        | a :: b :: c :: _ -> [ a; b; c ]
+        | ts -> ts
+      in
+      let pairs =
+        List.concat_map (fun a -> List.map (fun d -> (a, d)) tags) tags
+      in
+      List.iter
+        (fun size ->
+          Pool.with_pool ~size (fun pool ->
+              List.iter
+                (fun (anc, desc) ->
+                  let label = Printf.sprintf "seed %d size %d %s//%s" seed size anc desc in
+                  check_same (label ^ " descendants")
+                    (Query.label_descendants pager store ~anc ~desc)
+                    (Par_query.descendants pool snap ~anc ~desc);
+                  check_same (label ^ " children")
+                    (Query.label_children pager store ~parent:anc ~child:desc)
+                    (Par_query.children pool snap ~parent:anc ~child:desc);
+                  check_same (label ^ " inl")
+                    (Query.label_descendants_inl pager store ~anc ~desc)
+                    (Par_query.descendants_inl pool snap ~anc ~desc))
+                pairs;
+              (match tags with
+              | t1 :: t2 :: t3 :: _ ->
+                check_same
+                  (Printf.sprintf "seed %d size %d path" seed size)
+                  (Query.label_path pager store [ t1; t2; t3 ])
+                  (Par_query.path pool snap [ t1; t2; t3 ])
+              | _ -> ());
+              let batch = Array.of_list pairs in
+              let serial =
+                Array.map
+                  (fun (anc, desc) ->
+                    Query.label_descendants pager store ~anc ~desc)
+                  batch
+              in
+              let par = Par_query.descendants_batch pool snap batch in
+              Array.iteri
+                (fun i expected ->
+                  check_same
+                    (Printf.sprintf "seed %d size %d batch[%d]" seed size i)
+                    expected par.(i))
+                serial))
+        [ 1; 2; 4 ])
+    [ 7; 21; 99 ]
+
+(* {1 Snapshot freshness} *)
+
+let staleness_detected () =
+  let doc = Parser.parse_string "<a><b><c/></b><b><c/><d/></b></a>" in
+  let ldoc = Labeled_doc.of_document doc in
+  let counters = Counters.create () in
+  let pager = Pager.create counters in
+  let store = Shredder.shred_label pager ldoc in
+  let sync = Label_sync.create pager store ldoc in
+  let snap = Read_snapshot.of_store pager store ldoc in
+  Alcotest.(check bool) "fresh after freeze" true (Read_snapshot.is_fresh snap);
+  let root = Option.get doc.root in
+  Labeled_doc.insert_subtree ldoc ~parent:root ~index:1
+    (Parser.parse_fragment "<b><c/></b>");
+  Alcotest.(check bool) "stale after mutation" false
+    (Read_snapshot.is_fresh snap);
+  Pool.with_pool ~size:2 (fun pool ->
+      (match Par_query.descendants pool snap ~anc:"b" ~desc:"c" with
+      | _ -> Alcotest.fail "stale snapshot answered a query"
+      | exception Read_snapshot.Stale _ -> ());
+      ignore (Label_sync.flush sync);
+      let snap' = Read_snapshot.refresh snap in
+      Alcotest.(check bool) "refresh rebuilds" true
+        (Read_snapshot.is_fresh snap');
+      check_same "refreshed snapshot sees the insert"
+        (Query.label_descendants pager store ~anc:"b" ~desc:"c")
+        (Par_query.descendants pool snap' ~anc:"b" ~desc:"c"))
+
+(* Two domains querying through mutate/flush/refresh cycles: the rebuilt
+   snapshot must agree with the serial plans after every round. *)
+let mutate_refresh_stress () =
+  let doc, ldoc, pager, store = setup_generated ~seed:5 ~nodes:800 in
+  let sync = Label_sync.create pager store ldoc in
+  let snap = ref (Read_snapshot.of_store pager store ldoc) in
+  let root = Option.get doc.root in
+  Pool.with_pool ~size:2 (fun pool ->
+      for round = 1 to 8 do
+        let anchor_index = round mod (1 + List.length (Dom.children root)) in
+        Labeled_doc.insert_subtree ldoc ~parent:root ~index:anchor_index
+          (Parser.parse_fragment "<probe><leaf/></probe>");
+        ignore (Label_sync.flush sync);
+        snap := Read_snapshot.refresh !snap;
+        check_same
+          (Printf.sprintf "round %d: probe//leaf" round)
+          (Query.label_descendants pager store ~anc:"probe" ~desc:"leaf")
+          (Par_query.descendants pool !snap ~anc:"probe" ~desc:"leaf");
+        match busy_tags !snap with
+        | anc :: desc :: _ ->
+          check_same
+            (Printf.sprintf "round %d: %s//%s" round anc desc)
+            (Query.label_descendants pager store ~anc ~desc)
+            (Par_query.descendants pool !snap ~anc ~desc)
+        | _ -> ()
+      done)
+
+let suite =
+  ( "exec",
+    [
+      case "parallel_for covers the range exactly once" `Quick
+        covers_range_once;
+      case "map preserves order" `Quick map_preserves_order;
+      case "body exceptions reach the caller" `Quick exceptions_propagate;
+      case "re-entrant parallel_for runs inline" `Quick reentrant_runs_inline;
+      case "stats account for chunks and workers" `Quick
+        stats_account_for_work;
+      case "parallel plans == serial plans (seeds x sizes 1/2/4)" `Slow
+        parallel_matches_serial;
+      case "stale snapshots refuse, refresh rebuilds" `Quick
+        staleness_detected;
+      case "2-domain mutate/flush/refresh stress" `Slow mutate_refresh_stress;
+    ] )

@@ -1,5 +1,5 @@
 (* Coverage for the ltree-lint pass itself: fixture sources under
-   test/lint_fixtures/ carry seeded violations of R1-R6; each rule must
+   test/lint_fixtures/ carry seeded violations of R1-R7; each rule must
    fire exactly where expected and the clean fixtures must stay silent.
    The fixture config rescopes the rules: [lint_fixtures/libroot/] plays
    the role of [lib/], [lint_fixtures/libroot/core/] of [lib/core/]. *)
@@ -13,6 +13,7 @@ let fixture_config =
     poly_allow = [ "lint_fixtures/libroot/allowed_poly.ml" ];
     print_allow = [];
     arith_allow = [ ("lint_fixtures/libroot/core/bad_arith.ml", "pow_ok") ];
+    global_allow = [ ("lint_fixtures/libroot/bad_global.ml", "ring") ];
   }
 
 let scan =
@@ -30,6 +31,9 @@ let seeded_violations () =
       "lint_fixtures/libroot/bad_catchall.ml:R3:2";
       "lint_fixtures/libroot/bad_catchall.ml:R3:3";
       "lint_fixtures/libroot/bad_catchall.ml:R3:5";
+      "lint_fixtures/libroot/bad_global.ml:R7:3";
+      "lint_fixtures/libroot/bad_global.ml:R7:4";
+      "lint_fixtures/libroot/bad_global.ml:R7:7";
       "lint_fixtures/libroot/bad_obj.ml:R1:2";
       "lint_fixtures/libroot/bad_obj.ml:R1:3";
       "lint_fixtures/libroot/bad_obj.ml:R1:4";
@@ -98,16 +102,16 @@ let parse_errors_reported () =
 let rule_registry () =
   let ids = List.map fst (Lint_rules.rule_ids ()) in
   Alcotest.(check (list string))
-    "all six rules registered"
-    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+    "all seven rules registered"
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
     (List.sort String.compare ids)
 
 let suite =
   ( "lint",
     [
-      case "seeded fixture violations (R1-R6)" `Quick seeded_violations;
+      case "seeded fixture violations (R1-R7)" `Quick seeded_violations;
       case "clean fixtures stay silent" `Quick clean_fixtures_silent;
       case "interface presence (R6)" `Quick mli_presence;
       case "parse errors reported" `Quick parse_errors_reported;
-      case "rule registry lists R1-R6" `Quick rule_registry;
+      case "rule registry lists R1-R7" `Quick rule_registry;
     ] )

@@ -43,5 +43,6 @@ let () =
        Test_relstore.suite;
        Test_label_sync.suite;
        Test_recovery.suite;
-       Test_workload.suite ]
+       Test_workload.suite;
+       Test_exec.suite ]
     @ scheme_suites)

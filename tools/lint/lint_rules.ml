@@ -13,6 +13,7 @@ type config = {
   poly_allow : string list;
   print_allow : string list;
   arith_allow : (string * string) list;
+  global_allow : (string * string) list;
 }
 
 let default_config =
@@ -48,6 +49,12 @@ let default_config =
         (* pow_checked and friends are the overflow-checked helpers *)
         ("lib/core/tuning.ml", "lattice");
         (* candidate f = s*m products, bounded by max_f: not label math *)
+      ];
+    global_allow =
+      [
+        ("lib/obs/span.ml", "ring");
+        (* the process-wide trace ring: audited — every access goes
+           through the module's own mutex (see DESIGN.md §11) *)
       ];
   }
 
@@ -541,12 +548,123 @@ let r6 =
     tcheck;
   }
 
+(* {1 R7 — no new top-level mutable globals in lib/} *)
+
+(* The constructors whose top-level application makes a process-wide
+   mutable value.  [Atomic.make], [Mutex.create], [Condition.create] and
+   [Domain.DLS.new_key] are deliberately absent: those are the sanctioned
+   domain-safe constructs the multicore layer is built from. *)
+let mutable_ctors =
+  [
+    "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create";
+    "Buffer.create"; "Array.make"; "Array.create_float"; "Bytes.create";
+    "Bytes.make";
+  ]
+
+let strip_stdlib s =
+  if has_prefix ~prefix:"Stdlib." s then
+    String.sub s 7 (String.length s - 7)
+  else s
+
+(* The mutable constructor a binding's RHS applies, if any.  Unwraps
+   type annotations; anything else (function bodies, module aliases,
+   immutable structured data) is not a mutable global. *)
+let rec mutable_ctor_of (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> mutable_ctor_of e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _ :: _) ->
+    let name = strip_stdlib (lident_to_string txt) in
+    if List.exists (String.equal name) mutable_ctors then Some name
+    else None
+  | _ -> None
+
+let r7 =
+  let check config src =
+    match src.impl with
+    | None -> []
+    | Some str ->
+      let out = ref [] in
+      let file_allow =
+        List.filter_map
+          (fun (p, b) -> if String.equal p src.path then Some b else None)
+          config.global_allow
+      in
+      if List.exists (String.equal "*") file_allow then []
+      else begin
+        let binding_name (p : Parsetree.pattern) =
+          let rec go (p : Parsetree.pattern) =
+            match p.ppat_desc with
+            | Ppat_var { txt; _ } -> Some txt
+            | Ppat_constraint (p, _) -> go p
+            | _ -> None
+          in
+          go p
+        in
+        let flag vb ctor =
+          let name =
+            match binding_name vb.Parsetree.pvb_pat with
+            | Some n -> n
+            | None -> "_"
+          in
+          if not (List.exists (String.equal name) file_allow) then
+            out :=
+              violation ~rule:"R7" ~file:src.path ~loc:vb.pvb_loc
+                ~message:
+                  (Printf.sprintf
+                     "top-level mutable global `%s` (%s) in lib/" name
+                     ctor)
+                ~hint:
+                  "shared mutable state breaks domain-safety; make it \
+                   per-instance, use Atomic/Mutex-guarded state, or \
+                   allowlist it in global_allow after an audit"
+              :: !out
+        in
+        let rec scan_items items =
+          List.iter
+            (fun (item : Parsetree.structure_item) ->
+              match item.pstr_desc with
+              | Pstr_value (_, vbs) ->
+                List.iter
+                  (fun (vb : Parsetree.value_binding) ->
+                    match mutable_ctor_of vb.pvb_expr with
+                    | Some ctor -> flag vb ctor
+                    | None -> ())
+                  vbs
+              | Pstr_module { pmb_expr; _ } -> scan_module pmb_expr
+              | Pstr_recmodule mbs ->
+                List.iter
+                  (fun (mb : Parsetree.module_binding) ->
+                    scan_module mb.pmb_expr)
+                  mbs
+              | _ -> ())
+            items
+        and scan_module (m : Parsetree.module_expr) =
+          match m.pmod_desc with
+          | Pmod_structure items -> scan_items items
+          | Pmod_constraint (m, _) -> scan_module m
+          | _ -> ()
+        in
+        scan_items str;
+        List.rev !out
+      end
+  in
+  {
+    id = "R7";
+    doc = "no new top-level ref/Hashtbl/mutable globals in lib/";
+    applies =
+      (fun config path ->
+        has_prefix ~prefix:config.lib_prefix path
+        && Filename.check_suffix path ".ml");
+    check;
+  }
+
 let () =
   register_rule r1;
   register_rule r2;
   register_rule r3;
   register_rule r4;
   register_rule r5;
+  register_rule r7;
   register_tree_rule r6
 
 (* {1 Driving} *)

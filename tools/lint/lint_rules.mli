@@ -17,10 +17,16 @@
       through the overflow-checked [Params.pow_radix]/[Params.pow_m]
       (flagged by syntactic context; the helpers' own bodies are
       allowlisted);
-    - {b R6} every [lib/**/X.ml] has a matching [X.mli]. *)
+    - {b R6} every [lib/**/X.ml] has a matching [X.mli];
+    - {b R7} no new top-level mutable globals ([ref]/[Hashtbl.create]/
+      [Queue.create]/...) in [lib/] outside the allowlist — shared
+      mutable state is what breaks domain-safety.  [Atomic.make],
+      [Mutex.create], [Condition.create] and [Domain.DLS.new_key] are
+      deliberately unflagged: they are the sanctioned domain-safe
+      constructs. *)
 
 type violation = {
-  rule : string;  (** "R1" .. "R6", or "parse" for unreadable sources *)
+  rule : string;  (** "R1" .. "R7", or "parse" for unreadable sources *)
   file : string;  (** normalized path, '/'-separated *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based *)
@@ -37,12 +43,15 @@ type config = {
   print_allow : string list;  (** R4 allowlist (path or prefix) *)
   arith_allow : (string * string) list;
       (** R5 allowlist: (path, top-level binding name), ["*"] = whole file *)
+  global_allow : (string * string) list;
+      (** R7 allowlist: (path, top-level binding name), ["*"] = whole file *)
 }
 
 (** The repository's configuration: scope [lib/], allowlist the label-
-    as-int modules for R2, [Ltree_metrics.Table]'s printer for R4 and the
+    as-int modules for R2, [Ltree_metrics.Table]'s printer for R4, the
     [Params] power helpers (plus [Tuning.lattice], whose products are
-    bounded by [max_f]) for R5. *)
+    bounded by [max_f]) for R5, and the mutex-guarded [Span] trace ring
+    for R7. *)
 val default_config : config
 
 (** [rule_ids ()] lists (id, one-line doc) for every registered rule. *)

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-query bench-recovery bench-parallel bench-parallel-smoke examples soak lint selfcheck selfcheck-quick crash-matrix crash-matrix-quick trace-smoke ci clean
+.PHONY: all build test bench bench-query bench-recovery bench-parallel bench-parallel-smoke examples soak lint analyze analyze-baseline selfcheck selfcheck-quick crash-matrix crash-matrix-quick trace-smoke ci clean
 
 all: build
 
@@ -8,10 +8,28 @@ build:
 test:
 	dune runtest --force
 
-# Static analysis: the compiler-libs lint pass (tools/lint) over
-# lib/ bin/ bench/ examples/.  Fails on any R1-R7 violation.
+# Static analysis, untyped pass: the Parsetree lint (tools/lint) over
+# lib/ bin/ bench/ examples/ tools/.  Fails on any violation; the rule
+# table is DESIGN.md section 7.
 lint:
 	dune build @lint
+
+# Static analysis, typed pass: the cmt-based interprocedural analyzer
+# (tools/analyze) over lib/ — domain-safety taint (R8), hot-path
+# allocations (R9) and allowlist hygiene (A1/A2).  Findings not in
+# tools/analyze/baseline.txt fail the build.
+analyze:
+	dune build @all
+	dune exec tools/analyze/ltree_analyze.exe -- \
+	  --build _build/default --baseline tools/analyze/baseline.txt lib
+
+# Refresh the analyzer baseline (new findings land as UNREVIEWED and
+# still need an audit note citing DESIGN.md before CI accepts them).
+analyze-baseline:
+	dune build @all
+	dune exec tools/analyze/ltree_analyze.exe -- \
+	  --build _build/default --baseline tools/analyze/baseline.txt \
+	  --write-baseline lib
 
 # Dynamic analysis: replay randomized workloads and validate every
 # invariant registered in the Ltree_analysis.Invariant registry.
@@ -43,6 +61,7 @@ trace-smoke:
 
 ci:
 	dune build @all && dune runtest --force && dune build @lint && \
+	$(MAKE) analyze && \
 	$(MAKE) selfcheck-quick && $(MAKE) crash-matrix-quick && \
 	$(MAKE) trace-smoke && $(MAKE) bench-parallel-smoke && \
 	dune exec bench/exp_query.exe -- --n 2000 --queries 100 --json BENCH_query.json

@@ -87,10 +87,10 @@ let tags t =
   List.sort String.compare
     (Hashtbl.fold (fun tag _ acc -> tag :: acc) t.slices [])
 
-let slice t tag =
-  match Hashtbl.find_opt t.slices tag with
-  | Some s -> s
-  | None -> empty_slice
+(* [Hashtbl.find] instead of [find_opt]: plan bodies call this per
+   step and the option would be their only allocation. *)
+let[@ltree.hot] slice t tag =
+  try Hashtbl.find t.slices tag with Not_found -> empty_slice
 
 (* An entry view of a slice for the shared array-join code.  The [rids]
    slot carries Dom ids, not row ids: snapshot joins never go back to
@@ -101,11 +101,11 @@ let entry_of_slice s =
     rids = s.s_ids;
     len = s.s_len }
 
-let is_fresh t =
+let[@ltree.hot] is_fresh t =
   t.snap_version = Ltree_doc.Labeled_doc.version t.src.src_doc
   && t.snap_generation = Label_index.generation t.src.src_store.Shredder.label_index
 
-let ensure_fresh t =
+let[@ltree.hot] ensure_fresh t =
   let live_v = Ltree_doc.Labeled_doc.version t.src.src_doc in
   let live_g = Label_index.generation t.src.src_store.Shredder.label_index in
   if t.snap_version <> live_v || t.snap_generation <> live_g then

@@ -159,7 +159,7 @@ let repair t counters ~fetch tag entry touched =
      so binary-search each insertion's splice point (charging log
      comparisons per probe) and blit the survivor runs wholesale, rather
      than paying one comparison per surviving row. *)
-  let splice_point lo key =
+  let[@ltree.hot] splice_point lo key =
     let l = ref lo and h = ref !ns in
     while !l < !h do
       let mid = (!l + !h) / 2 in
@@ -169,7 +169,7 @@ let repair t counters ~fetch tag entry touched =
     !l
   in
   let i = ref 0 and o = ref 0 in
-  let blit_survivors upto =
+  let[@ltree.hot] blit_survivors upto =
     let run = upto - !i in
     if run > 0 then begin
       Array.blit surv_s !i out_s !o run;
@@ -211,7 +211,7 @@ let entry t counters ~rids_of_tag ~fetch tag =
 
 (* First position in [e] with start > key (binary search; one comparison
    charged per probe). *)
-let upper_bound counters e key =
+let[@ltree.hot] upper_bound counters e key =
   let lo = ref 0 and hi = ref e.len in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in

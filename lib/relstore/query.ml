@@ -152,20 +152,26 @@ let tag_entry pager (store : label_store) tag =
    of grinding through unmatched rows (the staircase skip).  [emit] gets
    the input positions of each (ancestor, descendant) containment pair;
    descendant positions arrive in ascending order, duplicates adjacent. *)
-let array_join counters (a : Label_index.entry) (d : Label_index.entry) ~emit
-    =
-  let stack_end = ref (Array.make 16 0) in
-  let stack_pos = ref (Array.make 16 0) in
+let[@ltree.hot] array_join counters (a : Label_index.entry)
+    (d : Label_index.entry) ~emit =
+  (* [@ltree.cold]: per-call setup — two 16-slot scratch arrays and the
+     stack helpers' closures are the join's only allocations, paid once
+     per join, never per row.  The per-row path below is checked
+     allocation-free by R9 (ltree-analyze). *)
+  let[@ltree.cold] stack_end = ref (Array.make 16 0) in
+  let[@ltree.cold] stack_pos = ref (Array.make 16 0) in
   let sp = ref 0 in
-  let push apos aend =
-    if !sp = Array.length !stack_end then begin
-      let bigger_end = Array.make (2 * !sp) 0
-      and bigger_pos = Array.make (2 * !sp) 0 in
-      Array.blit !stack_end 0 bigger_end 0 !sp;
-      Array.blit !stack_pos 0 bigger_pos 0 !sp;
-      stack_end := bigger_end;
-      stack_pos := bigger_pos
-    end;
+  let[@ltree.cold] push apos aend =
+    (if !sp = Array.length !stack_end then
+       begin
+         (* amortized doubling: off the per-row fast path *)
+         let bigger_end = Array.make (2 * !sp) 0
+         and bigger_pos = Array.make (2 * !sp) 0 in
+         Array.blit !stack_end 0 bigger_end 0 !sp;
+         Array.blit !stack_pos 0 bigger_pos 0 !sp;
+         stack_end := bigger_end;
+         stack_pos := bigger_pos
+       end [@ltree.cold]);
     !stack_end.(!sp) <- aend;
     !stack_pos.(!sp) <- apos;
     incr sp
@@ -173,7 +179,7 @@ let array_join counters (a : Label_index.entry) (d : Label_index.entry) ~emit
   (* Pop open ancestors whose interval closed before [bound].  Stack
      ends decrease upward (intervals nest), so stopping at the first
      survivor is enough. *)
-  let pop_closed bound =
+  let[@ltree.cold] pop_closed bound =
     let closing = ref true in
     while !closing && !sp > 0 do
       Counters.add_comparison counters 1;

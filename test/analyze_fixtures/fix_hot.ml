@@ -1,0 +1,21 @@
+(* R9 fixture: seeded allocations inside [@ltree.hot] functions. *)
+
+(* Closure (the literal passed to map) plus an allocating stdlib call. *)
+let[@ltree.hot] bad_closure k xs = List.map (fun x -> x + k) xs
+
+(* Tuple on the fast path. *)
+let[@ltree.hot] bad_tuple a b = (b, a)
+
+(* List cons. *)
+let[@ltree.hot] bad_cons x xs = x :: xs
+
+(* Boxed float arithmetic. *)
+let[@ltree.hot] bad_float x = x *. 2.0
+
+(* Interprocedural: the callee allocates, so the hot caller is flagged
+   even though its own body is allocation-free. *)
+let grow n = Array.make n 0
+let[@ltree.hot] bad_call n = grow n
+
+(* Not annotated: allocates freely without a finding. *)
+let not_hot xs = List.rev (List.map (fun x -> x + 1) xs)

@@ -1,0 +1,27 @@
+(* R9 fixture: [@ltree.hot] functions that honour the zero-alloc
+   contract — none of these may fire. *)
+
+(* Accumulator recursion: self-calls stay allocation-free. *)
+let[@ltree.hot] rec good_sum (arr : int array) i acc =
+  if i >= Array.length arr then acc
+  else good_sum arr (i + 1) (acc + arr.(i))
+
+(* Binary search with int refs: refs of immediates do not box, so the
+   analyzer deliberately does not flag [ref] on hot paths. *)
+let[@ltree.hot] good_search (arr : int array) key =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* An audited slow path opts out with [@ltree.cold]. *)
+let grow n = Array.make n 1
+
+let[@ltree.hot] good_cold n =
+  if n > 1_000 then (grow n [@ltree.cold]) else [||]
+
+(* Error paths (raise-like calls) are not fast-path allocations. *)
+let[@ltree.hot] good_raise n =
+  if n < 0 then invalid_arg (string_of_int n) else n

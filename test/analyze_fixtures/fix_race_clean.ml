@@ -1,0 +1,48 @@
+(* R8 fixture: parallel scopes whose state handling is sound — none of
+   these may fire.  [run_locked] is the one deliberate exception: the
+   analyzer cannot see lock discipline, so it fires by design and the
+   test suppresses it through a race_allow entry (exercising the
+   allowlist use-count). *)
+
+module Pool = struct
+  let parallel_for ~lo ~hi (body : int -> int -> unit) = body lo hi
+  let map (f : int -> int) (xs : int array) = Array.map f xs
+end
+
+(* Atomic-mediated global: must NOT fire. *)
+let hits = Atomic.make 0
+
+let run_atomic () =
+  Pool.parallel_for ~lo:0 ~hi:4 (fun lo _hi ->
+      ignore (Atomic.fetch_and_add hits lo))
+
+(* Scratch state created inside the spawned closure is domain-private. *)
+let run_closure_local () =
+  Pool.parallel_for ~lo:0 ~hi:4 (fun lo hi ->
+      let scratch : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      Hashtbl.replace scratch lo hi)
+
+(* Domain-local storage is the sanctioned per-domain mutable cell. *)
+let slot = Domain.DLS.new_key (fun () -> 0)
+
+let run_dls () =
+  Pool.parallel_for ~lo:0 ~hi:4 (fun lo _hi ->
+      Domain.DLS.set slot (Domain.DLS.get slot + lo))
+
+(* Captured state that is only read is safe. *)
+let run_read_only () =
+  let data = Array.make 16 1 in
+  let sum = Atomic.make 0 in
+  Pool.parallel_for ~lo:0 ~hi:16 (fun lo _hi ->
+      ignore (Atomic.fetch_and_add sum data.(lo)))
+
+(* Mutex-guarded global write: fires by design, allowlisted in the
+   test's race_allow with an audit note. *)
+let guarded : (int, int) Hashtbl.t = Hashtbl.create 8
+let mu = Mutex.create ()
+
+let run_locked () =
+  Pool.parallel_for ~lo:0 ~hi:4 (fun lo _hi ->
+      Mutex.lock mu;
+      Hashtbl.replace guarded lo lo;
+      Mutex.unlock mu)

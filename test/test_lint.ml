@@ -13,7 +13,11 @@ let fixture_config =
     poly_allow = [ "lint_fixtures/libroot/allowed_poly.ml" ];
     print_allow = [];
     arith_allow = [ ("lint_fixtures/libroot/core/bad_arith.ml", "pow_ok") ];
-    global_allow = [ ("lint_fixtures/libroot/bad_global.ml", "ring") ];
+    global_allow =
+      [
+        ( "lint_fixtures/libroot/bad_global.ml", "ring",
+          "fixture: stands in for an audited global; DESIGN.md section 7" );
+      ];
   }
 
 let scan =
@@ -102,9 +106,54 @@ let parse_errors_reported () =
 let rule_registry () =
   let ids = List.map fst (Lint_rules.rule_ids ()) in
   Alcotest.(check (list string))
-    "all seven rules registered"
-    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
+    "all eight rules registered"
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R7a" ]
     (List.sort String.compare ids)
+
+let render_rules vs =
+  List.map (fun (v : Lint_rules.violation) -> v.rule) vs
+
+let allowlist_stale () =
+  let cfg =
+    {
+      fixture_config with
+      Lint_rules.global_allow =
+        [
+          ( "lint_fixtures/libroot/bad_global.ml", "vanished",
+            "entry for deleted code; DESIGN.md section 7" );
+          ( "lint_fixtures/libroot/no_such_file.ml", "ring",
+            "entry for deleted file; DESIGN.md section 7" );
+        ];
+    }
+  in
+  let hits =
+    Lint_rules.check_mli_presence cfg
+      [ "lint_fixtures/libroot/bad_global.ml";
+        "lint_fixtures/libroot/bad_global.mli" ]
+  in
+  Alcotest.(check (list string))
+    "both stale allowlist shapes raise R7a" [ "R7a"; "R7a" ]
+    (render_rules hits)
+
+let allowlist_note () =
+  let cfg =
+    {
+      fixture_config with
+      Lint_rules.global_allow =
+        [
+          ( "lint_fixtures/libroot/bad_global.ml", "ring",
+            "audited, but missing the crossref" );
+        ];
+    }
+  in
+  let hits =
+    Lint_rules.check_mli_presence cfg
+      [ "lint_fixtures/libroot/bad_global.ml";
+        "lint_fixtures/libroot/bad_global.mli" ]
+  in
+  Alcotest.(check (list string))
+    "note without DESIGN.md crossref raises R7a" [ "R7a" ]
+    (render_rules hits)
 
 let suite =
   ( "lint",
@@ -113,5 +162,8 @@ let suite =
       case "clean fixtures stay silent" `Quick clean_fixtures_silent;
       case "interface presence (R6)" `Quick mli_presence;
       case "parse errors reported" `Quick parse_errors_reported;
-      case "rule registry lists R1-R7" `Quick rule_registry;
+      case "rule registry lists R1-R7a" `Quick rule_registry;
+      case "stale global_allow entries raise R7a" `Quick allowlist_stale;
+      case "global_allow notes must cite DESIGN.md (R7a)" `Quick
+        allowlist_note;
     ] )

@@ -33,6 +33,7 @@ let () =
        Test_analysis.suite;
        Test_invariant.suite;
        Test_lint.suite;
+       Test_analyze.suite;
        Test_bitstring.suite;
        Test_xml.suite;
        Test_doc.suite;

@@ -1,0 +1,1207 @@
+(* ltree-analyze: typed interprocedural analysis over .cmt artifacts.
+
+   Where tools/lint works on the untyped Parsetree one file at a time,
+   this pass loads the Typedtree of every compiled unit, builds a call
+   graph with nested-function nodes and parameter-mutation summaries,
+   and runs two rule families:
+
+   - R8 (domain-safety): compute the set of functions reachable from
+     parallel entry points (closures or function idents handed to
+     [Pool.parallel_for]/[Pool.map]/[Domain.spawn], transitively
+     through project wrappers such as [Par_query.chunked]) and flag
+     any access to mutable state that is not local to the spawned
+     scope and not mediated by Atomic / a Mutex-guarded module /
+     Domain.DLS.  Residual accesses must be allowlisted in
+     [race_allow] with an audit note citing DESIGN.md.
+
+   - R9 (hot-path allocation): functions carrying [@ltree.hot] must
+     not allocate on their fast path.  Closures, tuples, non-constant
+     constructors, records, boxed floats, allocating stdlib calls and
+     calls into project functions that may allocate are all reported
+     with the allocating expression.  [@ltree.cold] marks audited
+     slow-path regions (resize branches, error paths) that are
+     excluded, and [raise]/[failwith]/[invalid_arg]/[assert] subtrees
+     are skipped as error paths.
+
+   The analyzer additionally checks its own configuration hygiene:
+   A1 flags [race_allow] entries that no longer suppress anything
+   (stale allowlist) and A2 flags entries whose audit note does not
+   cite DESIGN.md.  A1/A2 are never baselinable. *)
+
+type finding = {
+  rule : string;  (* "R8" | "R9" | "A1" | "A2" *)
+  file : string;
+  line : int;  (* 1-based; 0 for config-level findings *)
+  col : int;
+  func : string;  (* owning function key, e.g. "Ltree_exec.Pool.map" *)
+  message : string;
+  hint : string;
+  fingerprint : string;  (* stable id used by --baseline *)
+}
+
+type config = {
+  parallel_entries : string list;
+      (* function names (module-boundary suffixes) whose call sites
+         spawn their function arguments onto other domains *)
+  sync_prefixes : string list;
+      (* fully-qualified prefixes of the sanctioned synchronisation
+         primitives; calls into these are never flagged *)
+  guarded_modules : (string * string) list;
+      (* (module key, audit note): modules whose entry points lock
+         internally — passing shared state INTO them is mediated *)
+  race_allow : (string * string) list;
+      (* (owner-function pattern, audit note).  A pattern is an exact
+         function key or a prefix ending in ".*".  Every entry must
+         cite DESIGN.md (A2) and still suppress >= 1 finding (A1). *)
+  hot_attr : string;  (* attribute marking zero-alloc functions *)
+  cold_attr : string;  (* attribute marking audited slow-path regions *)
+  mutable_ctors : string list;
+      (* constructors whose top-level application makes a mutable
+         global whose mere *read* from a parallel scope is flagged *)
+  alloc_calls : string list;  (* stdlib functions that allocate *)
+  alloc_call_prefixes : string list;  (* prefix-matched alloc calls *)
+  float_ops : string list;  (* operators producing boxed floats *)
+  raise_like : string list;  (* error-path heads: subtree skipped *)
+}
+
+let default_config =
+  {
+    parallel_entries = [ "Pool.parallel_for"; "Pool.map"; "Domain.spawn" ];
+    sync_prefixes =
+      [
+        "Stdlib.Atomic."; "Stdlib.Mutex."; "Stdlib.Condition.";
+        "Stdlib.Semaphore."; "Stdlib.Domain.DLS.";
+      ];
+    guarded_modules =
+      [
+        ( "Ltree_obs.Histogram",
+          "observe/observe_int/snapshot lock the histogram's own mutex \
+           (DESIGN.md section 10)" );
+        ( "Ltree_obs.Registry",
+          "every registry operation runs under the registry mutex \
+           (DESIGN.md section 10)" );
+      ];
+    race_allow =
+      [
+        ( "Ltree_exec.Pool.*",
+          "pool internals: chunk claims go through an Atomic cursor, \
+           each closure writes only its own result/failure slot and the \
+           completion barrier publishes them; audited in DESIGN.md \
+           section 11" );
+        ( "Ltree_exec.Par_query.*",
+          "parallel plans write per-chunk slots of freshly allocated \
+           buffers (slot index = chunk index, pairwise disjoint), \
+           merged after the pool barrier; audited in DESIGN.md \
+           section 11" );
+        ( "Ltree_recovery.Crash_matrix.run.*",
+          "matrix cells share the replay cache and progress counter \
+           under cache_mu/progress_mu; audited in DESIGN.md section 9" );
+        ( "Ltree_obs.Span.*",
+          "the process-wide trace ring is the R7-allowlisted global; \
+           every access runs under ring_mu; audited in DESIGN.md \
+           section 10" );
+      ];
+    hot_attr = "ltree.hot";
+    cold_attr = "ltree.cold";
+    mutable_ctors =
+      [
+        "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create";
+        "Buffer.create"; "Array.make"; "Array.create_float";
+        "Bytes.create"; "Bytes.make";
+      ];
+    alloc_calls =
+      [
+        "Stdlib.Array.make"; "Stdlib.Array.init"; "Stdlib.Array.sub";
+        "Stdlib.Array.copy"; "Stdlib.Array.append"; "Stdlib.Array.concat";
+        "Stdlib.Array.to_list"; "Stdlib.Array.of_list"; "Stdlib.Array.map";
+        "Stdlib.Array.mapi"; "Stdlib.Array.make_matrix";
+        "Stdlib.List.map"; "Stdlib.List.mapi"; "Stdlib.List.init";
+        "Stdlib.List.append"; "Stdlib.List.rev"; "Stdlib.List.rev_append";
+        "Stdlib.List.concat"; "Stdlib.List.sort"; "Stdlib.List.stable_sort";
+        "Stdlib.List.filter"; "Stdlib.List.filter_map"; "Stdlib.List.flatten";
+        "Stdlib.String.make"; "Stdlib.String.sub"; "Stdlib.String.concat";
+        "Stdlib.String.init"; "Stdlib.String.map"; "Stdlib.String.uppercase_ascii";
+        "Stdlib.String.lowercase_ascii";
+        "Stdlib.^"; "Stdlib.@"; "Stdlib.string_of_int";
+        "Stdlib.string_of_float"; "Stdlib.float_of_string";
+        "Stdlib.Bytes.create"; "Stdlib.Bytes.make"; "Stdlib.Bytes.sub";
+        "Stdlib.Bytes.copy"; "Stdlib.Bytes.to_string"; "Stdlib.Bytes.of_string";
+        "Stdlib.Buffer.create"; "Stdlib.Buffer.contents";
+        "Stdlib.Hashtbl.create"; "Stdlib.Hashtbl.copy";
+        "Stdlib.Hashtbl.fold"; "Stdlib.Hashtbl.find_opt";
+        "Stdlib.Queue.create"; "Stdlib.Stack.create";
+      ];
+    alloc_call_prefixes = [ "Stdlib.Printf."; "Stdlib.Format." ];
+    float_ops =
+      [
+        "Stdlib.+."; "Stdlib.-."; "Stdlib.*."; "Stdlib./."; "Stdlib.~-.";
+        "Stdlib.**"; "Stdlib.float_of_int"; "Stdlib.abs_float";
+      ];
+    raise_like =
+      [
+        "Stdlib.raise"; "Stdlib.raise_notrace"; "Stdlib.failwith";
+        "Stdlib.invalid_arg";
+      ];
+  }
+
+(* {1 Small helpers} *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let has_suffix ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix)
+       (String.length suffix)
+     = suffix
+
+(* "Ltree_exec__Par_query" (dune's wrapped-library mangling) ->
+   "Ltree_exec.Par_query". *)
+let normalize_unit name =
+  let b = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && name.[!i] = '_' && name.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b name.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let strip_stdlib s =
+  if has_prefix ~prefix:"Stdlib." s then String.sub s 7 (String.length s - 7)
+  else s
+
+let pos_of (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+(* An owner pattern from [race_allow]: exact key, or "Prefix.*". *)
+let pattern_matches pat key =
+  if has_suffix ~suffix:".*" pat then
+    has_prefix ~prefix:(String.sub pat 0 (String.length pat - 1)) key
+  else String.equal pat key
+
+let attr_present name (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs
+
+(* {1 Unit loading} *)
+
+type unit_info = {
+  u_name : string;  (* normalized module path, e.g. "Ltree_exec.Pool" *)
+  u_file : string;  (* source path for reporting *)
+  u_str : Typedtree.structure;
+}
+
+let load_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception (Sys_error _ | End_of_file | Failure _) -> None
+  | exception Cmi_format.Error _ -> None
+  | exception Cmt_format.Error _ -> None
+  | info -> (
+    match info.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation str ->
+      let file =
+        match info.Cmt_format.cmt_sourcefile with Some f -> f | None -> path
+      in
+      Some
+        { u_name = normalize_unit info.Cmt_format.cmt_modname;
+          u_file = file; u_str = str }
+    | _ -> None)
+
+(* Typecheck a self-contained source in-process: the hermetic path the
+   fixture tests use (no dune build of the fixtures required).  The
+   source may only depend on Stdlib. *)
+let typecheck_impl ~unit_name ~path source =
+  ignore (Warnings.parse_options false "-a");
+  Clflags.dont_write_files := true;
+  Compmisc.init_path ();
+  let env = Compmisc.initial_env () in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  let past = Parse.implementation lexbuf in
+  let tstr, _, _, _, _ = Typemod.type_structure env past in
+  { u_name = unit_name; u_file = path; u_str = tstr }
+
+(* {1 Identifier resolution}
+
+   Node keys are dot-paths rooted at the unit name:
+   "Ltree_exec.Par_query.chunked", nested functions append their path
+   ("Ltree_recovery.Crash_matrix.run.eval_cell").  Each unit carries a
+   stamp table mapping local idents (functions, local modules, module
+   aliases) to keys so that same-unit references resolve to the same
+   key as cross-unit ones. *)
+
+type uctx = {
+  uc_unit : string;
+  uc_file : string;
+  uc_stamps : (string, string) Hashtbl.t;  (* Ident.unique_name -> key *)
+}
+
+let rec path_key uc (p : Path.t) =
+  match p with
+  | Path.Pident id -> (
+    match Hashtbl.find_opt uc.uc_stamps (Ident.unique_name id) with
+    | Some k -> k
+    | None -> normalize_unit (Ident.name id))
+  | Path.Pdot (p, s) -> path_key uc p ^ "." ^ s
+  | Path.Papply (p, _) -> path_key uc p
+  | Path.Pextra_ty (p, _) -> path_key uc p
+
+(* {1 Program model} *)
+
+type node = {
+  n_key : string;
+  n_uc : uctx;
+  n_loc : Location.t;
+  n_body : Typedtree.expression;  (* includes the curried spine *)
+  n_hot : bool;
+}
+
+type global = {
+  g_key : string;
+  g_mutable : bool;  (* built by one of [mutable_ctors] *)
+}
+
+type program = {
+  nodes : (string, node) Hashtbl.t;
+  globals : (string, global) Hashtbl.t;
+}
+
+let binding_ident (p : Typedtree.pattern) =
+  let rec go (p : Typedtree.pattern) =
+    match p.pat_desc with
+    | Typedtree.Tpat_var (id, _) -> Some id
+    (* A constrained binding [let x : t = e] typechecks as
+       [Tpat_alias (Tpat_any, x, _)], so the alias ident is the binder. *)
+    | Typedtree.Tpat_alias (p, id, _) ->
+      (match go p with Some _ as s -> s | None -> Some id)
+    | _ -> None
+  in
+  go p
+
+let is_function (e : Typedtree.expression) =
+  match e.exp_desc with Typedtree.Texp_function _ -> true | _ -> false
+
+(* The mutable constructor applied by a top-level RHS, if any (same
+   notion as lint's R7, but over the Typedtree). *)
+let mutable_ctor_of cfg uc (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_apply
+      ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, _ :: _) ->
+    let name = strip_stdlib (path_key uc p) in
+    List.exists (String.equal name) cfg.mutable_ctors
+  | _ -> false
+
+(* Register every let-bound function in [e] (recursively) as a node
+   keyed under [prefix], stamping the binder so references resolve. *)
+let rec register_fns cfg prog uc ~prefix ~hot_inherited
+    (vbs : Typedtree.value_binding list) =
+  List.iter
+    (fun (vb : Typedtree.value_binding) ->
+      match binding_ident vb.vb_pat with
+      | Some id when is_function vb.vb_expr ->
+        let key = prefix ^ "." ^ Ident.name id in
+        let hot = hot_inherited || attr_present cfg.hot_attr vb.vb_attributes in
+        Hashtbl.replace uc.uc_stamps (Ident.unique_name id) key;
+        Hashtbl.replace prog.nodes key
+          { n_key = key; n_uc = uc; n_loc = vb.vb_loc; n_body = vb.vb_expr;
+            n_hot = hot };
+        register_nested cfg prog uc ~prefix:key vb.vb_expr
+      | _ -> ())
+    vbs
+
+and register_nested cfg prog uc ~prefix (e : Typedtree.expression) =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub (e : Typedtree.expression) ->
+          (match e.exp_desc with
+          | Typedtree.Texp_let (_, vbs, _) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                match binding_ident vb.vb_pat with
+                | Some id when is_function vb.vb_expr ->
+                  let key = prefix ^ "." ^ Ident.name id in
+                  let hot = attr_present cfg.hot_attr vb.vb_attributes in
+                  Hashtbl.replace uc.uc_stamps (Ident.unique_name id) key;
+                  if not (Hashtbl.mem prog.nodes key) then
+                    Hashtbl.replace prog.nodes key
+                      { n_key = key; n_uc = uc; n_loc = vb.vb_loc;
+                        n_body = vb.vb_expr; n_hot = hot }
+                | _ -> ())
+              vbs
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it e
+
+let rec register_structure cfg prog uc ~prefix (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            match binding_ident vb.vb_pat with
+            | Some _ when is_function vb.vb_expr -> ()
+            | Some id ->
+              let key = prefix ^ "." ^ Ident.name id in
+              Hashtbl.replace uc.uc_stamps (Ident.unique_name id) key;
+              Hashtbl.replace prog.globals key
+                { g_key = key;
+                  g_mutable = mutable_ctor_of cfg uc vb.vb_expr }
+            | None -> ())
+          vbs;
+        register_fns cfg prog uc ~prefix ~hot_inherited:false vbs
+      | Typedtree.Tstr_module mb -> register_module cfg prog uc ~prefix mb
+      | Typedtree.Tstr_recmodule mbs ->
+        List.iter (register_module cfg prog uc ~prefix) mbs
+      | _ -> ())
+    str.str_items
+
+and register_module cfg prog uc ~prefix (mb : Typedtree.module_binding) =
+  let name = match mb.mb_id with Some id -> Some id | None -> None in
+  let rec strip (m : Typedtree.module_expr) =
+    match m.mod_desc with
+    | Typedtree.Tmod_constraint (m, _, _, _) -> strip m
+    | _ -> m
+  in
+  let m = strip mb.mb_expr in
+  match (name, m.mod_desc) with
+  | Some id, Typedtree.Tmod_structure str ->
+    let key = prefix ^ "." ^ Ident.name id in
+    Hashtbl.replace uc.uc_stamps (Ident.unique_name id) key;
+    register_structure cfg prog uc ~prefix:key str
+  | Some id, Typedtree.Tmod_ident (p, _) ->
+    (* module alias: references through the alias resolve to the
+       target's key, so "module H = Ltree_obs.Histogram" behaves like
+       the real thing *)
+    Hashtbl.replace uc.uc_stamps (Ident.unique_name id) (path_key uc p)
+  | _ -> ()
+
+let build_program cfg units =
+  let prog = { nodes = Hashtbl.create 256; globals = Hashtbl.create 64 } in
+  List.iter
+    (fun u ->
+      let uc =
+        { uc_unit = u.u_name; uc_file = u.u_file;
+          uc_stamps = Hashtbl.create 64 }
+      in
+      register_structure cfg prog uc ~prefix:u.u_name u.u_str)
+    units;
+  prog
+
+(* {1 Generic body facts}
+
+   One walk per scope collects everything the rules need: bound
+   idents, setfield targets, applications (head key + matched args),
+   references to project nodes / globals. *)
+
+type app = {
+  a_head : string;  (* resolved head key *)
+  a_args : (Asttypes.arg_label * Typedtree.expression) list;
+  a_loc : Location.t;
+}
+
+type facts = {
+  f_locals : (string, unit) Hashtbl.t;  (* Ident.unique_name *)
+  mutable f_apps : app list;
+  mutable f_refs : (string * Location.t) list;  (* resolved Texp_ident *)
+  mutable f_setfields :
+    (Typedtree.expression * string * Location.t) list;  (* target, label *)
+}
+
+let collect_facts uc (e : Typedtree.expression) =
+  let f =
+    { f_locals = Hashtbl.create 64; f_apps = []; f_refs = [];
+      f_setfields = [] }
+  in
+  let pat : type k. Tast_iterator.iterator -> k Typedtree.general_pattern
+      -> unit =
+   fun sub p ->
+    (match p.pat_desc with
+    | Typedtree.Tpat_var (id, _) ->
+      Hashtbl.replace f.f_locals (Ident.unique_name id) ()
+    | Typedtree.Tpat_alias (_, id, _) ->
+      Hashtbl.replace f.f_locals (Ident.unique_name id) ()
+    | _ -> ());
+    Tast_iterator.default_iterator.pat sub p
+  in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) ->
+      f.f_refs <- (path_key uc p, e.exp_loc) :: f.f_refs
+    | Typedtree.Texp_for (id, _, _, _, _, _) ->
+      Hashtbl.replace f.f_locals (Ident.unique_name id) ()
+    | Typedtree.Texp_setfield (tgt, _, lbl, _) ->
+      f.f_setfields <- (tgt, lbl.lbl_name, e.exp_loc) :: f.f_setfields
+    | Typedtree.Texp_apply
+        ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args) ->
+      let head = path_key uc p in
+      let args =
+        List.filter_map
+          (fun (l, a) -> match a with Some a -> Some (l, a) | None -> None)
+          args
+      in
+      f.f_apps <- { a_head = head; a_args = args; a_loc = e.exp_loc }
+        :: f.f_apps
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr; pat } in
+  it.expr it e;
+  f
+
+(* {1 Mutation summaries}
+
+   Which of a function's parameters does it mutate, directly or by
+   passing them on?  Computed as a fixpoint over the call graph so the
+   rule composes through wrappers ([Counters.add_comparison],
+   [Pool.worker], ...).  A parallel scope may freely mutate its *own*
+   locals and parameters; what R8 flags is mutation of captured or
+   global state — and passing captured/global state into a function
+   whose summary says it mutates that position. *)
+
+(* Nolabel argument positions mutated by stdlib entry points. *)
+let stdlib_mutators =
+  [
+    ("Stdlib.:=", [ 0 ]); ("Stdlib.incr", [ 0 ]); ("Stdlib.decr", [ 0 ]);
+    ("Stdlib.Array.set", [ 0 ]); ("Stdlib.Array.unsafe_set", [ 0 ]);
+    ("Stdlib.Array.fill", [ 0 ]); ("Stdlib.Array.blit", [ 2 ]);
+    ("Stdlib.Array.sort", [ 1 ]); ("Stdlib.Array.stable_sort", [ 1 ]);
+    ("Stdlib.Bytes.set", [ 0 ]); ("Stdlib.Bytes.unsafe_set", [ 0 ]);
+    ("Stdlib.Bytes.blit", [ 2 ]); ("Stdlib.Bytes.fill", [ 0 ]);
+    ("Stdlib.Hashtbl.add", [ 0 ]); ("Stdlib.Hashtbl.replace", [ 0 ]);
+    ("Stdlib.Hashtbl.remove", [ 0 ]); ("Stdlib.Hashtbl.reset", [ 0 ]);
+    ("Stdlib.Hashtbl.clear", [ 0 ]);
+    ("Stdlib.Hashtbl.filter_map_inplace", [ 1 ]);
+    ("Stdlib.Queue.add", [ 1 ]); ("Stdlib.Queue.push", [ 1 ]);
+    ("Stdlib.Queue.pop", [ 0 ]); ("Stdlib.Queue.take", [ 0 ]);
+    ("Stdlib.Queue.clear", [ 0 ]); ("Stdlib.Queue.transfer", [ 0; 1 ]);
+    ("Stdlib.Stack.push", [ 1 ]); ("Stdlib.Stack.pop", [ 0 ]);
+    ("Stdlib.Stack.clear", [ 0 ]);
+    ("Stdlib.Buffer.add_char", [ 0 ]); ("Stdlib.Buffer.add_string", [ 0 ]);
+    ("Stdlib.Buffer.add_substring", [ 0 ]);
+    ("Stdlib.Buffer.add_buffer", [ 0 ]); ("Stdlib.Buffer.clear", [ 0 ]);
+    ("Stdlib.Buffer.reset", [ 0 ]);
+  ]
+
+(* Heads that return a component of their first argument: peeled when
+   chasing the root identifier of an access path. *)
+let deref_heads =
+  [
+    "Stdlib.!"; "Stdlib.Array.get"; "Stdlib.Array.unsafe_get";
+    "Stdlib.Bytes.get"; "Stdlib.Hashtbl.find";
+  ]
+
+let rec nolabel_nth args n =
+  match args with
+  | [] -> None
+  | (Asttypes.Nolabel, a) :: rest ->
+    if n = 0 then Some a else nolabel_nth rest (n - 1)
+  | _ :: rest -> nolabel_nth rest n
+
+(* The root identifier of an access path: x, x.f, !x, x.(i), x.f.(i).g *)
+let rec head_path uc (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> Some p
+  | Typedtree.Texp_field (e, _, _) -> head_path uc e
+  | Typedtree.Texp_apply
+      ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args) ->
+    if List.exists (String.equal (path_key uc p)) deref_heads then
+      let args =
+        List.filter_map
+          (fun (l, a) ->
+            match a with Some a -> Some (l, a) | None -> None)
+          args
+      in
+      (match nolabel_nth args 0 with
+      | Some a -> head_path uc a
+      | None -> None)
+    else None
+  | _ -> None
+
+(* The curried parameter spine: (label, binder unique_name) per slot,
+   stopping at the first pattern-dispatch ([function] with several
+   cases) since mutations of destructured pieces cannot be mapped back
+   to a caller argument. *)
+let spine_slots (e : Typedtree.expression) =
+  let rec go (e : Typedtree.expression) acc =
+    match e.exp_desc with
+    | Typedtree.Texp_function
+        { arg_label; cases = [ { c_lhs; c_guard = None; c_rhs } ]; _ } ->
+      let binder =
+        match binding_ident c_lhs with
+        | Some id -> Some (Ident.unique_name id)
+        | None -> None
+      in
+      go c_rhs ((arg_label, binder) :: acc)
+    | _ -> List.rev acc
+  in
+  go e []
+
+(* Match call-site arguments onto callee slots: Nolabel args fill
+   Nolabel slots in order, labelled args find their label. *)
+let slot_args slots args =
+  let nolabel_slots =
+    List.concat
+      (List.mapi
+         (fun i (l, _) -> if l = Asttypes.Nolabel then [ i ] else [])
+         slots)
+  in
+  let label_of = function
+    | Asttypes.Labelled s | Asttypes.Optional s -> Some s
+    | Asttypes.Nolabel -> None
+  in
+  let c = ref 0 in
+  List.filter_map
+    (fun (l, a) ->
+      match l with
+      | Asttypes.Nolabel ->
+        let i = List.nth_opt nolabel_slots !c in
+        incr c;
+        (match i with Some i -> Some (i, a) | None -> None)
+      | Asttypes.Labelled s | Asttypes.Optional s ->
+        let rec find i = function
+          | [] -> None
+          | (sl, _) :: rest -> (
+            match label_of sl with
+            | Some s' when String.equal s s' -> Some i
+            | _ -> find (i + 1) rest)
+        in
+        (match find 0 slots with Some i -> Some (i, a) | None -> None))
+    args
+
+(* Arguments a call mutates, per the stdlib table + current summaries. *)
+let mutated_args summaries prog (a : app) slots_of =
+  let from_stdlib =
+    match List.assoc_opt a.a_head stdlib_mutators with
+    | Some positions ->
+      List.filter_map (fun p -> nolabel_nth a.a_args p) positions
+    | None -> []
+  in
+  let from_summary =
+    match Hashtbl.find_opt summaries a.a_head with
+    | Some idxs when Hashtbl.mem prog.nodes a.a_head ->
+      let slots = slots_of a.a_head in
+      List.filter_map
+        (fun (i, arg) -> if List.mem i idxs then Some arg else None)
+        (slot_args slots a.a_args)
+    | _ -> []
+  in
+  from_stdlib @ from_summary
+
+let compute_summaries prog factsof =
+  let summaries : (string, int list) Hashtbl.t = Hashtbl.create 64 in
+  let slots_cache : (string, (Asttypes.arg_label * string option) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let slots_of key =
+    match Hashtbl.find_opt slots_cache key with
+    | Some s -> s
+    | None ->
+      let s =
+        match Hashtbl.find_opt prog.nodes key with
+        | Some n -> spine_slots n.n_body
+        | None -> []
+      in
+      Hashtbl.replace slots_cache key s;
+      s
+  in
+  let pass () =
+    let changed = ref false in
+    Hashtbl.iter
+      (fun key (n : node) ->
+        let f : facts = factsof key in
+        let mutated : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+        let note (e : Typedtree.expression) =
+          match head_path n.n_uc e with
+          | Some (Path.Pident id) when not (Ident.global id) ->
+            Hashtbl.replace mutated (Ident.unique_name id) ()
+          | _ -> ()
+        in
+        List.iter (fun (tgt, _, _) -> note tgt) f.f_setfields;
+        List.iter
+          (fun a -> List.iter note (mutated_args summaries prog a slots_of))
+          f.f_apps;
+        let slots = slots_of key in
+        let idxs =
+          List.concat
+            (List.mapi
+               (fun i (_, binder) ->
+                 match binder with
+                 | Some u when Hashtbl.mem mutated u -> [ i ]
+                 | _ -> [])
+               slots)
+        in
+        let prev =
+          match Hashtbl.find_opt summaries key with Some l -> l | None -> []
+        in
+        if idxs <> prev then begin
+          Hashtbl.replace summaries key idxs;
+          changed := true
+        end)
+      prog.nodes;
+    !changed
+  in
+  let rec fix n = if pass () && n > 0 then fix (n - 1) in
+  fix 50;
+  (summaries, slots_of)
+
+(* {1 Taint: what runs on other domains} *)
+
+let entry_matches cfg head =
+  List.exists
+    (fun e -> String.equal head e || has_suffix ~suffix:("." ^ e) head)
+    cfg.parallel_entries
+
+(* Functions that (transitively) contain a parallel-entry call site:
+   handing them a closure hands it to the pool. *)
+let compute_spawning cfg prog factsof =
+  let spawning : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let is_spawn_call h = entry_matches cfg h || Hashtbl.mem spawning h in
+  let pass () =
+    let changed = ref false in
+    Hashtbl.iter
+      (fun key _ ->
+        if not (Hashtbl.mem spawning key) then
+          let f : facts = factsof key in
+          if List.exists (fun a -> is_spawn_call a.a_head) f.f_apps then begin
+            Hashtbl.replace spawning key ();
+            changed := true
+          end)
+      prog.nodes;
+    !changed
+  in
+  let rec fix n = if pass () && n > 0 then fix (n - 1) in
+  fix 50;
+  spawning
+
+(* Roots: function arguments at entry/spawning call sites — literal
+   closures become scopes owned by the enclosing function; named
+   functions seed the tainted set.  Taint then closes over every
+   project function a tainted scope references. *)
+let compute_tainted cfg prog factsof spawning =
+  let is_spawn_call h = entry_matches cfg h || Hashtbl.mem spawning h in
+  let closure_scopes = ref [] in
+  let tainted : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  let seed key = if not (Hashtbl.mem tainted key) then begin
+      Hashtbl.replace tainted key ();
+      Queue.add key queue
+    end
+  in
+  Hashtbl.iter
+    (fun key (n : node) ->
+      let f : facts = factsof key in
+      List.iter
+        (fun a ->
+          if is_spawn_call a.a_head then
+            List.iter
+              (fun (_, (arg : Typedtree.expression)) ->
+                match arg.exp_desc with
+                | Typedtree.Texp_function _ ->
+                  closure_scopes := (key, n.n_uc, arg) :: !closure_scopes
+                | Typedtree.Texp_ident (p, _, _) ->
+                  let k = path_key n.n_uc p in
+                  if Hashtbl.mem prog.nodes k then seed k
+                | _ -> ())
+              a.a_args)
+        f.f_apps)
+    prog.nodes;
+  (* closure scopes taint everything they reference *)
+  let scope_facts =
+    List.map
+      (fun (owner, uc, e) -> (owner, uc, collect_facts uc e))
+      !closure_scopes
+  in
+  List.iter
+    (fun (_, _, (f : facts)) ->
+      List.iter
+        (fun (k, _) -> if Hashtbl.mem prog.nodes k then seed k)
+        f.f_refs)
+    scope_facts;
+  while not (Queue.is_empty queue) do
+    let key = Queue.pop queue in
+    let f : facts = factsof key in
+    List.iter
+      (fun (k, _) -> if Hashtbl.mem prog.nodes k then seed k)
+      f.f_refs
+  done;
+  (tainted, scope_facts)
+
+(* {1 R8 — domain-safety} *)
+
+let under_module m key = has_prefix ~prefix:(m ^ ".") key
+
+let guarded cfg key =
+  List.exists (fun (m, _) -> under_module m key) cfg.guarded_modules
+
+let sync_call cfg head =
+  List.exists (fun p -> has_prefix ~prefix:p head) cfg.sync_prefixes
+
+type target = Local | Captured of string | Global of string | Unknown
+
+let classify uc (locals : (string, unit) Hashtbl.t) e =
+  match head_path uc e with
+  | Some (Path.Pident id) when not (Ident.global id) ->
+    let u = Ident.unique_name id in
+    if Hashtbl.mem locals u then Local
+    else (
+      match Hashtbl.find_opt uc.uc_stamps u with
+      | Some k -> Global k
+      | None -> Captured (Ident.name id))
+  | Some p -> Global (path_key uc p)
+  | None -> Unknown
+
+let r8_hint =
+  "mediate the access with Atomic / a Mutex-guarded module / \
+   Domain.DLS, make the state local to the spawned scope, or add a \
+   race_allow entry with an audit note citing DESIGN.md"
+
+let check_scope cfg prog summaries slots_of ~owner (uc : uctx) (f : facts)
+    out =
+  if guarded cfg owner then ()
+  else begin
+    let fin loc kind target message =
+      let line, col = pos_of loc in
+      out :=
+        {
+          rule = "R8"; file = uc.uc_file; line; col; func = owner; message;
+          hint = r8_hint;
+          fingerprint =
+            String.concat "|" [ "R8"; owner; kind; target ];
+        }
+        :: !out
+    in
+    let flag_target loc ~via tgt =
+      match classify uc f.f_locals tgt with
+      | Local | Unknown -> ()
+      | Captured name ->
+        fin loc "captured-write" name
+          (Printf.sprintf
+             "parallel scope mutates captured `%s`%s" name via)
+      | Global key ->
+        if not (guarded cfg key) then
+          fin loc "global-write" key
+            (Printf.sprintf "parallel scope mutates global `%s`%s" key via)
+    in
+    List.iter
+      (fun (tgt, lbl, loc) ->
+        flag_target loc ~via:(Printf.sprintf " (field `%s`)" lbl) tgt)
+      f.f_setfields;
+    List.iter
+      (fun (a : app) ->
+        if sync_call cfg a.a_head || guarded cfg a.a_head then ()
+        else
+          List.iter
+            (fun arg ->
+              flag_target a.a_loc
+                ~via:(Printf.sprintf " (passed to mutating `%s`)" a.a_head)
+                arg)
+            (mutated_args summaries prog a slots_of))
+      f.f_apps;
+    List.iter
+      (fun (k, loc) ->
+        match Hashtbl.find_opt prog.globals k with
+        | Some g when g.g_mutable && not (guarded cfg k) ->
+          fin loc "global-read" k
+            (Printf.sprintf
+               "parallel scope reads mutable global `%s` without \
+                synchronisation" k)
+        | _ -> ())
+      f.f_refs
+  end
+
+(* {1 R9 — hot-path allocation} *)
+
+let r9_hint =
+  "keep the fast path allocation-free: hoist or precompute, or mark \
+   an audited slow path with [@ltree.cold]"
+
+(* Walk one fast-path expression, reporting allocation events and
+   project calls.  [@ltree.cold] expressions/bindings, raise-like
+   subtrees and asserts are skipped; nested function bodies are
+   skipped too (they are nodes of their own, reached via may-alloc
+   summaries at their call sites). *)
+let scan_alloc cfg (uc : uctx) body ~emit ~call =
+  let rec walk sub (e : Typedtree.expression) =
+    if attr_present cfg.cold_attr e.exp_attributes then ()
+    else
+      match e.exp_desc with
+      | Typedtree.Texp_function _ ->
+        emit e.exp_loc "closure allocation"
+      | Typedtree.Texp_let (_, vbs, cont) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            if attr_present cfg.cold_attr vb.vb_attributes then ()
+            else if is_function vb.vb_expr then
+              let name =
+                match binding_ident vb.vb_pat with
+                | Some id -> Ident.name id
+                | None -> "_"
+              in
+              emit vb.vb_loc
+                (Printf.sprintf "closure allocation for local `%s`" name)
+            else walk sub vb.vb_expr)
+          vbs;
+        walk sub cont
+      | Typedtree.Texp_apply
+          ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args) ->
+        let h = path_key uc p in
+        if List.exists (String.equal h) cfg.raise_like then ()
+        else begin
+          if
+            List.exists (String.equal h) cfg.alloc_calls
+            || List.exists
+                 (fun pre -> has_prefix ~prefix:pre h)
+                 cfg.alloc_call_prefixes
+          then emit e.exp_loc (Printf.sprintf "allocating call to `%s`" h)
+          else if List.exists (String.equal h) cfg.float_ops then
+            emit e.exp_loc (Printf.sprintf "boxed float from `%s`" h)
+          else call h e.exp_loc;
+          List.iter
+            (fun (_, a) -> match a with Some a -> walk sub a | None -> ())
+            args
+        end
+      | Typedtree.Texp_assert _ -> ()
+      | Typedtree.Texp_tuple _ ->
+        emit e.exp_loc "tuple allocation";
+        Tast_iterator.default_iterator.expr sub e
+      | Typedtree.Texp_construct (_, cd, _ :: _) ->
+        emit e.exp_loc
+          (Printf.sprintf "constructor allocation `%s`" cd.cstr_name);
+        Tast_iterator.default_iterator.expr sub e
+      | Typedtree.Texp_record _ ->
+        emit e.exp_loc "record allocation";
+        Tast_iterator.default_iterator.expr sub e
+      | Typedtree.Texp_array (_ :: _) ->
+        emit e.exp_loc "array literal allocation";
+        Tast_iterator.default_iterator.expr sub e
+      | Typedtree.Texp_variant (_, Some _) ->
+        emit e.exp_loc "polymorphic variant allocation";
+        Tast_iterator.default_iterator.expr sub e
+      | Typedtree.Texp_lazy _ -> emit e.exp_loc "lazy allocation"
+      | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr = walk } in
+  (* peel the curried spine: its [fun] chain is the calling convention,
+     not an allocation *)
+  let rec leaves (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_function { cases; _ } ->
+      List.iter (fun (c : Typedtree.value Typedtree.case) -> leaves c.c_rhs) cases
+    | _ -> it.expr it e
+  in
+  leaves body
+
+let scan_node cfg (n : node) =
+  let events = ref [] and calls = ref [] in
+  scan_alloc cfg n.n_uc n.n_body
+    ~emit:(fun loc msg -> events := (loc, msg) :: !events)
+    ~call:(fun h loc -> calls := (h, loc) :: !calls);
+  (List.rev !events, List.rev !calls)
+
+let compute_may_alloc cfg prog =
+  let scans : (string, (Location.t * string) list * (string * Location.t) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Hashtbl.iter
+    (fun key n -> Hashtbl.replace scans key (scan_node cfg n))
+    prog.nodes;
+  let may : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key (events, _) ->
+      if events <> [] then Hashtbl.replace may key ())
+    scans;
+  let pass () =
+    let changed = ref false in
+    Hashtbl.iter
+      (fun key (_, calls) ->
+        if
+          (not (Hashtbl.mem may key))
+          && List.exists (fun (h, _) -> Hashtbl.mem may h) calls
+        then begin
+          Hashtbl.replace may key ();
+          changed := true
+        end)
+      scans;
+    !changed
+  in
+  let rec fix n = if pass () && n > 0 then fix (n - 1) in
+  fix 50;
+  (scans, may)
+
+let check_hot prog scans may out =
+  Hashtbl.iter
+    (fun key (n : node) ->
+      if n.n_hot then begin
+        let events, calls =
+          match Hashtbl.find_opt scans key with
+          | Some s -> s
+          | None -> ([], [])
+        in
+        let fin loc message detail =
+          let line, col = pos_of loc in
+          out :=
+            {
+              rule = "R9"; file = n.n_uc.uc_file; line; col; func = key;
+              message; hint = r9_hint;
+              fingerprint = String.concat "|" [ "R9"; key; detail ];
+            }
+            :: !out
+        in
+        List.iter
+          (fun (loc, msg) ->
+            fin loc (Printf.sprintf "[@ltree.hot] fast path: %s" msg) msg)
+          events;
+        List.iter
+          (fun (h, loc) ->
+            if Hashtbl.mem may h then
+              fin loc
+                (Printf.sprintf
+                   "[@ltree.hot] fast path calls `%s`, which may allocate"
+                   h)
+                (Printf.sprintf "calls %s" h))
+          calls
+      end)
+    prog.nodes
+
+(* {1 Driver} *)
+
+let dedup_findings fs =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.filter
+    (fun f ->
+      if Hashtbl.mem seen f.fingerprint then false
+      else begin
+        Hashtbl.replace seen f.fingerprint ();
+        true
+      end)
+    fs
+
+let sort_findings fs =
+  List.sort
+    (fun a b ->
+      let c = String.compare a.file b.file in
+      if c <> 0 then c
+      else
+        let c = compare a.line b.line in
+        if c <> 0 then c
+        else
+          let c = String.compare a.rule b.rule in
+          if c <> 0 then c else String.compare a.fingerprint b.fingerprint)
+    fs
+
+let analyze cfg units =
+  let prog = build_program cfg units in
+  let facts_tbl : (string, facts) Hashtbl.t = Hashtbl.create 128 in
+  let factsof key =
+    match Hashtbl.find_opt facts_tbl key with
+    | Some f -> f
+    | None ->
+      let n = Hashtbl.find prog.nodes key in
+      let f = collect_facts n.n_uc n.n_body in
+      Hashtbl.replace facts_tbl key f;
+      f
+  in
+  let summaries, slots_of = compute_summaries prog factsof in
+  let spawning = compute_spawning cfg prog factsof in
+  let tainted, closure_scopes = compute_tainted cfg prog factsof spawning in
+  let raw = ref [] in
+  List.iter
+    (fun (owner, uc, f) ->
+      check_scope cfg prog summaries slots_of ~owner uc f raw)
+    closure_scopes;
+  (* A tainted node whose ancestor node is tainted too is covered by
+     the ancestor's subtree analysis: everything the ancestor binds is
+     per-task state, so the nested function's writes to it are
+     domain-private.  Only the outermost tainted nodes are analyzed as
+     scopes of their own (spawn-boundary closures always are). *)
+  Hashtbl.iter
+    (fun key () ->
+      let covered =
+        Hashtbl.fold
+          (fun k () acc ->
+            acc || ((not (String.equal k key)) && under_module k key))
+          tainted false
+      in
+      if not covered then
+        let n = Hashtbl.find prog.nodes key in
+        check_scope cfg prog summaries slots_of ~owner:key n.n_uc
+          (factsof key) raw)
+    tainted;
+  (* a read finding is subsumed by a write finding on the same state *)
+  let r8 = dedup_findings (sort_findings !raw) in
+  let writes : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      match String.split_on_char '|' f.fingerprint with
+      | [ "R8"; owner; kind; target ] when kind <> "global-read" ->
+        Hashtbl.replace writes (owner ^ "|" ^ target) ()
+      | _ -> ())
+    r8;
+  let r8 =
+    List.filter
+      (fun f ->
+        match String.split_on_char '|' f.fingerprint with
+        | [ "R8"; owner; "global-read"; target ] ->
+          not (Hashtbl.mem writes (owner ^ "|" ^ target))
+        | _ -> true)
+      r8
+  in
+  (* R9 *)
+  let scans, may = compute_may_alloc cfg prog in
+  let r9 = ref [] in
+  check_hot prog scans may r9;
+  let r9 = dedup_findings (sort_findings !r9) in
+  (* race_allow suppression + hygiene *)
+  let uses = Hashtbl.create 16 in
+  List.iter (fun (pat, _) -> Hashtbl.replace uses pat 0) cfg.race_allow;
+  let kept =
+    List.filter
+      (fun f ->
+        match
+          List.find_opt
+            (fun (pat, _) -> pattern_matches pat f.func)
+            cfg.race_allow
+        with
+        | Some (pat, _) ->
+          Hashtbl.replace uses pat (Hashtbl.find uses pat + 1);
+          false
+        | None -> true)
+      r8
+  in
+  let hygiene =
+    List.concat_map
+      (fun (pat, note) ->
+        let a1 =
+          if Hashtbl.find uses pat = 0 then
+            [
+              {
+                rule = "A1"; file = "(race_allow)"; line = 0; col = 0;
+                func = pat;
+                message =
+                  Printf.sprintf
+                    "stale race_allow entry `%s`: it no longer suppresses \
+                     any finding"
+                    pat;
+                hint = "delete the entry (the code it audited is gone)";
+                fingerprint = "A1|" ^ pat;
+              };
+            ]
+          else []
+        in
+        let a2 =
+          let contains_designmd =
+            let n = String.length note and p = String.length "DESIGN.md" in
+            let rec at i =
+              i + p <= n
+              && (String.equal (String.sub note i p) "DESIGN.md" || at (i + 1))
+            in
+            at 0
+          in
+          if contains_designmd then []
+          else
+            [
+              {
+                rule = "A2"; file = "(race_allow)"; line = 0; col = 0;
+                func = pat;
+                message =
+                  Printf.sprintf
+                    "race_allow entry `%s` has no DESIGN.md cross-reference \
+                     in its audit note"
+                    pat;
+                hint = "cite the DESIGN.md section that audits this access";
+                fingerprint = "A2|" ^ pat;
+              };
+            ]
+        in
+        a1 @ a2)
+      cfg.race_allow
+  in
+  sort_findings (kept @ r9 @ hygiene)
+
+(* {1 Baseline} *)
+
+let baselinable f = String.equal f.rule "R8" || String.equal f.rule "R9"
+
+let parse_baseline contents =
+  let lines = String.split_on_char '\n' contents in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if String.length line = 0 || line.[0] = '#' then None
+      else
+        match String.index_opt line '#' with
+        | Some i ->
+          Some
+            ( String.trim (String.sub line 0 i),
+              String.trim
+                (String.sub line (i + 1) (String.length line - i - 1)) )
+        | None -> Some (line, ""))
+    lines
+
+(* New findings (fail CI) and stale baseline entries (warn). *)
+let diff_baseline ~baseline findings =
+  let fresh =
+    List.filter
+      (fun f ->
+        (not (baselinable f))
+        || not (List.mem_assoc f.fingerprint baseline))
+      findings
+  in
+  let stale =
+    List.filter_map
+      (fun (fp, _) ->
+        if List.exists (fun f -> String.equal f.fingerprint fp) findings
+        then None
+        else Some fp)
+      baseline
+  in
+  (fresh, stale)
+
+let render_baseline ~existing findings =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "# ltree-analyze baseline: one audited fingerprint per line,\n\
+     # `fingerprint  # audit note`.  Regenerate with --write-baseline.\n";
+  List.iter
+    (fun f ->
+      if baselinable f then begin
+        Buffer.add_string b f.fingerprint;
+        let note =
+          match List.assoc_opt f.fingerprint existing with
+          | Some n when String.length n > 0 -> n
+          | _ -> "UNREVIEWED: add an audit note citing DESIGN.md"
+        in
+        Buffer.add_string b ("  # " ^ note);
+        Buffer.add_char b '\n'
+      end)
+    findings;
+  Buffer.contents b
+
+(* {1 Reporting} *)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s@,  %s@,  hint: %s" f.file f.line
+    f.col f.rule f.func f.message f.hint
+
+let rule_ids () =
+  [
+    ("R8", "no unmediated mutable-state access in parallel scopes");
+    ("R9", "no allocation on [@ltree.hot] fast paths");
+    ("A1", "race_allow entries must still suppress a finding");
+    ("A2", "race_allow entries must cite DESIGN.md");
+  ]

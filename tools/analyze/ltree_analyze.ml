@@ -1,0 +1,159 @@
+(* ltree-analyze: typed interprocedural lint (R8 domain-safety, R9
+   hot-path allocation) over the .cmt artifacts dune leaves in _build.
+
+     ltree_analyze [--build DIR] [--baseline FILE] [--write-baseline]
+                   [--list-rules] [SCOPE ...]
+
+   SCOPE entries (default: lib) filter units by source path prefix.
+   Exit codes: 0 clean, 1 findings (or new-vs-baseline findings),
+   2 usage/environment error. *)
+
+let usage () =
+  prerr_endline
+    "usage: ltree_analyze [--build DIR] [--baseline FILE] \
+     [--write-baseline] [--list-rules] [SCOPE ...]";
+  exit 2
+
+let rec collect_cmts acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then collect_cmts acc path
+        else if Filename.check_suffix entry ".cmt" then path :: acc
+        else acc)
+      acc entries
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.exists (String.equal "--list-rules") args then begin
+    List.iter
+      (fun (id, doc) -> Printf.printf "%-4s %s\n" id doc)
+      (Analyze_rules.rule_ids ());
+    exit 0
+  end;
+  let build = ref "_build/default" in
+  let baseline_file = ref None in
+  let write_baseline = ref false in
+  let scopes = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--build" :: dir :: rest ->
+      build := dir;
+      parse rest
+    | "--baseline" :: file :: rest ->
+      baseline_file := Some file;
+      parse rest
+    | "--write-baseline" :: rest ->
+      write_baseline := true;
+      parse rest
+    | ("--build" | "--baseline") :: [] -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | scope :: rest ->
+      scopes := scope :: !scopes;
+      parse rest
+  in
+  parse args;
+  let scopes = match List.rev !scopes with [] -> [ "lib" ] | s -> s in
+  if not (Sys.file_exists !build && Sys.is_directory !build) then begin
+    Printf.eprintf
+      "ltree-analyze: build directory %S not found (run `dune build` \
+       first)\n"
+      !build;
+    exit 2
+  end;
+  let in_scope file =
+    List.exists
+      (fun s ->
+        let s = if Filename.check_suffix s "/" then s else s ^ "/" in
+        String.length file >= String.length s
+        && String.sub file 0 (String.length s) = s)
+      scopes
+  in
+  let seen = Hashtbl.create 64 in
+  let units =
+    List.filter_map
+      (fun path ->
+        match Analyze_rules.load_cmt path with
+        | Some u
+          when in_scope u.Analyze_rules.u_file
+               && not (Hashtbl.mem seen u.Analyze_rules.u_name) ->
+          Hashtbl.replace seen u.Analyze_rules.u_name ();
+          Some u
+        | _ -> None)
+      (List.sort String.compare (collect_cmts [] !build))
+  in
+  if units = [] then begin
+    Printf.eprintf
+      "ltree-analyze: no .cmt units under %s match scope %s (run `dune \
+       build` first)\n"
+      !build (String.concat " " scopes);
+    exit 2
+  end;
+  let findings =
+    Analyze_rules.analyze Analyze_rules.default_config units
+  in
+  let existing =
+    match !baseline_file with
+    | Some file when Sys.file_exists file ->
+      let ic = open_in_bin file in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Analyze_rules.parse_baseline contents
+    | _ -> []
+  in
+  if !write_baseline then begin
+    match !baseline_file with
+    | None ->
+      prerr_endline "ltree-analyze: --write-baseline needs --baseline FILE";
+      exit 2
+    | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Analyze_rules.render_baseline ~existing findings));
+      Printf.printf "ltree-analyze: baseline written to %s (%d entries)\n"
+        file
+        (List.length (List.filter Analyze_rules.baselinable findings));
+      (* hygiene findings are never baselinable: still fail on them *)
+      let hygiene =
+        List.filter (fun f -> not (Analyze_rules.baselinable f)) findings
+      in
+      List.iter
+        (fun v ->
+          Format.printf "@[<v>%a@]@." Analyze_rules.pp_finding v)
+        hygiene;
+      exit (if hygiene = [] then 0 else 1)
+  end;
+  let fresh, stale =
+    Analyze_rules.diff_baseline ~baseline:existing findings
+  in
+  List.iter
+    (fun fp ->
+      Printf.printf
+        "ltree-analyze: warning: stale baseline entry %s (finding is \
+         gone; regenerate with --write-baseline)\n"
+        fp)
+    stale;
+  List.iter
+    (fun v -> Format.printf "@[<v>%a@]@." Analyze_rules.pp_finding v)
+    fresh;
+  match fresh with
+  | [] ->
+    Printf.printf "ltree-analyze: %d unit(s) in %s clean (%d rules%s)\n"
+      (List.length units)
+      (String.concat " " scopes)
+      (List.length (Analyze_rules.rule_ids ()))
+      (if existing = [] then ""
+       else Printf.sprintf ", %d baselined" (List.length existing));
+    exit 0
+  | vs ->
+    Printf.eprintf "ltree-analyze: %d new finding(s)\n" (List.length vs);
+    exit 1

@@ -13,7 +13,7 @@ type config = {
   poly_allow : string list;
   print_allow : string list;
   arith_allow : (string * string) list;
-  global_allow : (string * string) list;
+  global_allow : (string * string * string) list;
 }
 
 let default_config =
@@ -52,9 +52,9 @@ let default_config =
       ];
     global_allow =
       [
-        ("lib/obs/span.ml", "ring");
-        (* the process-wide trace ring: audited — every access goes
-           through the module's own mutex (see DESIGN.md §11) *)
+        ( "lib/obs/span.ml", "ring",
+          "the process-wide trace ring: every access goes through the \
+           module's own ring_mu mutex; audited in DESIGN.md section 10" );
       ];
   }
 
@@ -586,7 +586,8 @@ let r7 =
       let out = ref [] in
       let file_allow =
         List.filter_map
-          (fun (p, b) -> if String.equal p src.path then Some b else None)
+          (fun (p, b, _note) ->
+            if String.equal p src.path then Some b else None)
           config.global_allow
       in
       if List.exists (String.equal "*") file_allow then []
@@ -679,6 +680,112 @@ let parse_impl ~path contents =
   let lexbuf = Lexing.from_string contents in
   Location.init lexbuf path;
   Parse.implementation lexbuf
+
+(* {1 R7a — allowlist hygiene} *)
+
+let contains_substring ~sub s =
+  let n = String.length s and p = String.length sub in
+  let rec at i =
+    i + p <= n && (String.equal (String.sub s i p) sub || at (i + 1))
+  in
+  at 0
+
+(* Top-level binding names (including nested modules) whose RHS applies
+   a mutable constructor — exactly the set R7 would flag in [path]. *)
+let mutable_globals_of path =
+  match parse_impl ~path (read_file path) with
+  | exception Syntaxerr.Error _ -> []
+  | str ->
+    let out = ref [] in
+    let rec scan_items items =
+      List.iter
+        (fun (item : Parsetree.structure_item) ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                match
+                  (vb.pvb_pat.ppat_desc, mutable_ctor_of vb.pvb_expr)
+                with
+                | Ppat_var { txt; _ }, Some _ -> out := txt :: !out
+                | ( Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _),
+                    Some _ ) ->
+                  out := txt :: !out
+                | _ -> ())
+              vbs
+          | Pstr_module { pmb_expr; _ } -> scan_module pmb_expr
+          | Pstr_recmodule mbs ->
+            List.iter
+              (fun (mb : Parsetree.module_binding) -> scan_module mb.pmb_expr)
+              mbs
+          | _ -> ())
+        items
+    and scan_module (m : Parsetree.module_expr) =
+      match m.pmod_desc with
+      | Pmod_structure items -> scan_items items
+      | Pmod_constraint (m, _) -> scan_module m
+      | _ -> ()
+    in
+    scan_items str;
+    !out
+
+(* The R7 allowlist must stay honest: every entry has to point at a live
+   mutable top-level binding and carry an audit note citing DESIGN.md.
+   Reads the allowlisted files directly, so the scan scope does not
+   matter; a tree rule so it runs once per scan, not once per file. *)
+let r7a =
+  let entry_loc path =
+    let pos =
+      { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 }
+    in
+    { Location.loc_start = pos; loc_end = pos; loc_ghost = true }
+  in
+  let tcheck config _paths =
+    List.concat_map
+      (fun (path, name, note) ->
+        let flag message hint =
+          [ violation ~rule:"R7a" ~file:path ~loc:(entry_loc path) ~message
+              ~hint ]
+        in
+        let stale =
+          if not (Sys.file_exists path) then
+            flag
+              (Printf.sprintf
+                 "stale global_allow entry (%s, %s): file does not exist"
+                 path name)
+              "delete the entry or re-point it at the live global"
+          else if
+            (not (String.equal name "*"))
+            && not (List.exists (String.equal name) (mutable_globals_of path))
+          then
+            flag
+              (Printf.sprintf
+                 "stale global_allow entry (%s, %s): no such mutable \
+                  top-level binding"
+                 path name)
+              "delete the entry or re-point it at the live global"
+          else []
+        in
+        let unaudited =
+          if contains_substring ~sub:"DESIGN.md" note then []
+          else
+            flag
+              (Printf.sprintf
+                 "global_allow entry (%s, %s) lacks a DESIGN.md \
+                  cross-reference in its audit note"
+                 path name)
+              "cite the DESIGN.md section that audits this global"
+        in
+        stale @ unaudited)
+      config.global_allow
+  in
+  {
+    tid = "R7a";
+    tdoc = "global_allow entries are live and cite a DESIGN.md audit";
+    tcheck;
+  }
+
+let () = register_tree_rule r7a
 
 let lint_path config path =
   let norm = normalize path in

@@ -23,10 +23,17 @@
       mutable state is what breaks domain-safety.  [Atomic.make],
       [Mutex.create], [Condition.create] and [Domain.DLS.new_key] are
       deliberately unflagged: they are the sanctioned domain-safe
-      constructs. *)
+      constructs;
+    - {b R7a} the R7 allowlist itself stays honest: every [global_allow]
+      entry must still name a live mutable top-level binding in its file
+      and carry an audit note citing DESIGN.md.
+
+    The unified rule table (R1-R9 plus the analyzer's A1/A2 hygiene
+    checks) lives in DESIGN.md section 7; the typed rules R8/R9 are
+    implemented by the companion cmt-based pass in [tools/analyze]. *)
 
 type violation = {
-  rule : string;  (** "R1" .. "R7", or "parse" for unreadable sources *)
+  rule : string;  (** "R1" .. "R7a", or "parse" for unreadable sources *)
   file : string;  (** normalized path, '/'-separated *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based *)
@@ -43,8 +50,10 @@ type config = {
   print_allow : string list;  (** R4 allowlist (path or prefix) *)
   arith_allow : (string * string) list;
       (** R5 allowlist: (path, top-level binding name), ["*"] = whole file *)
-  global_allow : (string * string) list;
-      (** R7 allowlist: (path, top-level binding name), ["*"] = whole file *)
+  global_allow : (string * string * string) list;
+      (** R7 allowlist: (path, top-level binding name, audit note);
+          ["*"] as the name allows the whole file.  R7a checks that the
+          binding is still live and that the note cites DESIGN.md. *)
 }
 
 (** The repository's configuration: scope [lib/], allowlist the label-
@@ -62,8 +71,9 @@ val rule_ids : unit -> (string * string) list
     violation.  [path] is used both to read the file and for scoping. *)
 val lint_path : config -> string -> violation list
 
-(** [check_mli_presence config paths] runs R6 over a set of (normalized)
-    paths: every [.ml] under [lib_prefix] needs its [.mli] in the set. *)
+(** [check_mli_presence config paths] runs the tree rules over a set of
+    (normalized) paths: R6 (every [.ml] under [lib_prefix] needs its
+    [.mli] in the set) and R7a (allowlist hygiene). *)
 val check_mli_presence : config -> string list -> violation list
 
 (** [scan_dirs config dirs] walks the directories recursively (skipping

@@ -1,10 +1,12 @@
-(* ltree-lint: enforce the project's static rules (R1-R6) over the
-   untyped Parsetree.  Usage:
+(* ltree-lint: enforce the project's untyped (Parsetree) static rules.
+   The rule set is whatever the registry holds — run with --list-rules
+   for the live list; the unified rule table (including the typed R8/R9
+   pass, tools/analyze) is DESIGN.md section 7.  Usage:
 
      ltree_lint [--list-rules] [DIR ...]
 
-   Default directories: lib bin bench examples.  Exit code 1 when any
-   rule fires. *)
+   Default directories: lib bin bench examples tools (the pass lints
+   itself).  Exit code 1 when any rule fires. *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -16,7 +18,7 @@ let () =
   end;
   let dirs =
     match List.filter (fun a -> not (String.equal a "--list-rules")) args with
-    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | [] -> [ "lib"; "bin"; "bench"; "examples"; "tools" ]
     | dirs -> dirs
   in
   List.iter

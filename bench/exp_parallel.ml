@@ -45,6 +45,10 @@ type row = {
   wall_ms : float;  (* total wall time across reps *)
   queries_per_s : float;
   speedup : float;  (* vs the 1-domain row of the same (workload, n) *)
+  claims_per_job : float;
+      (* atomic cursor claims per fanned-out job: with batched chunk
+         claiming this sits well below the chunk count (0 when every
+         job ran serially) *)
 }
 
 let item () =
@@ -110,11 +114,15 @@ let run_cell ~pattern ~n ~domains_list ~batchq ~reps =
                       with the serial plan"
                      (Driver.pattern_name pattern) n domains i))
             serial;
+          let st0 = Pool.stats pool in
           let t0 = Unix.gettimeofday () in
           for _ = 1 to reps do
             ignore (Par_query.descendants_batch pool snap batch)
           done;
           let wall = Unix.gettimeofday () -. t0 in
+          let st1 = Pool.stats pool in
+          let jobs = st1.Pool.parallel_jobs - st0.Pool.parallel_jobs in
+          let claims = st1.Pool.claim_ops - st0.Pool.claim_ops in
           if domains = 1 then serial_wall := wall;
           { workload = Driver.pattern_name pattern;
             n;
@@ -123,7 +131,10 @@ let run_cell ~pattern ~n ~domains_list ~batchq ~reps =
             reps;
             wall_ms = wall *. 1e3;
             queries_per_s = float_of_int (batchq * reps) /. Float.max 1e-9 wall;
-            speedup = !serial_wall /. Float.max 1e-9 wall }))
+            speedup = !serial_wall /. Float.max 1e-9 wall;
+            claims_per_job =
+              (if jobs = 0 then 0.0
+               else float_of_int claims /. float_of_int jobs) }))
     domains_list
 
 (* {1 Disabled-span fast path} *)
@@ -174,17 +185,20 @@ let span_overhead_ns () =
 let print_rows rows =
   Table.print
     ~title:"parallel batched structural joins: domain-pool speedup"
-    ~header:[ "workload"; "n"; "domains"; "batch"; "wall ms"; "q/s"; "speedup" ]
+    ~header:
+      [ "workload"; "n"; "domains"; "batch"; "wall ms"; "q/s"; "speedup";
+        "claims/job" ]
     ~align:
       [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
-        Table.Right; Table.Right ]
+        Table.Right; Table.Right; Table.Right ]
     (List.map
        (fun r ->
          [ r.workload; string_of_int r.n; string_of_int r.domains;
            string_of_int r.batch;
            Printf.sprintf "%.1f" r.wall_ms;
            Printf.sprintf "%.0f" r.queries_per_s;
-           Printf.sprintf "%.2fx" r.speedup ])
+           Printf.sprintf "%.2fx" r.speedup;
+           Printf.sprintf "%.1f" r.claims_per_job ])
        rows)
 
 let json_of ~cores ~span_ns rows =
@@ -192,9 +206,9 @@ let json_of ~cores ~span_ns rows =
     Printf.sprintf
       "    {\"workload\": \"%s\", \"n\": %d, \"domains\": %d, \"batch\": %d, \
        \"reps\": %d, \"wall_ms\": %.3f, \"queries_per_s\": %.1f, \
-       \"speedup\": %.3f}"
+       \"speedup\": %.3f, \"claims_per_job\": %.2f}"
       r.workload r.n r.domains r.batch r.reps r.wall_ms r.queries_per_s
-      r.speedup
+      r.speedup r.claims_per_job
   in
   Printf.sprintf
     "{\n  \"cores\": %d,\n  \"span_overhead_ns\": %.3f,\n  \"rows\": [\n%s\n  ]\n}\n"

@@ -1,18 +1,23 @@
 (* Query fast-path experiment: mixed insert/query workloads racing the
    sort-on-fetch baseline against the incrementally maintained label
-   index (plus the INL plan sharing that index).
+   index (plus the zero-alloc hot plan and the INL plan sharing that
+   index).
 
    The document starts small; the workload interleaves subtree inserts
    (driven by the Ltree_workload.Driver patterns) with a//b descendant
    queries, flushing Label_sync between rounds, so every query sees a
    store whose rows just moved.  The baseline plan re-sorts both tags'
    rows on every query; the indexed plan merge-repairs only the rows the
-   flush reported dirty.  Comparisons (sort + merge + join, all charged
-   to the same counters) and index maintenance counters land in
-   BENCH_query.json. *)
+   flush reported dirty; the hot plan then re-runs the same query on the
+   already-clean index through the preallocated-workspace spine, which
+   must allocate nothing — asserted here per run via GC counters, the
+   dynamic twin of the R9 static audit.  Comparisons (sort + merge +
+   join, all charged to the same counters) and per-query minor/major
+   heap words land in BENCH_query.json. *)
 
 open Ltree_xml
 open Ltree_relstore
+module Column = Ltree_core.Column
 module Counters = Ltree_metrics.Counters
 module Table = Ltree_metrics.Table
 module Labeled_doc = Ltree_doc.Labeled_doc
@@ -22,12 +27,21 @@ module Params = Ltree_core.Params
 
 let initial_items = 64
 
-type plan = Baseline | Indexed | Inl
+type plan = Baseline | Indexed | IndexedHot | Inl
 
 let plan_name = function
   | Baseline -> "baseline"
   | Indexed -> "indexed"
+  | IndexedHot -> "indexed_hot"
   | Inl -> "inl"
+
+let plan_index = function
+  | Baseline -> 0
+  | Indexed -> 1
+  | IndexedHot -> 2
+  | Inl -> 3
+
+let all_plans = [ Baseline; Indexed; IndexedHot; Inl ]
 
 type row = {
   workload : string;
@@ -36,6 +50,8 @@ type row = {
   queries : int;
   ns_per_op : float;
   comparisons_per_query : float;
+  minor_words_per_query : float;
+  major_words_per_query : float;
   index_repairs : int;
   full_rebuilds : int;
 }
@@ -52,11 +68,26 @@ let insert_index prng (pattern : Driver.pattern) count =
   | Driver.Uniform -> Prng.int prng (count + 1)
   | Driver.Hotspot -> count / 2
 
+(* Reading [Gc.minor_words] itself allocates the boxed float it
+   returns, so a delta over an allocation-free region still reports a
+   couple of words.  Calibrate that floor (minimum over back-to-back
+   readings) and subtract it from every measured delta. *)
+let minor_calibration () =
+  let best = ref infinity in
+  for _ = 1 to 10 do
+    let a = Gc.minor_words () in
+    let b = Gc.minor_words () in
+    let d = b -. a in
+    if d < !best then best := d
+  done;
+  !best
+
 (* One mixed run over one freshly built document/store.  Per round:
    [batch] item inserts at pattern-chosen positions, one flush, then the
-   three plans answer site//name — baseline first (it never touches the
-   index), indexed second (pays the lazy repair), INL third (rides the
-   repaired index).  Results are checked identical every round. *)
+   four plans answer site//name — baseline first (it never touches the
+   index), indexed second (pays the lazy repair), the hot plan third
+   (clean index, warm workspace: the steady state whose allocation must
+   be zero), INL last.  Results are checked identical every round. *)
 let run_pattern ~n ~queries pattern =
   let prng = Prng.create (0x5eed + Hashtbl.hash (Driver.pattern_name pattern)) in
   let root = Dom.element "site" in
@@ -66,13 +97,19 @@ let run_pattern ~n ~queries pattern =
   let doc = Dom.document root in
   let ldoc = Labeled_doc.of_document ~params:Params.fig2 doc in
   let counters = Counters.create () in
-  let pager = Pager.create ~capacity:256 counters in
+  (* Enough buffer pool for the whole store: eviction scans inside the
+     measured window would distort both time and allocation counts. *)
+  let pager = Pager.create ~capacity:(max 256 (n / 4)) counters in
   let store = Shredder.shred_label pager ~rows_per_page:16 ldoc in
   let sync = Label_sync.create pager store ldoc in
   let count = ref initial_items in
   let batch = max 1 (n / queries) in
-  let time = Array.make 3 0.0 in
-  let comps = Array.make 3 0 in
+  let nplans = List.length all_plans in
+  let time = Array.make nplans 0.0 in
+  let comps = Array.make nplans 0 in
+  let minor = Array.make nplans 0.0 in
+  let major = Array.make nplans 0.0 in
+  let calib = minor_calibration () in
   (* Warm-up: materialize the index entries once, then snapshot the
      maintenance stats — everything after this point must be repairs,
      never full rebuilds. *)
@@ -80,13 +117,20 @@ let run_pattern ~n ~queries pattern =
   assert (List.length r0 = initial_items);
   let stats0 = Query.index_stats store in
   let measure plan f =
+    let i = plan_index plan in
     let before = Counters.comparisons counters in
+    let qs0 = Gc.quick_stat () in
     let t0 = Sys.time () in
+    let mw0 = Gc.minor_words () in
     let r = f () in
-    let dt = Sys.time () -. t0 in
-    let i = match plan with Baseline -> 0 | Indexed -> 1 | Inl -> 2 in
-    time.(i) <- time.(i) +. dt;
+    let mw1 = Gc.minor_words () in
+    let t1 = Sys.time () in
+    let qs1 = Gc.quick_stat () in
+    time.(i) <- time.(i) +. (t1 -. t0);
     comps.(i) <- comps.(i) + (Counters.comparisons counters - before);
+    minor.(i) <- minor.(i) +. Float.max 0.0 (mw1 -. mw0 -. calib);
+    major.(i) <-
+      major.(i) +. Float.max 0.0 (qs1.Gc.major_words -. qs0.Gc.major_words);
     r
   in
   for _ = 1 to queries do
@@ -105,12 +149,21 @@ let run_pattern ~n ~queries pattern =
       measure Indexed (fun () ->
           Query.label_descendants pager store ~anc:"site" ~desc:"name")
     in
+    let r_hot =
+      measure IndexedHot (fun () ->
+          Query.label_descendants_hot pager store ~anc:"site" ~desc:"name")
+    in
+    (* The hot result column is borrowed workspace: convert outside the
+       measured window, before any further query reuses it. *)
+    let r_hot = Column.to_list r_hot in
     let r_inl =
       measure Inl (fun () ->
           Query.label_descendants_inl pager store ~anc:"site" ~desc:"name")
     in
     if not (List.equal Int.equal r_base r_idx) then
       failwith "exp_query: baseline and indexed plans disagree";
+    if not (List.equal Int.equal r_base r_hot) then
+      failwith "exp_query: baseline and hot plans disagree";
     if not (List.equal Int.equal r_base r_inl) then
       failwith "exp_query: baseline and INL plans disagree"
   done;
@@ -124,34 +177,49 @@ let run_pattern ~n ~queries pattern =
   if repairs = 0 then
     failwith "exp_query: no incremental repairs ran (dirty log regressed)";
   let fq = float_of_int queries in
+  (* The zero-alloc acceptance: steady-state hot queries must not touch
+     the minor heap at all (averaged across the run to absorb counter
+     read noise). *)
+  let hot_minor = minor.(plan_index IndexedHot) /. fq in
+  if hot_minor >= 1.0 then
+    failwith
+      (Printf.sprintf
+         "exp_query: hot plan allocated %.1f minor words/query (want 0)"
+         hot_minor);
   List.map
     (fun plan ->
-      let i = match plan with Baseline -> 0 | Indexed -> 1 | Inl -> 2 in
+      let i = plan_index plan in
       { workload = Driver.pattern_name pattern;
         plan = plan_name plan;
         n;
         queries;
         ns_per_op = time.(i) *. 1e9 /. fq;
         comparisons_per_query = float_of_int comps.(i) /. fq;
-        index_repairs = (match plan with Baseline -> 0 | Indexed | Inl -> repairs);
-        full_rebuilds = (match plan with Baseline -> 0 | Indexed | Inl -> rebuilds);
+        minor_words_per_query = minor.(i) /. fq;
+        major_words_per_query = major.(i) /. fq;
+        index_repairs =
+          (match plan with Baseline | IndexedHot -> 0 | Indexed | Inl -> repairs);
+        full_rebuilds =
+          (match plan with Baseline | IndexedHot -> 0 | Indexed | Inl -> rebuilds);
       })
-    [ Baseline; Indexed; Inl ]
+    all_plans
 
 let print_rows rows =
   Table.print
     ~title:"query fast path: sort-on-fetch baseline vs. incremental index"
     ~header:
       [ "workload"; "plan"; "inserts"; "queries"; "ns/query"; "cmp/query";
-        "repairs" ]
+        "minorw/q"; "majorw/q"; "repairs" ]
     ~align:
       [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
-        Table.Right; Table.Right ]
+        Table.Right; Table.Right; Table.Right; Table.Right ]
     (List.map
        (fun r ->
          [ r.workload; r.plan; string_of_int r.n; string_of_int r.queries;
            Printf.sprintf "%.0f" r.ns_per_op;
            Printf.sprintf "%.0f" r.comparisons_per_query;
+           Printf.sprintf "%.1f" r.minor_words_per_query;
+           Printf.sprintf "%.1f" r.major_words_per_query;
            string_of_int r.index_repairs ])
        rows)
 
@@ -159,10 +227,12 @@ let json_of_rows rows =
   let row_json r =
     Printf.sprintf
       "  {\"workload\": \"%s\", \"plan\": \"%s\", \"n\": %d, \"queries\": \
-       %d, \"ns_per_op\": %.1f, \"comparisons\": %.1f, \"index_repairs\": \
-       %d, \"full_rebuilds\": %d}"
+       %d, \"ns_per_op\": %.1f, \"comparisons\": %.1f, \"minor_words\": \
+       %.1f, \"major_words\": %.1f, \"index_repairs\": %d, \
+       \"full_rebuilds\": %d}"
       r.workload r.plan r.n r.queries r.ns_per_op r.comparisons_per_query
-      r.index_repairs r.full_rebuilds
+      r.minor_words_per_query r.major_words_per_query r.index_repairs
+      r.full_rebuilds
   in
   "[\n" ^ String.concat ",\n" (List.map row_json rows) ^ "\n]\n"
 

@@ -9,6 +9,7 @@ let max : int -> int -> int = Stdlib.max
 let _ = ( > )
 let _ = ( <= )
 
+module Column = Ltree_core.Column
 module Counters = Ltree_metrics.Counters
 module Span = Ltree_obs.Span
 module Label_index = Ltree_relstore.Label_index
@@ -17,16 +18,18 @@ module Query = Ltree_relstore.Query
 (* Parallel structural-join plans over a frozen {!Read_snapshot}.
 
    Sharding model: every plan cuts the {e output-driving} side of the
-   join (the descendant array; the ancestor array for the INL plan)
+   join (the descendant column; the ancestor column for the INL plan)
    into fixed-size chunks and fans the chunks across the pool.  A
    descendant's matches depend only on the shared ancestor input, so a
    chunk can be joined in isolation against the full ancestor entry;
    per-chunk emit buffers are then concatenated in chunk order, which
-   reproduces the serial emission order exactly.  Each chunk charges
-   comparisons to its own scratch [Counters] (no shared mutable state
-   in workers); the caller aggregates them after the barrier.  All
-   plans finish with the same [sort_uniq] as the serial plans, so
-   results are element-for-element identical for every pool size. *)
+   reproduces the serial emission order exactly.  Chunk inputs are
+   zero-copy {!Column.sub} views of the frozen slice — sharding copies
+   nothing.  Each chunk charges comparisons to its own scratch
+   [Counters] (no shared mutable state in workers); the caller
+   aggregates them after the barrier.  All plans finish with the same
+   [sort_uniq] as the serial plans, so results are element-for-element
+   identical for every pool size. *)
 
 let join_comparisons =
   Ltree_obs.Registry.histogram ~name:"query_join_comparisons"
@@ -40,13 +43,19 @@ let join_comparisons =
 let chunk_for pool len =
   max 64 ((len + (8 * Pool.size pool) - 1) / (8 * Pool.size pool))
 
-(* Entry view of [starts]/[ends] positions [lo, hi) of a slice.  The
-   join never reads [rids], so no id copy is made. *)
+(* Shared placeholder for the [rids] slot of join-input views that
+   never read it (the join walks starts/ends only; emits index the
+   slice's own id column). *)
+let empty_col = Column.create ~capacity:1 ()
+
+(* Entry view of [starts]/[ends] positions [lo, hi) of a slice:
+   zero-copy column views sharing the frozen buffers. *)
 let sub_entry (s : Read_snapshot.slice) lo hi =
-  { Label_index.starts = Array.sub s.s_starts lo (hi - lo);
-    ends = Array.sub s.s_ends lo (hi - lo);
-    rids = [||];
-    len = hi - lo }
+  { Label_index.starts = Column.sub s.s_starts lo (hi - lo);
+    ends = Column.sub s.s_ends lo (hi - lo);
+    rids = empty_col;
+    len = hi - lo;
+    stamp = s.s_stamp }
 
 (* Run [body ci lo hi local_counters] over aligned chunks of [0, len),
    then return total comparisons charged.  [ci] is the chunk index:
@@ -84,7 +93,7 @@ let descendants ?counters pool snap ~anc ~desc =
                 ~emit:(fun _ dpos ->
                   if dpos <> !last then begin
                     last := dpos;
-                    out := d.s_ids.(lo + dpos) :: !out
+                    out := Column.get d.s_ids (lo + dpos) :: !out
                   end);
               buffers.(ci) <- !out)
         in
@@ -108,8 +117,10 @@ let children ?counters pool snap ~parent ~child =
               let out = ref [] in
               Query.array_join local a (sub_entry d lo hi)
                 ~emit:(fun apos dpos ->
-                  if d.s_levels.(lo + dpos) = pa.s_levels.(apos) + 1 then
-                    out := d.s_ids.(lo + dpos) :: !out);
+                  if
+                    Column.get d.s_levels (lo + dpos)
+                    = Column.get pa.s_levels apos + 1
+                  then out := Column.get d.s_ids (lo + dpos) :: !out);
               buffers.(ci) <- !out)
         in
         note ?counters comparisons;
@@ -131,13 +142,14 @@ let descendants_inl ?counters pool snap ~anc ~desc =
           chunked pool a.s_len ~chunk (fun ci lo hi local ->
               let out = ref [] in
               for apos = lo to hi - 1 do
-                let astart = a.s_starts.(apos) and aend = a.s_ends.(apos) in
+                let astart = Column.get a.s_starts apos
+                and aend = Column.get a.s_ends apos in
                 let i = ref (Label_index.upper_bound local d astart) in
                 let scanning = ref true in
                 while !scanning && !i < d.Label_index.len do
                   Counters.add_comparison local 1;
-                  if d.Label_index.starts.(!i) < aend then begin
-                    out := dids.(!i) :: !out;
+                  if Column.get d.Label_index.starts !i < aend then begin
+                    out := Column.get dids !i :: !out;
                     incr i
                   end
                   else scanning := false
@@ -156,7 +168,11 @@ let descendants_inl ?counters pool snap ~anc ~desc =
 let step_entry pool (acc : Label_index.entry) (d : Read_snapshot.slice)
     comparisons_acc =
   if d.s_len = 0 || acc.Label_index.len = 0 then
-    { Label_index.starts = [||]; ends = [||]; rids = [||]; len = 0 }
+    { Label_index.starts = empty_col;
+      ends = empty_col;
+      rids = empty_col;
+      len = 0;
+      stamp = -1 }
   else begin
     let chunk = chunk_for pool d.s_len in
     let nchunks = (d.s_len + chunk - 1) / chunk in
@@ -179,21 +195,24 @@ let step_entry pool (acc : Label_index.entry) (d : Read_snapshot.slice)
     in
     comparisons_acc := !comparisons_acc + comparisons;
     let total = Array.fold_left ( + ) 0 lens in
-    let starts = Array.make (max 1 total) 0
-    and ends = Array.make (max 1 total) 0
-    and rids = Array.make (max 1 total) 0 in
+    let starts = Column.create ~capacity:(max 1 total) ()
+    and ends = Column.create ~capacity:(max 1 total) ()
+    and rids = Column.create ~capacity:(max 1 total) () in
     (* Fill back-to-front per chunk: each buffer is reversed. *)
     let pos = ref total in
     for ci = nchunks - 1 downto 0 do
       List.iter
         (fun dpos ->
           decr pos;
-          starts.(!pos) <- d.s_starts.(dpos);
-          ends.(!pos) <- d.s_ends.(dpos);
-          rids.(!pos) <- d.s_ids.(dpos))
+          Column.set starts !pos (Column.get d.s_starts dpos);
+          Column.set ends !pos (Column.get d.s_ends dpos);
+          Column.set rids !pos (Column.get d.s_ids dpos))
         buffers.(ci)
     done;
-    { Label_index.starts; ends; rids; len = total }
+    Column.set_len starts total;
+    Column.set_len ends total;
+    Column.set_len rids total;
+    { Label_index.starts; ends; rids; len = total; stamp = -1 }
   end
 
 let path ?counters pool snap tags =
@@ -214,7 +233,7 @@ let path ?counters pool snap tags =
         note ?counters !comparisons;
         let out = ref [] in
         for i = final.Label_index.len - 1 downto 0 do
-          out := final.Label_index.rids.(i) :: !out
+          out := Column.get final.Label_index.rids i :: !out
         done;
         List.sort_uniq Int.compare !out)
 
@@ -238,7 +257,7 @@ let descendants_batch ?counters pool snap queries =
               ~emit:(fun _ dpos ->
                 if dpos <> !last then begin
                   last := dpos;
-                  out := d.s_ids.(dpos) :: !out
+                  out := Column.get d.s_ids dpos :: !out
                 end);
             comps.(i) <- Counters.comparisons local;
             List.sort_uniq Int.compare !out)

@@ -25,8 +25,10 @@ type job = {
   j_id : int;
   j_hi : int;
   j_chunk : int;
-  j_next : int Atomic.t;     (* next un-claimed chunk start *)
+  j_claim : int;             (* indices claimed per cursor bump: K chunks *)
+  j_next : int Atomic.t;     (* next un-claimed span start *)
   j_pending : int Atomic.t;  (* chunks not yet finished *)
+  j_claims : int Atomic.t;   (* claim (fetch_and_add) operations issued *)
   j_body : int -> int -> unit;
   mutable j_failure : exn option;  (* first failure wins; guarded by [mu] *)
 }
@@ -45,6 +47,7 @@ type t = {
   mutable jobs : int;
   mutable inline_jobs : int;
   mutable tasks : int;
+  mutable claims : int;
   worker_tasks : int array;  (* per participant; slot 0 = submitter *)
 }
 
@@ -53,28 +56,41 @@ type stats = {
   parallel_jobs : int;
   serial_jobs : int;
   chunk_tasks : int;
+  claim_ops : int;
   per_worker : int array;
 }
 
 (* Run chunks of [job] until the claim cursor is exhausted.  Called by
-   the submitter (slot 0) and by any worker that saw the job. *)
+   the submitter (slot 0) and by any worker that saw the job.  Each
+   cursor bump claims a span of [j_claim] indices — K whole chunks —
+   and the span is then run chunk by chunk on aligned boundaries, so
+   bodies still see exactly the chunk grid the submitter described
+   while paying 1/K of the atomic traffic. *)
 let run_chunks t job ~slot =
   let rec loop () =
-    let start = Atomic.fetch_and_add job.j_next job.j_chunk in
+    let start = Atomic.fetch_and_add job.j_next job.j_claim in
     if start < job.j_hi then begin
-      (match job.j_failure with
-      | Some _ -> ()  (* racy peek; worst case we run a doomed chunk *)
-      | None -> (
-        let stop = min job.j_hi (start + job.j_chunk) in
-        try job.j_body start stop
-        with e ->
-          Mutex.lock t.mu;
-          (match job.j_failure with
-          | None -> job.j_failure <- Some e
-          | Some _ -> ());
-          Mutex.unlock t.mu));
-      t.worker_tasks.(slot) <- t.worker_tasks.(slot) + 1;
-      let left = Atomic.fetch_and_add job.j_pending (-1) - 1 in
+      Atomic.incr job.j_claims;
+      let span_stop = min job.j_hi (start + job.j_claim) in
+      let pos = ref start in
+      let ran = ref 0 in
+      while !pos < span_stop do
+        let stop = min job.j_hi (!pos + job.j_chunk) in
+        (match job.j_failure with
+        | Some _ -> ()  (* racy peek; worst case we run a doomed chunk *)
+        | None -> (
+          try job.j_body !pos stop
+          with e ->
+            Mutex.lock t.mu;
+            (match job.j_failure with
+            | None -> job.j_failure <- Some e
+            | Some _ -> ());
+            Mutex.unlock t.mu));
+        t.worker_tasks.(slot) <- t.worker_tasks.(slot) + 1;
+        incr ran;
+        pos := !pos + job.j_chunk
+      done;
+      let left = Atomic.fetch_and_add job.j_pending (- !ran) - !ran in
       if left = 0 then begin
         Mutex.lock t.mu;
         (match t.current with
@@ -121,6 +137,7 @@ let create ~size =
       jobs = 0;
       inline_jobs = 0;
       tasks = 0;
+      claims = 0;
       worker_tasks = Array.make size 0 }
   in
   t.domains <-
@@ -148,6 +165,7 @@ let stats t =
       parallel_jobs = t.jobs;
       serial_jobs = t.inline_jobs;
       chunk_tasks = t.tasks;
+      claim_ops = t.claims;
       per_worker = Array.copy t.worker_tasks }
   in
   Mutex.unlock t.mu;
@@ -173,16 +191,24 @@ let share_hist () =
     ~bounds:(Ltree_obs.Histogram.linear_bounds ~start:0.1 ~step:0.1 ~count:10)
     ()
 
-let note_job t ~nchunks ~caller_chunks =
+let claims_hist () =
+  Ltree_obs.Registry.histogram ~name:"exec_pool_claims_per_job"
+    ~help:"atomic claim operations on the chunk cursor per parallel job"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:12)
+    ()
+
+let note_job t ~nchunks ~caller_chunks ~claims =
   Mutex.lock t.mu;
   t.jobs <- t.jobs + 1;
   t.tasks <- t.tasks + nchunks;
+  t.claims <- t.claims + claims;
   Mutex.unlock t.mu;
   let stolen = nchunks - caller_chunks in
   Ltree_obs.Histogram.observe_int (tasks_hist ()) nchunks;
   Ltree_obs.Histogram.observe_int (stolen_hist ()) stolen;
   Ltree_obs.Histogram.observe (share_hist ())
-    (float_of_int stolen /. float_of_int nchunks)
+    (float_of_int stolen /. float_of_int nchunks);
+  Ltree_obs.Histogram.observe_int (claims_hist ()) claims
 
 let serial_run t body lo hi =
   Mutex.lock t.mu;
@@ -216,12 +242,18 @@ let parallel_for ?chunk t ~lo ~hi body =
           serial_run t body lo hi
         | None ->
           let nchunks = (n + chunk - 1) / chunk in
+          (* Claim K chunks per atomic bump — enough spans for about
+             four claims per participant so the tail still rebalances,
+             while big ranges stop hammering the cursor. *)
+          let k = max 1 (nchunks / (4 * t.pool_size)) in
           let job =
             { j_id = t.next_job_id;
               j_hi = hi;
               j_chunk = chunk;
+              j_claim = k * chunk;
               j_next = Atomic.make lo;
               j_pending = Atomic.make nchunks;
+              j_claims = Atomic.make 0;
               j_body = body;
               j_failure = None }
           in
@@ -236,7 +268,9 @@ let parallel_for ?chunk t ~lo ~hi body =
             Condition.wait t.finished t.mu
           done;
           Mutex.unlock t.mu;
-          note_job t ~nchunks ~caller_chunks:(t.worker_tasks.(0) - caller_before);
+          note_job t ~nchunks
+            ~caller_chunks:(t.worker_tasks.(0) - caller_before)
+            ~claims:(Atomic.get job.j_claims);
           (match job.j_failure with Some e -> raise e | None -> ())
     end
   end

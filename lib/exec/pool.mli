@@ -27,6 +27,12 @@ type stats = {
   parallel_jobs : int;  (** jobs fanned out across domains *)
   serial_jobs : int;  (** jobs run inline: size 1, tiny range, or re-entrant *)
   chunk_tasks : int;  (** chunk tasks executed by parallel jobs *)
+  claim_ops : int;
+      (** atomic cursor claims issued by parallel jobs.  Each claim
+          grabs a span of K chunks (K adaptive on range size), so
+          [claim_ops] over [parallel_jobs] — also the
+          [exec_pool_claims_per_job] histogram — measures how well the
+          batching amortizes cursor contention. *)
   per_worker : int array;
 }
 

@@ -4,27 +4,28 @@ let ( <> ) : int -> int -> bool = Stdlib.( <> )
 let ( < ) : int -> int -> bool = Stdlib.( < )
 let max : int -> int -> int = Stdlib.max
 
-let _ = ( = )
 let _ = ( < )
 
+module Column = Ltree_core.Column
 module Label_index = Ltree_relstore.Label_index
 module Query = Ltree_relstore.Query
 module Rel_table = Ltree_relstore.Rel_table
 module Shredder = Ltree_relstore.Shredder
 
 (* A frozen structure-of-arrays view of the label store: per tag, the
-   sorted (start, end) interval arrays plus the Dom id and tree level
+   sorted (start, end) interval columns plus the Dom id and tree level
    of every row, all copied out of the live index at freeze time.
    Workers share the snapshot read-only; nothing here aliases a mutable
    structure, so no query ever touches the pager, the row tables or the
-   repairable index arrays. *)
+   repairable index columns. *)
 
 type slice = {
-  s_starts : int array;
-  s_ends : int array;
-  s_ids : int array;
-  s_levels : int array;
+  s_starts : Column.t;
+  s_ends : Column.t;
+  s_ids : Column.t;
+  s_levels : Column.t;
   s_len : int;
+  s_stamp : int;
 }
 
 type source = {
@@ -43,27 +44,53 @@ type t = {
 exception Stale of string
 
 let empty_slice =
-  { s_starts = [||]; s_ends = [||]; s_ids = [||]; s_levels = [||]; s_len = 0 }
+  { s_starts = Column.create ~capacity:1 ();
+    s_ends = Column.create ~capacity:1 ();
+    s_ids = Column.create ~capacity:1 ();
+    s_levels = Column.create ~capacity:1 ();
+    s_len = 0;
+    s_stamp = -1 }
 
-let freeze_tag pager store tag =
+(* Freeze one tag.  When the previous snapshot holds a slice whose
+   stamp matches the entry's (the entry was not rebuilt or repaired in
+   between), the old slice record is reused as-is — a refresh after a
+   localized batch of updates re-copies only the touched tags. *)
+let freeze_tag ?prev pager store tag =
   let e = Query.tag_entry pager store tag in
   let n = e.Label_index.len in
   if n = 0 then empty_slice
   else begin
-    let ids = Array.make n 0 and levels = Array.make n 0 in
-    for i = 0 to n - 1 do
-      let row = Rel_table.get store.Shredder.label_table e.Label_index.rids.(i) in
-      ids.(i) <- row.Shredder.l_id;
-      levels.(i) <- row.Shredder.l_level
-    done;
-    { s_starts = Array.sub e.Label_index.starts 0 n;
-      s_ends = Array.sub e.Label_index.ends 0 n;
-      s_ids = ids;
-      s_levels = levels;
-      s_len = n }
+    let reusable =
+      match prev with
+      | None -> None
+      | Some p -> (
+          match Hashtbl.find_opt p.slices tag with
+          | Some s when s.s_stamp = e.Label_index.stamp && s.s_len = n ->
+            Some s
+          | Some _ | None -> None)
+    in
+    match reusable with
+    | Some s -> s
+    | None ->
+      let ids = Column.create ~capacity:n ()
+      and levels = Column.create ~capacity:n () in
+      for i = 0 to n - 1 do
+        let row =
+          Rel_table.get store.Shredder.label_table
+            (Column.get_checked e.Label_index.rids i)
+        in
+        Column.push ids row.Shredder.l_id;
+        Column.push levels row.Shredder.l_level
+      done;
+      { s_starts = Column.copy_sub e.Label_index.starts 0 n;
+        s_ends = Column.copy_sub e.Label_index.ends 0 n;
+        s_ids = ids;
+        s_levels = levels;
+        s_len = n;
+        s_stamp = e.Label_index.stamp }
   end
 
-let of_store pager store doc =
+let of_store ?prev pager store doc =
   let tag_list =
     List.sort_uniq String.compare
       (Hashtbl.fold
@@ -71,7 +98,9 @@ let of_store pager store doc =
          store.Shredder.label_by_tag [])
   in
   let slices = Hashtbl.create (max 16 (List.length tag_list)) in
-  List.iter (fun tag -> Hashtbl.replace slices tag (freeze_tag pager store tag)) tag_list;
+  List.iter
+    (fun tag -> Hashtbl.replace slices tag (freeze_tag ?prev pager store tag))
+    tag_list;
   (* Stamp after freezing: [tag_entry] may repair the index (bumping
      nothing — repairs consume, not produce, change notes), so the
      stamps taken here describe exactly the state the slices mirror. *)
@@ -99,7 +128,8 @@ let entry_of_slice s =
   { Label_index.starts = s.s_starts;
     ends = s.s_ends;
     rids = s.s_ids;
-    len = s.s_len }
+    len = s.s_len;
+    stamp = s.s_stamp }
 
 let[@ltree.hot] is_fresh t =
   t.snap_version = Ltree_doc.Labeled_doc.version t.src.src_doc
@@ -117,4 +147,5 @@ let[@ltree.hot] ensure_fresh t =
             t.snap_version t.snap_generation live_v live_g))
 
 let refresh t =
-  if is_fresh t then t else of_store t.src.src_pager t.src.src_store t.src.src_doc
+  if is_fresh t then t
+  else of_store ~prev:t t.src.src_pager t.src.src_store t.src.src_doc

@@ -2,9 +2,10 @@
 
     A snapshot is a frozen structure-of-arrays copy of the incremental
     per-tag label index ({!Ltree_relstore.Label_index}): for every tag,
-    the sorted [(start, end)] interval arrays plus each row's Dom id
-    and tree level.  Worker domains share it read-only — parallel query
-    plans never touch the pager, the row tables, or the live index.
+    the sorted [(start, end)] interval columns plus each row's Dom id
+    and tree level, stored as untagged-int {!Ltree_core.Column}s.
+    Worker domains share it read-only — parallel query plans never
+    touch the pager, the row tables, or the live index.
 
     Freshness contract: a snapshot is stamped with the labeled
     document's version ({!Ltree_doc.Labeled_doc.version}, i.e. the
@@ -12,26 +13,34 @@
     Once either stamp moves — any tree mutation, or any
     {!Ltree_relstore.Label_sync.flush} that notes a change —
     {!ensure_fresh} refuses the snapshot with {!Stale} and {!refresh}
-    rebuilds it from the live store. *)
+    rebuilds it from the live store.  A refresh reuses the slice of
+    every tag whose index entry kept its maintenance stamp, so only the
+    tags actually touched since the freeze are re-copied. *)
 
 type t
 
-(** One tag's frozen rows, parallel arrays over [0 .. s_len):
-    [s_starts] strictly increasing. *)
+(** One tag's frozen rows, parallel columns over [0 .. s_len):
+    [s_starts] strictly increasing.  [s_stamp] is the index entry's
+    maintenance stamp at freeze time — the reuse key for {!refresh}. *)
 type slice = {
-  s_starts : int array;
-  s_ends : int array;
-  s_ids : int array;  (** Dom node ids *)
-  s_levels : int array;  (** tree depth, root = 0 *)
+  s_starts : Ltree_core.Column.t;
+  s_ends : Ltree_core.Column.t;
+  s_ids : Ltree_core.Column.t;  (** Dom node ids *)
+  s_levels : Ltree_core.Column.t;  (** tree depth, root = 0 *)
   s_len : int;
+  s_stamp : int;
 }
 
 exception Stale of string
 
-(** [of_store pager store doc] freezes every tag currently in the
-    store.  Must be called from one domain with no concurrent writers
-    (it may repair the live index on the way). *)
+(** [of_store ?prev pager store doc] freezes every tag currently in the
+    store.  With [?prev], slices of tags whose index entry is unchanged
+    since [prev]'s freeze (same maintenance stamp) are reused
+    physically instead of re-copied.  Must be called from one domain
+    with no concurrent writers (it may repair the live index on the
+    way). *)
 val of_store :
+  ?prev:t ->
   Ltree_relstore.Pager.t ->
   Ltree_relstore.Shredder.label_store ->
   Ltree_doc.Labeled_doc.t ->
@@ -62,5 +71,5 @@ val is_fresh : t -> bool
 val ensure_fresh : t -> unit
 
 (** [refresh t] is [t] if still fresh, else a new snapshot of the same
-    source store. *)
+    source store (reusing unchanged tags' slices). *)
 val refresh : t -> t

@@ -1,5 +1,5 @@
-module Counters = Ltree_metrics.Counters
 module Span = Ltree_obs.Span
+module Column = Ltree_core.Column
 
 (* Incremental repairs are the index's whole point: this histogram shows
    how small the merged batches stay relative to full rebuilds. *)
@@ -11,16 +11,30 @@ let merged_rows_hist =
 
 (* Monomorphic comparison prelude (lint rule R2). *)
 let ( = ) : int -> int -> bool = Stdlib.( = )
-let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( <> ) : int -> int -> bool = Stdlib.( <> )
 let ( <= ) : int -> int -> bool = Stdlib.( <= )
 let ( > ) : int -> int -> bool = Stdlib.( > )
 let max : int -> int -> int = Stdlib.max
 
 type entry = {
-  mutable starts : int array;
-  mutable ends : int array;
-  mutable rids : int array;
+  starts : Column.t;
+  ends : Column.t;
+  rids : Column.t;
   mutable len : int;
+  mutable stamp : int;
+}
+
+type jstate = {
+  mutable js_ai : int;
+  mutable js_di : int;
+  mutable js_done : bool;
+}
+
+type workspace = {
+  w_stack : Column.t;
+  w_out : Column.t;
+  w_mark : Column.t;
+  w_js : jstate;
 }
 
 type stats = { repairs : int; full_rebuilds : int; merged_rows : int }
@@ -32,6 +46,15 @@ type t = {
   mutable repairs : int;
   mutable full_rebuilds : int;
   mutable merged_rows : int;
+  (* Reused repair scratch: the changed batch of one tag.  Grown once,
+     never dropped — repairs allocate nothing in steady state. *)
+  ins_s : Column.t;
+  ins_e : Column.t;
+  ins_r : Column.t;
+  (* Touched-rid bitset for the survivor pass (one bit test per row
+     instead of one hash probe). *)
+  rmark : Column.t;
+  ws : workspace;
 }
 
 let create () =
@@ -40,9 +63,19 @@ let create () =
     generation = 0;
     repairs = 0;
     full_rebuilds = 0;
-    merged_rows = 0 }
+    merged_rows = 0;
+    ins_s = Column.create ~capacity:64 ();
+    ins_e = Column.create ~capacity:64 ();
+    ins_r = Column.create ~capacity:64 ();
+    rmark = Column.create ~capacity:64 ();
+    ws =
+      { w_stack = Column.create ~capacity:64 ();
+        w_out = Column.create ~capacity:256 ();
+        w_mark = Column.create ~capacity:256 ();
+        w_js = { js_ai = 0; js_di = 0; js_done = false } } }
 
 let generation t = t.generation
+let workspace t = t.ws
 
 let stats t =
   { repairs = t.repairs;
@@ -70,132 +103,137 @@ let invalidate_all t =
   Hashtbl.reset t.tags;
   Hashtbl.reset t.pending
 
-(* Sort the (start, end, rid) triples [0, n) of three parallel arrays in
-   place by start, charging one comparison per comparator call.  The
-   batches sorted here are the freshly changed rows of one tag — small
-   next to the surviving array, which is what makes repair cheaper than
-   the sort-on-fetch baseline. *)
-let sort3 counters starts ends rids n =
-  let idx = Array.init n (fun i -> i) in
-  Array.sort
-    (fun a b ->
-      Counters.add_comparison counters 1;
-      Int.compare starts.(a) starts.(b))
-    idx;
-  let pick src = Array.init n (fun i -> src.(idx.(i))) in
-  let s = pick starts and e = pick ends and r = pick rids in
-  Array.blit s 0 starts 0 n;
-  Array.blit e 0 ends 0 n;
-  Array.blit r 0 rids 0 n
+exception Dirty
+
+(* The allocation-free lookup the zero-alloc query spine rides: a clean
+   materialized entry or the [Dirty] escape to the repairing path.
+   [Hashtbl.find] (not [find_opt]) so the hit path builds no option. *)
+let[@ltree.hot] clean t tag =
+  match Hashtbl.find t.tags tag with
+  | exception Not_found -> raise Dirty
+  | e -> if Hashtbl.mem t.pending tag then raise Dirty else e
 
 (* Build a tag's entry from scratch: fetch every row id, drop the dead,
-   sort by start. *)
+   sort by start.  Row ids arrive in insertion order, which is document
+   preorder for a bulk shred, so the already-sorted check in
+   {!Column.sort3} keeps bulk builds linear. *)
 let rebuild t counters ~rids_of_tag ~fetch tag =
   Span.event ~attrs:[ ("tag", tag) ] "relstore.index_rebuild";
   let ids = rids_of_tag tag in
-  let n = List.length ids in
-  let starts = Array.make n 0
-  and ends = Array.make n 0
-  and rids = Array.make n 0 in
-  let len = ref 0 in
+  let cap = max 16 (List.length ids) in
+  let entry =
+    { starts = Column.create ~capacity:cap ();
+      ends = Column.create ~capacity:cap ();
+      rids = Column.create ~capacity:cap ();
+      len = 0;
+      stamp = t.generation }
+  in
   List.iter
     (fun rid ->
       let s, e, dead = fetch rid in
       if not dead then begin
-        starts.(!len) <- s;
-        ends.(!len) <- e;
-        rids.(!len) <- rid;
-        incr len
+        Column.push entry.starts s;
+        Column.push entry.ends e;
+        Column.push entry.rids rid
       end)
     ids;
-  sort3 counters starts ends rids !len;
-  let entry = { starts; ends; rids; len = !len } in
+  let live = Column.length entry.starts in
+  Column.sort3 counters entry.starts entry.ends entry.rids live;
+  entry.len <- live;
   Hashtbl.replace t.tags tag entry;
   Hashtbl.remove t.pending tag;
   t.full_rebuilds <- t.full_rebuilds + 1;
   entry
 
-(* Repair one tag: drop every touched (or tombstoned) row from the
-   sorted survivors in one pass, re-fetch the touched rows, sort that
-   small batch, and merge — never re-sorting the untouched bulk. *)
+let[@inline] touched_bit mark maxrid rid =
+  rid <= maxrid
+  && Column.get mark (rid lsr 5) land (1 lsl (rid land 31)) <> 0
+
+(* Repair one tag in place: drop every touched (or tombstoned) row from
+   the sorted survivors in one compaction pass, re-fetch the touched
+   rows into the reused batch scratch, sort that small batch, and merge
+   backwards through the entry's own (reserved) columns — never
+   re-sorting the untouched bulk and never allocating fresh arrays. *)
 let repair t counters ~fetch tag entry touched =
   let n = entry.len in
+  let s = entry.starts and e = entry.ends and r = entry.rids in
+  (* Scatter the touched rids into the reused bitset; the survivor scan
+     below then costs one bit test per row. *)
+  let maxrid = Hashtbl.fold (fun rid () m -> max rid m) touched (-1) in
+  let words = (maxrid + 32) lsr 5 in
+  Column.reserve t.rmark words;
+  Column.set_len t.rmark 0;
+  for i = 0 to words - 1 do
+    Column.set t.rmark i 0
+  done;
+  Hashtbl.iter
+    (fun rid () ->
+      let w = rid lsr 5 in
+      Column.set t.rmark w (Column.get t.rmark w lor (1 lsl (rid land 31))))
+    touched;
   (* Survivors keep their sorted order; dead rows can only be pending
      (tombstoning goes through the sync layer, which logs the rid), so
      this pass is also the lazy tombstone compaction. *)
-  let surv_s = Array.make n 0
-  and surv_e = Array.make n 0
-  and surv_r = Array.make n 0 in
   let ns = ref 0 in
   for i = 0 to n - 1 do
-    if not (Hashtbl.mem touched entry.rids.(i)) then begin
-      surv_s.(!ns) <- entry.starts.(i);
-      surv_e.(!ns) <- entry.ends.(i);
-      surv_r.(!ns) <- entry.rids.(i);
+    let rid = Column.get r i in
+    if not (touched_bit t.rmark maxrid rid) then begin
+      Column.set s !ns (Column.get s i);
+      Column.set e !ns (Column.get e i);
+      Column.set r !ns rid;
       incr ns
     end
   done;
-  let k = Hashtbl.length touched in
-  let ins_s = Array.make (max 1 k) 0
-  and ins_e = Array.make (max 1 k) 0
-  and ins_r = Array.make (max 1 k) 0 in
-  let ni = ref 0 in
+  Column.clear t.ins_s;
+  Column.clear t.ins_e;
+  Column.clear t.ins_r;
   Hashtbl.iter
     (fun rid () ->
-      let s, e, dead = fetch rid in
+      let s', e', dead = fetch rid in
       if not dead then begin
-        ins_s.(!ni) <- s;
-        ins_e.(!ni) <- e;
-        ins_r.(!ni) <- rid;
-        incr ni
+        Column.push t.ins_s s';
+        Column.push t.ins_e e';
+        Column.push t.ins_r rid
       end)
     touched;
-  sort3 counters ins_s ins_e ins_r !ni;
-  let total = !ns + !ni in
-  let out_s = Array.make (max 1 total) 0
-  and out_e = Array.make (max 1 total) 0
-  and out_r = Array.make (max 1 total) 0 in
-  (* Galloping merge: the changed batch is tiny next to the survivors,
-     so binary-search each insertion's splice point (charging log
-     comparisons per probe) and blit the survivor runs wholesale, rather
-     than paying one comparison per surviving row. *)
-  let[@ltree.hot] splice_point lo key =
-    let l = ref lo and h = ref !ns in
-    while !l < !h do
-      let mid = (!l + !h) / 2 in
-      Counters.add_comparison counters 1;
-      if surv_s.(mid) <= key then l := mid + 1 else h := mid
+  let ni = Column.length t.ins_s in
+  Column.sort3 counters t.ins_s t.ins_e t.ins_r ni;
+  let total = !ns + ni in
+  Column.reserve s total;
+  Column.reserve e total;
+  Column.reserve r total;
+  (* Backward galloping merge, in place: binary-search each insertion's
+     splice point from the top (charging log comparisons per probe) and
+     shift the surviving run right in one descending sweep, largest
+     keys first, so no survivor is read after being overwritten. *)
+  let o = ref (total - 1) in
+  let hi = ref !ns in
+  for j = ni - 1 downto 0 do
+    let key = Column.get t.ins_s j in
+    let split = Column.upper_bound_sub counters s ~hi:!hi key in
+    for k = !hi - 1 downto split do
+      let dst = !o - (!hi - 1 - k) in
+      Column.set s dst (Column.get s k);
+      Column.set e dst (Column.get e k);
+      Column.set r dst (Column.get r k)
     done;
-    !l
-  in
-  let i = ref 0 and o = ref 0 in
-  let[@ltree.hot] blit_survivors upto =
-    let run = upto - !i in
-    if run > 0 then begin
-      Array.blit surv_s !i out_s !o run;
-      Array.blit surv_e !i out_e !o run;
-      Array.blit surv_r !i out_r !o run;
-      i := upto;
-      o := !o + run
-    end
-  in
-  for j = 0 to !ni - 1 do
-    blit_survivors (splice_point !i ins_s.(j));
-    out_s.(!o) <- ins_s.(j);
-    out_e.(!o) <- ins_e.(j);
-    out_r.(!o) <- ins_r.(j);
-    incr o
+    o := !o - (!hi - split);
+    Column.set s !o key;
+    Column.set e !o (Column.get t.ins_e j);
+    Column.set r !o (Column.get t.ins_r j);
+    decr o;
+    hi := split
   done;
-  blit_survivors !ns;
-  entry.starts <- out_s;
-  entry.ends <- out_e;
-  entry.rids <- out_r;
   entry.len <- total;
+  Column.set_len s total;
+  Column.set_len e total;
+  Column.set_len r total;
+  entry.stamp <- t.generation;
   Hashtbl.remove t.pending tag;
   t.repairs <- t.repairs + 1;
-  t.merged_rows <- t.merged_rows + !ni;
+  t.merged_rows <- t.merged_rows + ni;
   Span.event ~attrs:[ ("tag", tag) ] "relstore.index_repair";
-  Ltree_obs.Histogram.observe_int merged_rows_hist !ni;
+  Ltree_obs.Histogram.observe_int merged_rows_hist ni;
   entry
 
 let entry t counters ~rids_of_tag ~fetch tag =
@@ -212,24 +250,29 @@ let entry t counters ~rids_of_tag ~fetch tag =
 (* First position in [e] with start > key (binary search; one comparison
    charged per probe). *)
 let[@ltree.hot] upper_bound counters e key =
-  let lo = ref 0 and hi = ref e.len in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    Counters.add_comparison counters 1;
-    if e.starts.(mid) <= key then lo := mid + 1 else hi := mid
-  done;
-  !lo
+  Column.upper_bound_sub counters e.starts ~hi:e.len key
 
 let check t ~fetch =
   Hashtbl.iter
     (fun tag entry ->
-      if not (Hashtbl.mem t.pending tag) then
+      if not (Hashtbl.mem t.pending tag) then begin
+        if
+          Stdlib.not (Column.length entry.starts = entry.len)
+          || Stdlib.not (Column.length entry.ends = entry.len)
+          || Stdlib.not (Column.length entry.rids = entry.len)
+        then failwith "Label_index: column lengths disagree with entry";
         for i = 0 to entry.len - 1 do
-          if i > 0 && entry.starts.(i) <= entry.starts.(i - 1) then
-            failwith "Label_index: starts not strictly increasing";
-          let s, e, dead = fetch entry.rids.(i) in
+          if
+            i > 0
+            && Column.get_checked entry.starts i
+               <= Column.get_checked entry.starts (i - 1)
+          then failwith "Label_index: starts not strictly increasing";
+          let s, e, dead = fetch (Column.get_checked entry.rids i) in
           if dead then failwith "Label_index: clean entry holds a dead row";
-          if not (s = entry.starts.(i)) || not (e = entry.ends.(i)) then
-            failwith "Label_index: clean entry disagrees with its row"
-        done)
+          if
+            not (s = Column.get_checked entry.starts i)
+            || not (e = Column.get_checked entry.ends i)
+          then failwith "Label_index: clean entry disagrees with its row"
+        done
+      end)
     t.tags

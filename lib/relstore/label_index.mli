@@ -1,15 +1,19 @@
 (** Incremental per-tag secondary index over the stored label relation.
 
     For each tag, the live rows' [(start, end, row id)] triples as
-    parallel int arrays sorted by start label — the random-access sorted
-    input the structural-join literature assumes.  Unlike the old
+    parallel untagged-int columns ({!Ltree_core.Column}) sorted by start
+    label — the random-access sorted input the structural-join
+    literature assumes, now in dense cache lines.  Unlike the old
     memoized index (dropped wholesale by every {!Label_sync.flush}),
     this one is {e maintained}: the sync layer logs exactly which rows
     of which tags changed ({!note_change}), and the next access to a
-    dirty tag {e repairs} its arrays — one pass dropping the touched and
-    tombstoned rows from the sorted survivors, a small sort of the
-    changed batch, one merge — instead of re-sorting the world.
-    Tombstones are compacted lazily by that same survivor pass.
+    dirty tag {e repairs} its columns in place — one bitset-guided pass
+    dropping the touched and tombstoned rows from the sorted survivors,
+    a small in-place sort of the changed batch, one backward galloping
+    merge through the entry's own (pre-reserved) buffers — instead of
+    re-sorting the world.  Steady-state repairs reuse every buffer they
+    touch and allocate nothing.  Tombstones are compacted lazily by that
+    same survivor pass.
 
     The index itself is memory-resident (as in experiment E8d); the row
     fetches a rebuild or repair performs go through the caller-supplied
@@ -20,24 +24,51 @@
 
 type t
 
-(** One tag's slice: parallel arrays, [starts] strictly increasing on
-    [0 .. len). Treat as read-only — the index mutates them in place on
-    repair. *)
+(** One tag's slice: parallel columns, [starts] strictly increasing on
+    [0 .. len).  [stamp] is the index {!generation} at which the entry
+    was last brought up to date — snapshots compare it to skip
+    re-freezing unchanged tags.  Treat as read-only — the index mutates
+    the columns in place on repair. *)
 type entry = {
-  mutable starts : int array;
-  mutable ends : int array;
-  mutable rids : int array;
+  starts : Ltree_core.Column.t;
+  ends : Ltree_core.Column.t;
+  rids : Ltree_core.Column.t;
   mutable len : int;
+  mutable stamp : int;
+}
+
+(** Mutable cursor state for the zero-alloc join spine: the join loop in
+    {!Query} keeps its two cursors here instead of in local refs, which
+    vanilla OCaml would box. *)
+type jstate = {
+  mutable js_ai : int;
+  mutable js_di : int;
+  mutable js_done : bool;
+}
+
+(** Preallocated query workspace, one per index, reused across queries:
+    [w_stack] holds the open ancestor ends, [w_out] the emitted row ids,
+    [w_mark] is {!Ltree_core.Column.sort_dedup} scratch.  A query's
+    result read from [w_out] is only valid until the next query on the
+    same index. *)
+type workspace = {
+  w_stack : Ltree_core.Column.t;
+  w_out : Ltree_core.Column.t;
+  w_mark : Ltree_core.Column.t;
+  w_js : jstate;
 }
 
 (** Maintenance counters: [repairs] counts dirty-tag merge repairs (each
     one is a full re-sort avoided), [full_rebuilds] counts from-scratch
-    array builds (first access to a tag, or after {!invalidate_all}),
+    column builds (first access to a tag, or after {!invalidate_all}),
     [merged_rows] the changed rows merged across all repairs. *)
 type stats = { repairs : int; full_rebuilds : int; merged_rows : int }
 
 val create : unit -> t
 val stats : t -> stats
+
+(** [workspace t] is [t]'s preallocated query workspace. *)
+val workspace : t -> workspace
 
 (** [generation t] is a monotone stamp bumped by every {!note_change} /
     {!invalidate_all}; equal stamps mean the index saw no change. *)
@@ -53,6 +84,16 @@ val note_change : t -> tag:string -> rid:int -> unit
     enumerate, e.g. restoring a store against a compacted document. *)
 val invalidate_all : t -> unit
 
+(** Raised by {!clean} when the tag is unmaterialized or has pending
+    changes. *)
+exception Dirty
+
+(** [clean t tag] is [tag]'s entry when it is materialized and has no
+    pending changes — the allocation-free lookup the hot query spine
+    uses; raises {!Dirty} otherwise, and the caller falls back to
+    {!entry}. *)
+val clean : t -> string -> entry
+
 (** [entry t counters ~rids_of_tag ~fetch tag] returns [tag]'s
     up-to-date slice, rebuilding or repairing first when needed.
     [rids_of_tag] enumerates the tag's row ids (used only by full
@@ -67,6 +108,7 @@ val entry :
 val upper_bound : Ltree_metrics.Counters.t -> entry -> int -> int
 
 (** [check t ~fetch] verifies every clean (non-dirty) materialized tag:
-    strictly increasing starts, no dead rows, arrays agreeing with the
-    backing rows.  Raises [Failure] otherwise. *)
+    column lengths in sync, strictly increasing starts, no dead rows,
+    columns agreeing with the backing rows.  Raises [Failure]
+    otherwise. *)
 val check : t -> fetch:(int -> int * int * bool) -> unit

@@ -1,56 +1,115 @@
 module Counters = Ltree_metrics.Counters
+module Column = Ltree_core.Column
 
 (* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
 let ( < ) : int -> int -> bool = Stdlib.( < )
 let ( <= ) : int -> int -> bool = Stdlib.( <= )
 let ( >= ) : int -> int -> bool = Stdlib.( >= )
+let max : int -> int -> int = Stdlib.max
 
+let _ = ( <= )
+
+(* Residency and dirty bits live in dense per-table columns indexed by
+   page number: [clocks.(table)] maps a page to its last-use clock (-1
+   when not resident), [dirties.(table)] to its dirty flag.  A touch is
+   then two array loads and a store — no tuple key, no hashing, no
+   generic comparison — which is what lets the row fetches on the
+   query emit path stay on the R9-audited allocation-free spine. *)
 type t = {
   capacity : int;
   counters : Counters.t;
-  resident : (int * int, int) Hashtbl.t; (* (table, page) -> last use *)
-  dirty : (int * int, unit) Hashtbl.t;
+  mutable clocks : Column.t array;
+  mutable dirties : Column.t array;
+  mutable resident_count : int;
+  mutable dirty_count : int;
   mutable clock : int;
   mutable next_table : int;
 }
 
 let create ?(capacity = 64) counters =
   if capacity < 1 then invalid_arg "Pager.create: capacity must be >= 1";
-  { capacity; counters; resident = Hashtbl.create 128;
-    dirty = Hashtbl.create 16; clock = 0; next_table = 0 }
+  { capacity; counters; clocks = [||]; dirties = [||];
+    resident_count = 0; dirty_count = 0; clock = 0; next_table = 0 }
 
 let counters t = t.counters
 
-let write_back t key =
-  if Hashtbl.mem t.dirty key then begin
+(* Make [clocks.(table)]/[dirties.(table)] exist and cover [page].
+   Growth only — the columns keep their buffers for the pager's
+   lifetime, so steady-state touches never come here. *)
+let[@ltree.cold] grow t ~table ~page =
+  let n = Array.length t.clocks in
+  if table >= n then begin
+    let nn = max (table + 1) (max 4 (2 * n)) in
+    t.clocks <-
+      Array.init nn (fun i ->
+          if i < n then t.clocks.(i) else Column.create ~capacity:16 ());
+    t.dirties <-
+      Array.init nn (fun i ->
+          if i < n then t.dirties.(i) else Column.create ~capacity:16 ())
+  end;
+  let c = t.clocks.(table) and d = t.dirties.(table) in
+  while Column.length c <= page do
+    Column.push c (-1);
+    Column.push d 0
+  done
+
+let write_back t ~table ~page =
+  let d = t.dirties.(table) in
+  if page < Column.length d && Column.get d page = 1 then begin
     Counters.add_page_write t.counters 1;
-    Hashtbl.remove t.dirty key
+    Column.set d page 0;
+    t.dirty_count <- t.dirty_count - 1
   end
 
 let evict_oldest t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun key used ->
-      match !victim with
-      | Some (_, u) when u <= used -> ()
-      | Some _ | None -> victim := Some (key, used))
-    t.resident;
-  match !victim with
-  | Some (key, _) ->
-    write_back t key;
-    Hashtbl.remove t.resident key
-  | None -> ()
+  let bt = ref (-1) and bp = ref (-1) and bc = ref Stdlib.max_int in
+  Array.iteri
+    (fun ti c ->
+      for p = 0 to Column.length c - 1 do
+        let v = Column.get c p in
+        if v >= 0 && v < !bc then begin
+          bc := v;
+          bt := ti;
+          bp := p
+        end
+      done)
+    t.clocks;
+  if !bt >= 0 then begin
+    write_back t ~table:!bt ~page:!bp;
+    Column.set t.clocks.(!bt) !bp (-1);
+    t.resident_count <- t.resident_count - 1
+  end
+
+(* Residency miss: count the read, evict at capacity, admit. *)
+let touch_miss t ~table ~page =
+  Counters.add_page_read t.counters 1;
+  if t.resident_count >= t.capacity then (evict_oldest t [@ltree.cold]);
+  Column.set t.clocks.(table) page t.clock;
+  t.resident_count <- t.resident_count + 1
+
+(* Read-only touch, no optional argument: the optional default would
+   compile to an inner closure, which the R9 audit of hot callers (row
+   fetches on the query emit path) rightly rejects. *)
+let[@ltree.hot] touch_read t ~table ~page =
+  t.clock <- t.clock + 1;
+  if
+    table >= Array.length t.clocks
+    || page >= Column.length (Array.unsafe_get t.clocks table)
+  then (grow t ~table ~page [@ltree.cold]);
+  let c = Array.unsafe_get t.clocks table in
+  if Column.get c page >= 0 then Column.set c page t.clock
+  else touch_miss t ~table ~page
 
 let touch ?(write = false) t ~table ~page =
-  let key = (table, page) in
-  t.clock <- t.clock + 1;
-  if Hashtbl.mem t.resident key then Hashtbl.replace t.resident key t.clock
-  else begin
-    Counters.add_page_read t.counters 1;
-    if Hashtbl.length t.resident >= t.capacity then evict_oldest t;
-    Hashtbl.replace t.resident key t.clock
-  end;
-  if write then Hashtbl.replace t.dirty key ()
+  touch_read t ~table ~page;
+  if write then begin
+    let d = t.dirties.(table) in
+    if Column.get d page = 0 then begin
+      Column.set d page 1;
+      t.dirty_count <- t.dirty_count + 1
+    end
+  end
 
 (* Every write-back — eviction or flush — goes through [write_back], so
    a page's dirty bit is consumed exactly once and the page_write count
@@ -63,20 +122,34 @@ let flush_pages =
 
 let flush_dirty t =
   Ltree_obs.Span.with_ ~name:"pager.flush" ~counters:t.counters (fun () ->
-      let keys = Hashtbl.fold (fun key () acc -> key :: acc) t.dirty [] in
-      List.iter (fun key -> write_back t key) keys;
-      Ltree_obs.Histogram.observe_int flush_pages (List.length keys);
-      List.length keys)
+      let written = ref 0 in
+      Array.iteri
+        (fun ti d ->
+          for p = 0 to Column.length d - 1 do
+            if Column.get d p = 1 then begin
+              write_back t ~table:ti ~page:p;
+              incr written
+            end
+          done)
+        t.dirties;
+      Ltree_obs.Histogram.observe_int flush_pages !written;
+      !written)
 
 let flush t =
   ignore (flush_dirty t);
-  Hashtbl.reset t.resident
+  Array.iter
+    (fun c ->
+      for p = 0 to Column.length c - 1 do
+        Column.set c p (-1)
+      done)
+    t.clocks;
+  t.resident_count <- 0
 
-let dirty t = Hashtbl.length t.dirty
+let dirty t = t.dirty_count
 
 let fresh_table_id t =
   let id = t.next_table in
   t.next_table <- id + 1;
   id
 
-let resident t = Hashtbl.length t.resident
+let resident t = t.resident_count

@@ -20,8 +20,18 @@ val counters : t -> Ltree_metrics.Counters.t
     counts a [page_read] when the page was not resident.  With
     [~write:true] the page is additionally marked dirty: its eventual
     write-back (at eviction or {!flush_dirty}) counts one
-    [page_write]. *)
+    [page_write].
+
+    Residency is tracked in dense per-table page maps (untagged-int
+    columns), so a touch costs two array loads and a store — no hashing
+    and no allocation, which keeps the row fetches of the R9-audited
+    query emit path on the zero-alloc spine. *)
 val touch : ?write:bool -> t -> table:int -> page:int -> unit
+
+(** [touch_read t ~table ~page] is [touch ~write:false], shaped for the
+    R9-audited hot row-fetch path (no optional argument, hence no
+    hidden default-handling closure). *)
+val touch_read : t -> table:int -> page:int -> unit
 
 (** [flush_dirty t] writes back every dirty page — each through the same
     per-key path eviction uses, so a page's dirty bit is consumed

@@ -1,5 +1,6 @@
 module Counters = Ltree_metrics.Counters
 module Span = Ltree_obs.Span
+module Column = Ltree_core.Column
 open Shredder
 
 (* Comparisons per structural join, straight off the counter delta the
@@ -18,6 +19,7 @@ let observe_join r =
 let ( = ) : int -> int -> bool = Stdlib.( = )
 let ( <> ) : int -> int -> bool = Stdlib.( <> )
 let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
 let ( > ) : int -> int -> bool = Stdlib.( > )
 let ( >= ) : int -> int -> bool = Stdlib.( >= )
 let max : int -> int -> int = Stdlib.max
@@ -79,10 +81,11 @@ let edge_children (store : edge_store) ~parent ~child =
 
 (* {1 The sort-on-fetch baseline}
 
-   The pre-index query path, kept as the measured control: every fetch
-   re-sorts the tag's live rows (comparisons charged — that sort is
-   exactly the work the incremental index amortizes away), and the
-   stack join runs over linked lists. *)
+   The pre-index query path, kept as the measured control (and as the
+   boxed-list oracle the columnar differential tests drive against):
+   every fetch re-sorts the tag's live rows (comparisons charged — that
+   sort is exactly the work the incremental index amortizes away), and
+   the stack join runs over linked lists. *)
 
 let fetch_rows pager (store : label_store) tag =
   let counters = Pager.counters pager in
@@ -93,7 +96,7 @@ let fetch_rows pager (store : label_store) tag =
          Int.compare a.l_start b.l_start)
 
 (* The single label self-join: stack-based interval-containment merge.
-   One comparison is charged per ancestor examined — an empty ancestor
+   One comparison is charged per ancestor examined -- an empty ancestor
    list costs nothing (the paper's cost model counts comparisons made,
    not loop exits). *)
 let structural_pairs pager ancs descs ~extra =
@@ -144,14 +147,23 @@ let tag_entry pager (store : label_store) tag =
       (row.l_start, row.l_end, row.l_dead))
     tag
 
+(* [clean_entry] is the allocation-free entry lookup: the clean fast
+   path builds nothing; only a dirty or unmaterialized tag falls back to
+   the repairing [tag_entry] (whose fetch closures allocate). *)
+let clean_entry pager (store : label_store) tag =
+  match Label_index.clean store.label_index tag with
+  | e -> e
+  | exception Label_index.Dirty -> tag_entry pager store tag
+
 (* The unified array-cursor structural join: both inputs are sorted
-   (start, end, rid) arrays; cursors are int indexes; the run-time stack
-   of open ancestors is a pair of growable int arrays (interval end +
-   input position).  When no ancestor is open and the next one starts
-   far ahead, the descendant cursor leaps there by binary search instead
-   of grinding through unmatched rows (the staircase skip).  [emit] gets
-   the input positions of each (ancestor, descendant) containment pair;
-   descendant positions arrive in ascending order, duplicates adjacent. *)
+   (start, end, rid) columns; cursors are int indexes; the run-time
+   stack of open ancestors is a pair of growable int arrays (interval
+   end + input position).  When no ancestor is open and the next one
+   starts far ahead, the descendant cursor leaps there by binary search
+   instead of grinding through unmatched rows (the staircase skip).
+   [emit] gets the input positions of each (ancestor, descendant)
+   containment pair; descendant positions arrive in ascending order,
+   duplicates adjacent. *)
 let[@ltree.hot] array_join counters (a : Label_index.entry)
     (d : Label_index.entry) ~emit =
   (* [@ltree.cold]: per-call setup — two 16-slot scratch arrays and the
@@ -189,15 +201,15 @@ let[@ltree.hot] array_join counters (a : Label_index.entry)
   let ai = ref 0 and di = ref 0 in
   let finished = ref false in
   while (not !finished) && !di < d.len do
-    let ds = d.starts.(!di) in
+    let ds = Column.get d.starts !di in
     (* Open every ancestor that starts before this descendant. *)
     let opening = ref true in
     while !opening && !ai < a.len do
       Counters.add_comparison counters 1;
-      let astart = a.starts.(!ai) in
+      let astart = Column.get a.starts !ai in
       if astart < ds then begin
         pop_closed astart;
-        push !ai a.ends.(!ai);
+        push !ai (Column.get a.ends !ai);
         incr ai
       end
       else opening := false
@@ -219,8 +231,83 @@ let[@ltree.hot] array_join counters (a : Label_index.entry)
     else
       (* Stack empty, next ancestor starts at or after ds: no descendant
          before that point has a match — leap over them. *)
-      di := max (!di + 1) (Label_index.upper_bound counters d a.starts.(!ai))
+      di :=
+        max (!di + 1)
+          (Label_index.upper_bound counters d (Column.get a.starts !ai))
   done
+
+(* {2 The zero-alloc descendants spine}
+
+   The same join, specialized to the [a//b] result shape (the set of
+   matched descendants) and to the index's preallocated workspace: the
+   cursors live in the workspace's [jstate] record, the open-ancestor
+   stack and the result are reused columns, and each matched descendant
+   is emitted once (so the single emit-side row fetch per match is
+   unchanged from [join_to_entry] + [ids_of_entry]).  No refs, no
+   closures, no arrays: R9 checks every call from this spine
+   allocation-free. *)
+
+let[@ltree.hot] rec pop_closed_col counters stack bound =
+  let sp = Column.length stack in
+  if
+    sp > 0
+    && (Counters.add_comparison counters 1;
+        Column.get stack (sp - 1) <= bound)
+  then begin
+    Column.set_len stack (sp - 1);
+    pop_closed_col counters stack bound
+  end
+
+let[@ltree.hot] descendants_into counters table (a : Label_index.entry)
+    (d : Label_index.entry) (ws : Label_index.workspace) =
+  let js = ws.Label_index.w_js in
+  let stack = ws.Label_index.w_stack in
+  let out = ws.Label_index.w_out in
+  Column.clear stack;
+  Column.clear out;
+  js.Label_index.js_ai <- 0;
+  js.Label_index.js_di <- 0;
+  js.Label_index.js_done <- false;
+  while (not js.Label_index.js_done) && js.Label_index.js_di < d.len do
+    let ds = Column.get d.starts js.Label_index.js_di in
+    while
+      js.Label_index.js_ai < a.len
+      && (Counters.add_comparison counters 1;
+          Column.get a.starts js.Label_index.js_ai < ds)
+    do
+      pop_closed_col counters stack (Column.get a.starts js.Label_index.js_ai);
+      Column.push stack (Column.get a.ends js.Label_index.js_ai);
+      js.Label_index.js_ai <- js.Label_index.js_ai + 1
+    done;
+    pop_closed_col counters stack ds;
+    if Column.length stack > 0 then begin
+      (* Start containment implies full containment (nesting), and the
+         descendant matches no matter how many ancestors are open — one
+         emit, one row fetch. *)
+      Column.push out
+        (Rel_table.get table (Column.get d.rids js.Label_index.js_di)).l_id;
+      js.Label_index.js_di <- js.Label_index.js_di + 1
+    end
+    else if js.Label_index.js_ai >= a.len then js.Label_index.js_done <- true
+    else
+      js.Label_index.js_di <-
+        max
+          (js.Label_index.js_di + 1)
+          (Label_index.upper_bound counters d
+             (Column.get a.starts js.Label_index.js_ai))
+  done
+
+(* The full hot plan: clean-entry lookup, zero-alloc join, in-place
+   sort+dedup of the result column.  The returned column is the index
+   workspace's — borrowed until the next query on the same store. *)
+let label_descendants_hot pager (store : label_store) ~anc ~desc =
+  let counters = Pager.counters pager in
+  let a = clean_entry pager store anc in
+  let d = clean_entry pager store desc in
+  let ws = Label_index.workspace store.label_index in
+  descendants_into counters store.label_table a d ws;
+  Column.sort_dedup ws.Label_index.w_out ~mark:ws.Label_index.w_mark;
+  ws.Label_index.w_out
 
 (* Join two entries into an entry of the matched descendants — the
    pipelined form used between the steps of a path.  Adjacent-duplicate
@@ -228,27 +315,30 @@ let[@ltree.hot] array_join counters (a : Label_index.entry)
    from the descendant cursor, so no re-sort is ever needed. *)
 let join_to_entry counters (a : Label_index.entry) (d : Label_index.entry) =
   let cap = max 16 d.len in
-  let starts = Array.make cap 0
-  and ends = Array.make cap 0
-  and rids = Array.make cap 0 in
-  let len = ref 0 in
+  let out =
+    { Label_index.starts = Column.create ~capacity:cap ();
+      ends = Column.create ~capacity:cap ();
+      rids = Column.create ~capacity:cap ();
+      len = 0;
+      stamp = 0 }
+  in
   let last = ref (-1) in
   array_join counters a d ~emit:(fun _ dpos ->
       if dpos <> !last then begin
         last := dpos;
-        starts.(!len) <- d.starts.(dpos);
-        ends.(!len) <- d.ends.(dpos);
-        rids.(!len) <- d.rids.(dpos);
-        incr len
+        Column.push out.Label_index.starts (Column.get d.starts dpos);
+        Column.push out.Label_index.ends (Column.get d.ends dpos);
+        Column.push out.Label_index.rids (Column.get d.rids dpos)
       end);
-  { Label_index.starts; ends; rids; len = !len }
+  out.Label_index.len <- Column.length out.Label_index.starts;
+  out
 
 (* Map an entry's rows to sorted Dom ids, fetching each row once (the
    emit-side page reads, as in the index-nested-loop plan). *)
 let ids_of_entry (store : label_store) (e : Label_index.entry) =
   let out = ref [] in
   for i = 0 to e.len - 1 do
-    out := (Rel_table.get store.label_table e.rids.(i)).l_id :: !out
+    out := (Rel_table.get store.label_table (Column.get e.rids i)).l_id :: !out
   done;
   List.sort Int.compare !out
 
@@ -257,9 +347,7 @@ let label_descendants pager store ~anc ~desc =
   Span.with_ ~name:"query.descendants" ~counters
     ~attrs:[ ("anc", anc); ("desc", desc) ]
     ~on_close:observe_join (fun () ->
-      let a = tag_entry pager store anc in
-      let d = tag_entry pager store desc in
-      ids_of_entry store (join_to_entry counters a d))
+      Column.to_list (label_descendants_hot pager store ~anc ~desc))
 
 let label_children pager store ~parent ~child =
   let counters = Pager.counters pager in
@@ -270,8 +358,8 @@ let label_children pager store ~parent ~child =
       let d = tag_entry pager store child in
       let out = ref [] in
       array_join counters a d ~emit:(fun apos dpos ->
-          let arow = Rel_table.get store.label_table a.rids.(apos) in
-          let drow = Rel_table.get store.label_table d.rids.(dpos) in
+          let arow = Rel_table.get store.label_table (Column.get a.rids apos) in
+          let drow = Rel_table.get store.label_table (Column.get d.rids dpos) in
           if drow.l_level = arow.l_level + 1 then out := drow.l_id :: !out);
       List.sort_uniq Int.compare !out)
 
@@ -305,15 +393,18 @@ let label_descendants_inl pager store ~anc ~desc =
       let d = tag_entry pager store desc in
       let out = ref [] in
       for apos = 0 to a.len - 1 do
-        let astart = a.starts.(apos) and aend = a.ends.(apos) in
+        let astart = Column.get a.starts apos
+        and aend = Column.get a.ends apos in
         let i = ref (Label_index.upper_bound counters d astart) in
         let scanning = ref true in
         while !scanning && !i < d.len do
           Counters.add_comparison counters 1;
-          if d.starts.(!i) < aend then begin
+          if Column.get d.starts !i < aend then begin
             (* XML intervals nest, so start containment implies full
                containment. *)
-            out := (Rel_table.get store.label_table d.rids.(!i)).l_id :: !out;
+            out :=
+              (Rel_table.get store.label_table (Column.get d.rids !i)).l_id
+              :: !out;
             incr i
           end
           else scanning := false

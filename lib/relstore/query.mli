@@ -21,6 +21,20 @@ val edge_descendants :
 val label_descendants :
   Pager.t -> Shredder.label_store -> anc:string -> desc:string -> int list
 
+(** [label_descendants_hot pager store ~anc ~desc] is the same plan
+    stripped to its zero-allocation spine: clean-entry lookup (falling
+    back to repair only when the index is dirty), the specialized
+    column join writing matched Dom ids into the index's preallocated
+    workspace, and an in-place sort+dedup.  In steady state (clean
+    index, warm workspace and buffer pool) a call allocates nothing on
+    the minor heap — the claim [make analyze] (R9) checks statically
+    and [exp_query] asserts dynamically.  The returned column is
+    {e borrowed}: it is the index workspace's result buffer, valid only
+    until the next query on the same store. *)
+val label_descendants_hot :
+  Pager.t -> Shredder.label_store -> anc:string -> desc:string ->
+  Ltree_core.Column.t
+
 (** [label_descendants_baseline pager store ~anc ~desc] is the
     pre-index control plan: fetch and re-sort both tags' rows on every
     call (sort comparisons charged), then run the list-based stack

@@ -1,6 +1,7 @@
 (* Monomorphic comparison prelude (lint rule R2). *)
 let ( = ) : int -> int -> bool = Stdlib.( = )
 let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( > ) : int -> int -> bool = Stdlib.( > )
 let ( >= ) : int -> int -> bool = Stdlib.( >= )
 let max : int -> int -> int = Stdlib.max
 
@@ -9,15 +10,23 @@ type 'a t = {
   table_id : int;
   name : string;
   rows_per_page : int;
+  page_shift : int;  (* log2 rows_per_page when a power of two, else -1 *)
   mutable rows : 'a array;
   mutable n : int;
 }
+
+(* log2 of [v] when it is a power of two, -1 otherwise: lets [page_of]
+   replace the integer division — surprisingly expensive next to the
+   rest of the hot row-fetch path — with a shift. *)
+let shift_of v =
+  let rec go s p = if p = v then s else if p > v then -1 else go (s + 1) (p * 2) in
+  go 0 1
 
 let create pager ~name ~rows_per_page =
   if rows_per_page < 1 then
     invalid_arg "Rel_table.create: rows_per_page must be >= 1";
   { pager; table_id = Pager.fresh_table_id pager; name; rows_per_page;
-    rows = [||]; n = 0 }
+    page_shift = shift_of rows_per_page; rows = [||]; n = 0 }
 
 let name t = t.name
 let length t = t.n
@@ -33,11 +42,12 @@ let append t row =
   t.n <- t.n + 1;
   t.n - 1
 
-let page_of t id = id / t.rows_per_page
+let[@inline] page_of t id =
+  if t.page_shift >= 0 then id lsr t.page_shift else id / t.rows_per_page
 
-let get t id =
+let[@ltree.hot] get t id =
   if id < 0 || id >= t.n then invalid_arg "Rel_table.get: bad row id";
-  Pager.touch t.pager ~table:t.table_id ~page:(page_of t id);
+  Pager.touch_read t.pager ~table:t.table_id ~page:(page_of t id);
   t.rows.(id)
 
 let set t id row =

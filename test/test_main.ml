@@ -45,5 +45,6 @@ let () =
        Test_label_sync.suite;
        Test_recovery.suite;
        Test_workload.suite;
-       Test_exec.suite ]
+       Test_exec.suite;
+      Test_columnar.suite ]
     @ scheme_suites)

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-query bench-recovery bench-parallel bench-parallel-smoke examples soak lint analyze analyze-baseline selfcheck selfcheck-quick crash-matrix crash-matrix-quick trace-smoke ci clean
+.PHONY: all build test bench bench-query bench-recovery bench-parallel bench-parallel-smoke bench-replication examples soak lint analyze analyze-baseline selfcheck selfcheck-quick crash-matrix crash-matrix-quick replica-matrix replicate-smoke trace-smoke ci clean
 
 all: build
 
@@ -50,6 +50,21 @@ crash-matrix:
 crash-matrix-quick:
 	dune exec bin/ltree_cli.exe -- crash-matrix --ops 60 --nodes 60 --checkpoint-every 16
 
+# The replica-level matrix: kill the primary mid-commit, the replica
+# mid-apply, or sever the channel mid-record, in every damage mode;
+# recover / promote / resync and verify the survivor is a bit-exact
+# oracle prefix.
+replica-matrix:
+	dune exec bin/ltree_cli.exe -- crash-matrix --replica --ops 200
+
+# Tiny replication run wired into `make ci`: a noisy catch-up with
+# failover plus a small but complete replica-level matrix.
+replicate-smoke:
+	dune exec bin/ltree_cli.exe -- replicate --ops 60 --nodes 60 \
+	  --noise-every 5 --failover > /dev/null
+	dune exec bin/ltree_cli.exe -- crash-matrix --replica --ops 24 \
+	  --nodes 40 --group-commit 2 --checkpoint-every 8
+
 # Observability smoke: replay a workload with tracing on, export the
 # trace as JSONL and verify every line parses and the span tree covers
 # the ltree, relstore and recovery layers.
@@ -64,6 +79,7 @@ ci:
 	$(MAKE) analyze && \
 	$(MAKE) selfcheck-quick && $(MAKE) crash-matrix-quick && \
 	$(MAKE) trace-smoke && $(MAKE) bench-parallel-smoke && \
+	$(MAKE) replicate-smoke && \
 	dune exec bench/exp_query.exe -- --n 2000 --queries 100 --json BENCH_query.json
 
 bench:
@@ -93,6 +109,11 @@ bench-parallel:
 bench-parallel-smoke:
 	dune exec bench/exp_parallel.exe -- \
 	  --sizes 500 --domains-list 1,2 --reps 2 --batch 16 > /dev/null
+
+# Journal-shipping cost: steady-state lag vs. group commit, cold-replica
+# catch-up throughput, and failover time; emits BENCH_replication.json.
+bench-replication:
+	dune exec bench/exp_replication.exe -- --json BENCH_replication.json
 
 tables:
 	dune exec bench/main.exe -- --tables

@@ -1,0 +1,252 @@
+(* Replication experiment (E16): what journal shipping costs, how fast a
+   cold replica catches up, and what failover takes.
+
+   Everything runs on the simulated disk and the session's virtual
+   clock, so channel behaviour is deterministic; wall time measures the
+   compute cost of the protocol itself (framing, CRC chains, replay).
+
+   Part 1 — steady-state shipping: the same insert workload runs through
+   a replicated pair at group-commit sizes 1/4/16/64, sampling the
+   replica's lag (in records) after every primary operation.  Group
+   commit batches journal flushes, so the shipper sees records later and
+   lag should grow roughly with g.
+
+   Part 2 — catch-up throughput: the channel is severed right after
+   bootstrap, the whole script runs on the primary alone, then the
+   channel heals and we time how fast the replica drains the backlog.
+
+   Part 3 — failover: after a quiesced run, sever and promote, timing
+   {!Ltree_replication.Session.failover} (condemn + sync + recover).
+
+   Rows land in BENCH_replication.json. *)
+
+open Ltree_recovery
+open Ltree_replication
+module Labeled_doc = Ltree_doc.Labeled_doc
+module Journal = Ltree_doc.Journal
+module Dom = Ltree_xml.Dom
+module Table = Ltree_metrics.Table
+module Xml_gen = Ltree_workload.Xml_gen
+
+let fresh_ldoc () =
+  Labeled_doc.of_document
+    (Xml_gen.generate ~seed:11 (Xml_gen.default_profile ~target_nodes:200 ()))
+
+(* Append-only script: every entry inserts a small subtree under the
+   root, so scripts of any length apply to the same base document. *)
+let script ldoc n =
+  let root = Option.get (Labeled_doc.document ldoc).Dom.root in
+  let ops = ref [] in
+  for k = 1 to n do
+    let anchor = (Labeled_doc.label ldoc root).Labeled_doc.start_pos in
+    let entry =
+      Journal.Insert
+        { anchor;
+          index = Dom.child_count root;
+          xml = Printf.sprintf "<patch n=\"%d\">p%d</patch>" k k }
+    in
+    Journal.apply_entry ldoc entry;
+    ops := entry :: !ops
+  done;
+  List.rev !ops
+
+let make_session ~group_commit () =
+  let psim = Fault.create_sim () and rsim = Fault.create_sim () in
+  let config =
+    { Session.default_config with
+      Session.group_commit;
+      replica_group_commit = group_commit;
+      checkpoint_every = 32 }
+  in
+  Session.create ~config ~primary_io:(Fault.sim_io psim) ~primary_dir:"p"
+    ~replica_io:(Fault.sim_io rsim) ~replica_dir:"r" (fresh_ldoc ())
+
+type row =
+  | Steady of {
+      group_commit : int;
+      ops : int;
+      ns_per_op : float;
+      peak_lag : int;
+      mean_lag : float;
+      ticks : int;
+      frames : int;
+    }
+  | Catchup of {
+      group_commit : int;
+      ops : int;
+      ms : float;
+      records_per_sec : float;
+      ticks : int;
+    }
+  | Failover of {
+      group_commit : int;
+      ops : int;
+      ms : float;
+      promoted_seq : int;
+      dropped : int;
+    }
+
+let run_steady ~ops group_commit =
+  let session = make_session ~group_commit () in
+  let entries = script (fresh_ldoc ()) ops in
+  let peak = ref 0 and lag_sum = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun e ->
+      Session.apply session e;
+      match Replica.lag (Session.replica session) with
+      | Some l ->
+        lag_sum := !lag_sum + l;
+        if l > !peak then peak := l
+      | None -> ())
+    entries;
+  if not (Session.quiesce ~max_pumps:(1024 + (16 * ops)) session) then
+    failwith "exp_replication: steady-state run failed to catch up";
+  let dt = Unix.gettimeofday () -. t0 in
+  let sh = Shipper.stats (Session.shipper session) in
+  Steady
+    { group_commit;
+      ops;
+      ns_per_op = dt *. 1e9 /. float_of_int ops;
+      peak_lag = !peak;
+      mean_lag = float_of_int !lag_sum /. float_of_int ops;
+      ticks = Session.clock session;
+      frames = sh.Shipper.frames_sent }
+
+let run_catchup ~ops group_commit =
+  let session = make_session ~group_commit () in
+  Channel.sever (Session.down session) ~now:(Session.clock session);
+  List.iter (Session.apply session) (script (fresh_ldoc ()) ops);
+  (* The shipper has parked on the dead channel by now; heal and time
+     the drain. *)
+  let ticks0 = Session.clock session in
+  let t0 = Unix.gettimeofday () in
+  Session.reconnect session;
+  if not (Session.quiesce ~max_pumps:(1024 + (16 * ops)) session) then
+    failwith "exp_replication: replica failed to catch up after reconnect";
+  let dt = Unix.gettimeofday () -. t0 in
+  Catchup
+    { group_commit;
+      ops;
+      ms = dt *. 1e3;
+      records_per_sec = float_of_int ops /. dt;
+      ticks = Session.clock session - ticks0 }
+
+let run_failover ~ops group_commit =
+  let session = make_session ~group_commit () in
+  List.iter (Session.apply session) (script (fresh_ldoc ()) ops);
+  if not (Session.quiesce ~max_pumps:(1024 + (16 * ops)) session) then
+    failwith "exp_replication: pre-failover run failed to catch up";
+  let now = Session.clock session in
+  Channel.sever (Session.down session) ~now;
+  Channel.sever (Session.up session) ~now;
+  let t0 = Unix.gettimeofday () in
+  match Session.failover session with
+  | Error e ->
+    failwith
+      (Format.asprintf "exp_replication: failover refused: %a"
+         Replica.pp_error e)
+  | Ok (report, promoted) ->
+    let dt = Unix.gettimeofday () -. t0 in
+    if Durable_doc.last_seq promoted <> ops then
+      failwith "exp_replication: quiesced failover lost operations";
+    Failover
+      { group_commit;
+        ops;
+        ms = dt *. 1e3;
+        promoted_seq = Durable_doc.last_seq promoted;
+        dropped = report.Durable_doc.entries_dropped }
+
+let print_rows rows =
+  Table.print ~title:"steady-state shipping vs. group commit"
+    ~header:[ "group"; "ops"; "ns/op"; "peak lag"; "mean lag"; "ticks";
+              "frames" ]
+    ~align:
+      [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right; Table.Right ]
+    (List.filter_map
+       (function
+         | Steady s ->
+           Some
+             [ string_of_int s.group_commit; string_of_int s.ops;
+               Printf.sprintf "%.0f" s.ns_per_op; string_of_int s.peak_lag;
+               Printf.sprintf "%.2f" s.mean_lag; string_of_int s.ticks;
+               string_of_int s.frames ]
+         | Catchup _ | Failover _ -> None)
+       rows);
+  Table.print ~title:"cold-replica catch-up"
+    ~header:[ "group"; "ops"; "ms"; "records/s"; "ticks" ]
+    ~align:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    (List.filter_map
+       (function
+         | Catchup c ->
+           Some
+             [ string_of_int c.group_commit; string_of_int c.ops;
+               Printf.sprintf "%.2f" c.ms;
+               Printf.sprintf "%.0f" c.records_per_sec;
+               string_of_int c.ticks ]
+         | Steady _ | Failover _ -> None)
+       rows);
+  Table.print ~title:"failover (condemn + sync + recover)"
+    ~header:[ "group"; "ops"; "ms"; "promoted seq"; "dropped" ]
+    ~align:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    (List.filter_map
+       (function
+         | Failover f ->
+           Some
+             [ string_of_int f.group_commit; string_of_int f.ops;
+               Printf.sprintf "%.3f" f.ms; string_of_int f.promoted_seq;
+               string_of_int f.dropped ]
+         | Steady _ | Catchup _ -> None)
+       rows)
+
+let json_of_rows rows =
+  let row_json = function
+    | Steady s ->
+      Printf.sprintf
+        "  {\"section\": \"steady\", \"group_commit\": %d, \"ops\": %d, \
+         \"ns_per_op\": %.1f, \"peak_lag\": %d, \"mean_lag\": %.3f, \
+         \"ticks\": %d, \"frames\": %d}"
+        s.group_commit s.ops s.ns_per_op s.peak_lag s.mean_lag s.ticks
+        s.frames
+    | Catchup c ->
+      Printf.sprintf
+        "  {\"section\": \"catchup\", \"group_commit\": %d, \"ops\": %d, \
+         \"ms\": %.3f, \"records_per_sec\": %.0f, \"ticks\": %d}"
+        c.group_commit c.ops c.ms c.records_per_sec c.ticks
+    | Failover f ->
+      Printf.sprintf
+        "  {\"section\": \"failover\", \"group_commit\": %d, \"ops\": %d, \
+         \"ms\": %.3f, \"promoted_seq\": %d, \"dropped\": %d}"
+        f.group_commit f.ops f.ms f.promoted_seq f.dropped
+  in
+  "[\n" ^ String.concat ",\n" (List.map row_json rows) ^ "\n]\n"
+
+let () =
+  let ops = ref 1_000 and json = ref "" in
+  let rec parse = function
+    | [] -> ()
+    | "--ops" :: v :: rest ->
+      ops := int_of_string v;
+      parse rest
+    | "--json" :: v :: rest ->
+      json := v;
+      parse rest
+    | arg :: _ -> failwith ("exp_replication: unknown argument " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let groups = [ 1; 4; 16; 64 ] in
+  let rows =
+    List.map (run_steady ~ops:!ops) groups
+    @ List.map (run_catchup ~ops:!ops) groups
+    @ List.map (run_failover ~ops:!ops) groups
+  in
+  print_rows rows;
+  if !json <> "" then begin
+    let oc = open_out !json in
+    output_string oc (json_of_rows rows);
+    close_out oc;
+    Printf.printf "wrote %s\n" !json
+  end;
+  print_newline ();
+  print_string (Ltree_obs.Registry.expose ())

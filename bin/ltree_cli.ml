@@ -657,15 +657,22 @@ let crash_matrix_cmd =
          & info [ "checkpoint-every" ] ~docv:"K"
              ~doc:"Operations between snapshot rotations.")
   in
-  let run ops seed nodes group_commit checkpoint_every domains =
+  let only_arg =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"CELL"
+           ~doc:"Rerun a single cell named as in the failure output \
+                 (store cells: $(b,P37/torn); replica cells: \
+                 $(b,primary:P12/flip), $(b,replica:P5/clean), \
+                 $(b,channel:C9/torn)).")
+  in
+  let replica_arg =
+    Arg.(value & flag & info [ "replica" ]
+           ~doc:"Run the replica-level matrix instead: kill the primary \
+                 mid-commit, the replica mid-apply, or sever the channel \
+                 mid-record; recover or promote; verify the survivor \
+                 against the oracle prefix.")
+  in
+  let run ops seed nodes group_commit checkpoint_every only replica domains =
     with_domains domains @@ fun pool ->
-    let config =
-      { M.seed; ops; doc_nodes = nodes; group_commit; checkpoint_every }
-    in
-    Printf.printf
-      "crash matrix: %d ops, doc ~%d nodes, group commit %d, checkpoint \
-       every %d, seed %d, %d domain(s)\n%!"
-      ops nodes group_commit checkpoint_every seed (max 1 domains);
     let last = ref 0 in
     let progress ~done_cells ~total =
       let decile = done_cells * 10 / total in
@@ -675,50 +682,114 @@ let crash_matrix_cmd =
           total
       end
     in
-    let s = M.run ?pool ~progress config in
-    Printf.printf
-      "swept %d write points x %d modes = %d cells (%d init-phase points)\n"
-      s.M.total_points
-      (List.length F.all_modes)
-      (List.length s.M.cells) s.M.init_points;
-    let recovered, unrecoverable =
-      List.partition
-        (fun c -> match c.M.outcome with
-           | M.Recovered _ -> true
-           | M.Unrecoverable _ -> false)
-        s.M.cells
-    in
-    Printf.printf "recovered: %d cells; pre-first-checkpoint losses: %d\n"
-      (List.length recovered)
-      (List.length unrecoverable);
-    Printf.printf "damage detected during recovery:\n";
-    List.iter
-      (fun (kind, n) -> Printf.printf "  %-20s %d\n" kind n)
-      s.M.fault_counts;
-    if s.M.failed_cells = 0 then
-      Printf.printf "crash matrix clean: all %d cells verified\n"
-        (List.length s.M.cells)
+    if replica then begin
+      let module R = Ltree_replication.Repl_matrix in
+      let only =
+        match only with
+        | None -> None
+        | Some s -> (
+          match R.parse_cell s with
+          | Some cell -> Some cell
+          | None ->
+            Printf.eprintf
+              "cannot parse --only %S (expected e.g. primary:P12/torn, \
+               replica:P5/clean or channel:C9/flip)\n"
+              s;
+            exit 2)
+      in
+      let config =
+        { R.seed; ops; doc_nodes = nodes; group_commit; checkpoint_every }
+      in
+      Printf.printf
+        "replica crash matrix: %d ops, doc ~%d nodes, group commit %d, \
+         checkpoint every %d, seed %d, %d domain(s)\n%!"
+        ops nodes group_commit checkpoint_every seed (max 1 domains);
+      let s = R.run ?pool ?only ~progress config in
+      Printf.printf "%s\n" (R.describe s);
+      if not (R.ok s) then begin
+        List.iter
+          (fun c ->
+            match c.R.failures with
+            | [] -> ()
+            | failures ->
+              Printf.printf "  cell %s:\n" (R.cell_name c);
+              List.iter (fun f -> Printf.printf "    %s\n" f) failures;
+              Printf.printf "    rerun: ltree crash-matrix --replica \
+                             --only %s --ops %d --seed %d\n"
+                (R.cell_name c) ops seed)
+          s.R.cells;
+        exit 1
+      end
+    end
     else begin
-      Printf.printf "FAIL: %d cells failed verification\n" s.M.failed_cells;
+      let only =
+        match only with
+        | None -> None
+        | Some s -> (
+          match M.parse_cell s with
+          | Some cell -> Some cell
+          | None ->
+            Printf.eprintf
+              "cannot parse --only %S (expected e.g. P37/torn)\n" s;
+            exit 2)
+      in
+      let config =
+        { M.seed; ops; doc_nodes = nodes; group_commit; checkpoint_every }
+      in
+      Printf.printf
+        "crash matrix: %d ops, doc ~%d nodes, group commit %d, checkpoint \
+         every %d, seed %d, %d domain(s)\n%!"
+        ops nodes group_commit checkpoint_every seed (max 1 domains);
+      let s = M.run ?pool ?only ~progress config in
+      Printf.printf
+        "swept %d write points x %d modes = %d cells (%d init-phase \
+         points)\n"
+        s.M.total_points
+        (List.length F.all_modes)
+        (List.length s.M.cells) s.M.init_points;
+      let recovered, unrecoverable =
+        List.partition
+          (fun c -> match c.M.outcome with
+             | M.Recovered _ -> true
+             | M.Unrecoverable _ -> false)
+          s.M.cells
+      in
+      Printf.printf "recovered: %d cells; pre-first-checkpoint losses: %d\n"
+        (List.length recovered)
+        (List.length unrecoverable);
+      Printf.printf "damage detected during recovery:\n";
       List.iter
-        (fun c ->
-          match c.M.failures with
-          | [] -> ()
-          | failures ->
-            Printf.printf "  point %d (%s):\n" c.M.point
-              (F.mode_name c.M.mode);
-            List.iter (fun f -> Printf.printf "    %s\n" f) failures)
-        s.M.cells;
-      exit 1
+        (fun (kind, n) -> Printf.printf "  %-20s %d\n" kind n)
+        s.M.fault_counts;
+      if s.M.failed_cells = 0 then
+        Printf.printf "crash matrix clean: all %d cells verified\n"
+          (List.length s.M.cells)
+      else begin
+        Printf.printf "FAIL: %d cells failed verification\n"
+          s.M.failed_cells;
+        List.iter
+          (fun c ->
+            match c.M.failures with
+            | [] -> ()
+            | failures ->
+              Printf.printf "  cell %s:\n" (M.cell_name c);
+              List.iter (fun f -> Printf.printf "    %s\n" f) failures;
+              Printf.printf
+                "    rerun: ltree crash-matrix --only %s --ops %d --seed \
+                 %d\n"
+                (M.cell_name c) ops seed)
+          s.M.cells;
+        exit 1
+      end
     end
   in
   Cmd.v
     (Cmd.info "crash-matrix"
-       ~doc:"Crash the durable store at every write point in every \
-             corruption mode, recover, and verify against a bit-exact \
-             oracle.")
+       ~doc:"Crash the durable store (or a primary/replica pair with \
+             --replica) at every write point in every corruption mode, \
+             recover or promote, and verify against a bit-exact oracle.")
     Term.(const run $ ops_arg $ seed_arg $ nodes_arg $ group_arg
-          $ ckpt_arg $ domains_arg)
+          $ ckpt_arg $ only_arg $ replica_arg $ domains_arg)
 
 (* trace / metrics: the observability front ends.  Both replay the same
    deterministic harness workload `ltree check` uses — it exercises the
@@ -860,6 +931,167 @@ let metrics_cmd =
     Term.(const run $ f_arg $ s_arg $ ops_workload_arg $ seed_workload_arg
           $ out)
 
+(* replicate *)
+
+let replicate_cmd =
+  let module M = Ltree_recovery.Crash_matrix in
+  let module F = Ltree_recovery.Fault in
+  let module D = Ltree_recovery.Durable_doc in
+  let module Rp = Ltree_replication in
+  let ops_arg =
+    Arg.(value & opt int 200 & info [ "ops" ] ~docv:"OPS"
+           ~doc:"Length of the seeded operation script.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for the script and every injection choice.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 120 & info [ "nodes" ] ~docv:"N"
+           ~doc:"Target size of the base document.")
+  in
+  let group_arg =
+    Arg.(value & opt int 4 & info [ "group-commit" ] ~docv:"G"
+           ~doc:"Journal records batched per fsync, both stores.")
+  in
+  let ckpt_arg =
+    Arg.(value & opt int 32 & info [ "checkpoint-every" ] ~docv:"K"
+           ~doc:"Operations between snapshot rotations.")
+  in
+  let noise_arg =
+    Arg.(value & opt int 0 & info [ "noise-every" ] ~docv:"N"
+           ~doc:"Damage every $(docv)th chunk on both channels with a \
+                 seeded drop / tear / bit-flip / split / delay \
+                 (0 = clean).")
+  in
+  let failover_arg =
+    Arg.(value & flag & info [ "failover" ]
+           ~doc:"After catch-up, sever the channels and promote the \
+                 replica; verify the survivor against the oracle.")
+  in
+  let metrics_arg =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "metrics" ] ~docv:"PATH"
+             ~doc:"Write the run's Prometheus exposition to $(docv) \
+                   ($(b,-) or bare flag for stdout).")
+  in
+  let run ops seed nodes group_commit checkpoint_every noise_every failover
+      metrics =
+    let config =
+      { M.seed; ops; doc_nodes = nodes; group_commit; checkpoint_every }
+    in
+    let script = M.generate_script config in
+    let oracle = M.build_oracle config script in
+    let psim = F.create_sim () and rsim = F.create_sim () in
+    let plan =
+      if noise_every <= 0 then Rp.Channel.ideal
+      else
+        { Rp.Channel.ideal with
+          Rp.Channel.seed;
+          noise_every;
+          noise_modes = F.channel_modes }
+    in
+    let sc =
+      { Rp.Session.default_config with
+        Rp.Session.group_commit;
+        replica_group_commit = group_commit;
+        checkpoint_every;
+        down_plan = plan;
+        up_plan = plan;
+        attach_pumps = 256 }
+    in
+    let session =
+      Rp.Session.create ~config:sc ~primary_io:(F.sim_io psim)
+        ~primary_dir:"p" ~replica_io:(F.sim_io rsim) ~replica_dir:"r"
+        (M.base_ldoc config)
+    in
+    let peak_lag = ref 0 in
+    List.iter
+      (fun e ->
+        Rp.Session.apply session e;
+        match Rp.Replica.lag (Rp.Session.replica session) with
+        | Some l when l > !peak_lag -> peak_lag := l
+        | Some _ | None -> ())
+      script;
+    let caught = Rp.Session.quiesce ~max_pumps:(1024 + (16 * ops)) session in
+    let sh = Rp.Shipper.stats (Rp.Session.shipper session) in
+    let rs = Rp.Replica.stats (Rp.Session.replica session) in
+    let down = Rp.Channel.stats (Rp.Session.down session) in
+    Printf.printf
+      "replicated %d ops (doc ~%d nodes, group commit %d, checkpoint \
+       every %d, seed %d%s)\n"
+      ops nodes group_commit checkpoint_every seed
+      (if noise_every > 0 then
+         Printf.sprintf ", noise every %d chunks" noise_every
+       else "");
+    Printf.printf
+      "  caught up: %b (primary seq %d, replica %s, peak lag %d, %d \
+       ticks)\n"
+      caught
+      (D.last_seq (Rp.Session.primary session))
+      (match Rp.Replica.applied_seq (Rp.Session.replica session) with
+       | Some s -> string_of_int s
+       | None -> "unbootstrapped")
+      !peak_lag (Rp.Session.clock session);
+    Printf.printf
+      "  shipper: %d frames, %d retries, %d backoff ticks, %d snapshots, \
+       %d handshakes, %d acks\n"
+      sh.Rp.Shipper.frames_sent sh.Rp.Shipper.retries
+      sh.Rp.Shipper.backoff_ticks sh.Rp.Shipper.snapshots_sent
+      sh.Rp.Shipper.handshakes_sent sh.Rp.Shipper.acks_seen;
+    Printf.printf
+      "  replica: %d applied, %d dup, %d bad, %d stashed, %d snapshots, \
+       %d handshakes\n"
+      rs.Rp.Replica.applied_frames rs.Rp.Replica.dup_frames
+      rs.Rp.Replica.bad_frames rs.Rp.Replica.stashed
+      rs.Rp.Replica.snapshots_installed rs.Rp.Replica.handshakes;
+    Printf.printf
+      "  channel down: %d sent, %d delivered, %d dropped, %d damaged, %d \
+       delayed\n"
+      down.Rp.Channel.sent down.Rp.Channel.delivered down.Rp.Channel.dropped
+      down.Rp.Channel.damaged down.Rp.Channel.delayed;
+    if not caught then begin
+      (match Rp.Shipper.failed (Rp.Session.shipper session) with
+       | Some e -> Format.printf "  shipper parked: %a@." Rp.Shipper.pp_error e
+       | None -> ());
+      exit 1
+    end;
+    if failover then begin
+      let now = Rp.Session.clock session in
+      Rp.Channel.sever (Rp.Session.down session) ~now;
+      Rp.Channel.sever (Rp.Session.up session) ~now;
+      match Rp.Session.failover session with
+      | Error e ->
+        Format.printf "failover refused: %a@." Rp.Replica.pp_error e;
+        exit 1
+      | Ok (report, promoted) ->
+        let applied = D.last_seq promoted in
+        let got =
+          Array.of_list
+            (List.map snd (Labeled_doc.labeled_events (D.ldoc promoted)))
+        in
+        let same = got = oracle.M.labels.(applied) in
+        Printf.printf
+          "  failover: promoted at seq %d, epoch %d, %d entries dropped: \
+           %s\n"
+          applied (D.epoch promoted) report.D.entries_dropped
+          (if same then "survivor verified against oracle"
+           else "SURVIVOR DIVERGES FROM ORACLE");
+        if not same then exit 1
+    end;
+    match metrics with
+    | None -> ()
+    | Some "-" -> write_out None (Ltree_obs.Registry.expose ())
+    | Some p -> write_out (Some p) (Ltree_obs.Registry.expose ())
+  in
+  Cmd.v
+    (Cmd.info "replicate"
+       ~doc:"Drive a primary/replica pair over injectable channels: \
+             catch-up, lag, retries, optional failover, and the \
+             replication histograms.")
+    Term.(const run $ ops_arg $ seed_arg $ nodes_arg $ group_arg
+          $ ckpt_arg $ noise_arg $ failover_arg $ metrics_arg)
+
 let () =
   let doc = "L-Tree: dynamic order-preserving labels for XML documents" in
   let info = Cmd.info "ltree" ~version:"1.0.0" ~doc in
@@ -868,4 +1100,5 @@ let () =
        (Cmd.group info
           [ generate_cmd; label_cmd; query_cmd; compare_cmd; tune_cmd;
             bench_cmd; snapshot_cmd; restore_cmd; check_cmd;
-            crash_matrix_cmd; shell_cmd; trace_cmd; metrics_cmd ]))
+            crash_matrix_cmd; replicate_cmd; shell_cmd; trace_cmd;
+            metrics_cmd ]))

@@ -54,6 +54,8 @@ let fresh_ldoc config =
   in
   Labeled_doc.of_document doc
 
+let base_ldoc = fresh_ldoc
+
 let live_nodes ldoc =
   let doc = Labeled_doc.document ldoc in
   let elements = ref [] and texts = ref [] in
@@ -267,16 +269,41 @@ type cell = {
   failures : string list;
 }
 
+(* The stable cell coordinate: write point x damage mode, e.g. "P37/torn".
+   Failure output prints it and [--only] parses it back, so one red cell
+   reruns without sweeping the matrix. *)
+let point_name ~point ~mode = Printf.sprintf "P%d/%s" point (Fault.mode_name mode)
+let cell_name c = point_name ~point:c.point ~mode:c.mode
+
+let parse_cell s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some slash ->
+    let coord = String.sub s 0 slash in
+    let mode = String.sub s (slash + 1) (String.length s - slash - 1) in
+    if String.length coord < 2 || not (Char.equal coord.[0] 'P') then None
+    else (
+      match
+        ( int_of_string_opt (String.sub coord 1 (String.length coord - 1)),
+          Fault.mode_of_name mode )
+      with
+      | Some point, Some mode when point > 0 -> Some (point, mode)
+      | _ -> None)
+
 type summary = {
   config : config;
   total_points : int;
   init_points : int;
+  only : (int * Fault.mode) option;
   cells : cell list;
   failed_cells : int;
   fault_counts : (string * int) list;
 }
 
-let ok s = s.failed_cells = 0 && List.length s.cells = 3 * s.total_points
+let ok s =
+  s.failed_cells = 0
+  && List.length s.cells
+     = (match s.only with Some _ -> 1 | None -> 3 * s.total_points)
 
 type progress_state = { mutable attempted : int; mutable synced : int }
 
@@ -382,8 +409,12 @@ let verify config ~io ~script ~oracle ~cache_mu ~query_cache ~state ~report t =
   end;
   List.rev !failures
 
-let run ?pool ?progress config =
+let run ?pool ?progress ?only config =
   if config.ops < 1 then invalid_arg "Crash_matrix.run: ops must be >= 1";
+  (match only with
+   | Some (point, _) when point < 1 ->
+     invalid_arg "Crash_matrix.run: --only point must be >= 1"
+   | Some _ | None -> ());
   let script = generate_script config in
   let oracle = build_oracle config script in
   let query_cache = Hashtbl.create 64 in
@@ -412,7 +443,10 @@ let run ?pool ?progress config =
       let d = !done_cells in
       Fun.protect
         ~finally:(fun () -> Mutex.unlock progress_mu)
-        (fun () -> f ~done_cells:d ~total:(3 * total_points))
+        (fun () ->
+          f ~done_cells:d
+            ~total:
+              (match only with Some _ -> 1 | None -> 3 * total_points))
   in
   let eval_cell (mode, point) =
     let plan = { Fault.crash_point = point; mode; seed = config.seed } in
@@ -467,10 +501,20 @@ let run ?pool ?progress config =
     { point; mode; outcome; failures }
   in
   let descrs =
-    Array.of_list
-      (List.concat_map
-         (fun mode -> List.init total_points (fun i -> (mode, i + 1)))
-         Fault.all_modes)
+    match only with
+    | Some (point, mode) ->
+      if point > total_points then
+        invalid_arg
+          (Printf.sprintf
+             "Crash_matrix.run: --only point %d beyond the matrix (%d \
+              write points)"
+             point total_points);
+      [| (mode, point) |]
+    | None ->
+      Array.of_list
+        (List.concat_map
+           (fun mode -> List.init total_points (fun i -> (mode, i + 1)))
+           Fault.all_modes)
   in
   let cells =
     match pool with
@@ -494,6 +538,7 @@ let run ?pool ?progress config =
   { config;
     total_points;
     init_points;
+    only;
     cells;
     failed_cells =
       List.length

@@ -39,6 +39,12 @@ val default_config : config
 
 (** {1 Pieces exposed for the harness and tests} *)
 
+(** [base_ldoc config] is the seeded base document every run of the
+    matrix starts from — exposed so harnesses layered on the same
+    script (the replica-level matrix) can seed their stores
+    identically. *)
+val base_ldoc : config -> Ltree_doc.Labeled_doc.t
+
 (** [generate_script config] is the seeded operation list; every entry's
     anchor is valid at its position. *)
 val generate_script : config -> Ltree_doc.Journal.entry list
@@ -85,17 +91,28 @@ type cell = {
   failures : string list;  (** verification failures — empty means pass *)
 }
 
+(** [cell_name c] is the cell's stable coordinate, [P<point>/<mode>]
+    (e.g. ["P37/torn"]) — printed with every failure and accepted back
+    by [--only]. *)
+val cell_name : cell -> string
+
+(** [parse_cell s] inverts {!cell_name}: [Some (point, mode)] for
+    ["P37/torn"]-shaped strings, [None] otherwise. *)
+val parse_cell : string -> (int * Fault.mode) option
+
 type summary = {
   config : config;
   total_points : int;  (** write points in one uninjected run *)
   init_points : int;  (** points consumed by store initialization *)
-  cells : cell list;  (** [3 * total_points] of them *)
+  only : (int * Fault.mode) option;  (** the single-cell filter, if any *)
+  cells : cell list;  (** [3 * total_points] of them ([1] under [only]) *)
   failed_cells : int;
   fault_counts : (string * int) list;
       (** {!Durable_doc.fault_kind} tally across all recoveries *)
 }
 
-(** [ok s]: every cell verified and the matrix was exhaustive. *)
+(** [ok s]: every cell verified and the sweep was complete — the full
+    matrix, or exactly the one requested cell under [only]. *)
 val ok : summary -> bool
 
 (** [run ?pool ?progress config] executes the full matrix.  With
@@ -105,9 +122,14 @@ val ok : summary -> bool
     the sweep).  [progress] is called after each cell, serialized
     under a mutex, with a monotone [done_cells]; completion order may
     interleave across modes when parallel (printing is the caller's
-    business). *)
+    business).  [only] restricts the sweep to one (point, mode) cell —
+    the profile pass still runs, so the cell replays against the exact
+    same script and write-point numbering as the full matrix.  Raises
+    [Invalid_argument] when the requested point is outside [1,
+    total_points]. *)
 val run :
   ?pool:Ltree_exec.Pool.t ->
   ?progress:(done_cells:int -> total:int -> unit) ->
+  ?only:(int * Fault.mode) ->
   config ->
   summary

@@ -20,6 +20,7 @@ let replayed_entries =
     ()
 
 (* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
 let ( <> ) : int -> int -> bool = Stdlib.( <> )
 let ( < ) : int -> int -> bool = Stdlib.( < )
 let max : int -> int -> int = Stdlib.max
@@ -32,6 +33,7 @@ let snap_magic = "ltree-durable-snapshot 1"
 
 type fault =
   | Missing_file of string
+  | Empty_journal of string
   | Bad_header of { file : string; detail : string }
   | Snapshot_corrupt of { file : string; detail : string }
   | Checksum_mismatch of { seq : int }
@@ -43,6 +45,7 @@ type fault =
 
 let fault_kind = function
   | Missing_file _ -> "missing-file"
+  | Empty_journal _ -> "empty-journal"
   | Bad_header _ -> "bad-header"
   | Snapshot_corrupt _ -> "snapshot-corrupt"
   | Checksum_mismatch _ -> "checksum-mismatch"
@@ -55,6 +58,7 @@ let fault_kind = function
 let pp_fault ppf fault =
   match fault with
   | Missing_file f -> Format.fprintf ppf "missing file %s" f
+  | Empty_journal f -> Format.fprintf ppf "empty journal file %s" f
   | Bad_header { file; detail } ->
     Format.fprintf ppf "bad header in %s: %s" file detail
   | Snapshot_corrupt { file; detail } ->
@@ -185,7 +189,16 @@ let scan_journal io ~dir =
   | Some data ->
     let len = String.length data in
     let header_len = String.length wal_magic + 1 in
-    if
+    if len = 0 then
+      (* A crash while writing the very first header byte (e.g. a torn
+         write that tore at offset 0 during [initialize]) leaves the
+         file present but empty.  That is not a condemned tail — there
+         are no records to condemn — so it gets its own typed fault and
+         a zero drop count: recovery re-homes the header and proceeds
+         from the snapshot alone. *)
+      { records = []; scan_fault = Some (Empty_journal path); dropped = 0;
+        valid_bytes = 0 }
+    else if
       len < header_len
       || not (String.equal (String.sub data 0 (header_len - 1)) wal_magic)
       || not (Char.equal data.[header_len - 1] '\n')

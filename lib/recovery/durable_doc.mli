@@ -38,6 +38,11 @@
     Recovery never raises on corrupt input; it reports. *)
 type fault =
   | Missing_file of string
+  | Empty_journal of string
+      (** the journal file exists but holds zero bytes — a crash while
+          the very first header byte was being written; distinct from a
+          condemned tail (there are no records to condemn), recovery
+          re-homes the header and replays nothing *)
   | Bad_header of { file : string; detail : string }
   | Snapshot_corrupt of { file : string; detail : string }
   | Checksum_mismatch of { seq : int }

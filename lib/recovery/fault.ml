@@ -15,10 +15,25 @@ type io = {
   file_exists : string -> bool;
 }
 
-type mode = Clean | Torn | Flip
+type mode = Clean | Torn | Flip | Short_read | Delay
 
-let mode_name = function Clean -> "clean" | Torn -> "torn" | Flip -> "flip"
+let mode_name = function
+  | Clean -> "clean"
+  | Torn -> "torn"
+  | Flip -> "flip"
+  | Short_read -> "short-read"
+  | Delay -> "delay"
+
+let mode_of_name = function
+  | "clean" -> Some Clean
+  | "torn" -> Some Torn
+  | "flip" -> Some Flip
+  | "short-read" -> Some Short_read
+  | "delay" -> Some Delay
+  | _ -> None
+
 let all_modes = [ Clean; Torn; Flip ]
+let channel_modes = [ Clean; Torn; Flip; Short_read; Delay ]
 
 type plan = { crash_point : int; mode : mode; seed : int }
 
@@ -83,6 +98,11 @@ let injected_payload (p : plan) ~point data =
     | Clean -> None
     | Torn -> Some (String.sub data 0 (Prng.int prng len))
     | Flip -> Some (flip_bit prng data)
+    (* The transport-only kinds: a disk write has no "later" in which the
+       remainder could still land (Short_read) and no delivery schedule to
+       stretch (Delay), so on the simulated disk both degrade to the
+       boundary crash — exactly like rename/fsync degrade Torn/Flip. *)
+    | Short_read | Delay -> None
 
 let crash t what = raise (Crash { point = t.point; what })
 

@@ -36,16 +36,35 @@ type io = {
   file_exists : string -> bool;
 }
 
-(** How the failing write misbehaves before the crash:
-    [Clean] applies nothing (crash at the boundary), [Torn] applies a
-    seeded strict prefix of the payload (torn sector), [Flip] applies
-    the full payload with one seeded bit flipped (detectable only by
-    checksum).  Primitives without a payload (rename, fsync, remove)
-    degrade [Torn]/[Flip] to [Clean]. *)
-type mode = Clean | Torn | Flip
+(** How a failing I/O primitive misbehaves.  The first three are disk
+    damage: [Clean] applies nothing (crash at the boundary), [Torn]
+    applies a seeded strict prefix of the payload (torn sector), [Flip]
+    applies the full payload with one seeded bit flipped (detectable
+    only by checksum).  Primitives without a payload (rename, fsync,
+    remove) degrade [Torn]/[Flip] to [Clean].
+
+    [Short_read] and [Delay] extend the same vocabulary to transports
+    ({!Ltree_replication.Channel}): [Short_read] delivers a seeded
+    strict prefix now and the remainder later as a separate chunk;
+    [Delay] delivers the full payload late, letting younger traffic
+    overtake it within a bounded window.  On the simulated disk — where
+    there is no "later" — both degrade to [Clean]. *)
+type mode = Clean | Torn | Flip | Short_read | Delay
 
 val mode_name : mode -> string
+
+(** [mode_of_name s] inverts {!mode_name} ([None] on unknown names) —
+    the parser behind [--only CELL] style flags. *)
+val mode_of_name : string -> mode option
+
+(** The disk damage modes, [[Clean; Torn; Flip]] — the crash matrices
+    sweep exactly these, so existing plans are unchanged by the
+    transport kinds. *)
 val all_modes : mode list
+
+(** Every kind a {!Ltree_replication.Channel} can inject:
+    [all_modes @ [Short_read; Delay]]. *)
+val channel_modes : mode list
 
 (** A scripted failure: crash at the [crash_point]-th write primitive,
     misbehaving per [mode], with all injection randomness derived from

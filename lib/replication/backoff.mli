@@ -1,0 +1,35 @@
+(** Bounded retry with capped exponential backoff, on the virtual clock.
+
+    The policy is pure data and every function is deterministic, so the
+    shipper's retry behaviour replays exactly under a seeded crash cell.
+    Time is in {e ticks} of the replication session's virtual clock (one
+    tick per pump), not wall-clock. *)
+
+type policy = {
+  base : int;  (** delay before the first retry, in ticks *)
+  factor : int;  (** multiplier per subsequent attempt *)
+  cap : int;  (** delays never exceed this *)
+  max_attempts : int;  (** total sends of one record before giving up *)
+  deadline : int;  (** max ticks between first send and success *)
+}
+
+val default_policy : policy
+(** [{base = 1; factor = 2; cap = 16; max_attempts = 8; deadline = 200}] *)
+
+type error =
+  | Exhausted of { attempts : int }
+  | Deadline_exceeded of { waited : int; deadline : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [delay p ~attempt] is the backoff after send number [attempt]
+    ([>= 1]) fails: [min cap (base * factor^(attempt-1))].  Monotone
+    non-decreasing in [attempt]; raises [Invalid_argument] on
+    [attempt <= 0]. *)
+val delay : policy -> attempt:int -> int
+
+(** [check p ~attempt ~waited] decides whether a record that has been
+    sent [attempt] times and first went out [waited] ticks ago may be
+    retried: [Ok delay_before_next] or the typed give-up reason.
+    Deadline wins over exhaustion when both apply. *)
+val check : policy -> attempt:int -> waited:int -> (int, error) result

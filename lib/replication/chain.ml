@@ -1,0 +1,7 @@
+module Checksum = Ltree_recovery.Checksum
+
+let extend ~prev ~seq ~payload =
+  Checksum.crc32
+    (Checksum.to_hex prev ^ " " ^ string_of_int seq ^ " " ^ payload)
+
+let anchor data = Checksum.crc32 data

@@ -1,0 +1,113 @@
+(** The receiving end of journal shipping: applies the primary's record
+    stream through its own {!Ltree_recovery.Durable_doc}, serves reads
+    with an explicit lag bound, detects divergence, and can be promoted.
+
+    The replica is itself a full durable store — every applied record
+    goes through the same journal + snapshot machinery as the primary,
+    so a crashed replica recovers from {e its own} disk and re-attaches
+    (see {!hello}) rather than re-bootstrapping.  Label determinism
+    (paper §4.2) is what makes this cheap: replaying the primary's
+    journal lines yields bit-identical labels, verified continuously by
+    the prefix-CRC {!Chain} and the primary's handshakes.
+
+    All frame damage is handled below this layer: a line whose CRC
+    fails is dropped and retransmission heals the stream, so the only
+    typed failures here are the real ones — staleness, divergence, and
+    an unbootstrapped store. *)
+
+type divergence =
+  | Chain_mismatch of { at_seq : int; want : int; got : int }
+      (** primary and replica disagree on the stream prefix at [at_seq] *)
+  | Missing_chain of { at_seq : int }
+      (** the replica applied [at_seq] but holds no chain link for it —
+          a write reached its store outside the replication stream *)
+  | Apply_rejected of { at_seq : int; detail : string }
+      (** a CRC-valid record failed to apply (dangling anchor, bad
+          entry): the stores were not equivalent before it *)
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+type error =
+  | Not_bootstrapped
+  | Stale of { lag : int; max_lag : int }
+  | Diverged of divergence
+  | Promote_failed of Ltree_recovery.Durable_doc.fault list
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+(** [create ~io ~dir ?group_commit ?checkpoint_every ?store ~inbox
+    ~outbox ()] makes a replica storing under [dir] via [io], reading
+    frames from [inbox] and sending acks on [outbox].  Without [store]
+    it starts unbootstrapped and waits for a snapshot frame; pass
+    [store] (e.g. the result of {!Ltree_recovery.Durable_doc.recover}
+    after a replica crash) to re-attach an existing store — its chain
+    memo starts empty and is re-anchored by the primary's first
+    handshake. *)
+val create :
+  io:Ltree_recovery.Fault.io ->
+  dir:string ->
+  ?group_commit:int ->
+  ?checkpoint_every:int ->
+  ?store:Ltree_recovery.Durable_doc.t ->
+  inbox:Channel.t ->
+  outbox:Channel.t ->
+  unit ->
+  t
+
+(** [pump t ~now] drains the inbox, applies what is next-in-order
+    (stashing bounded out-of-order records), handles snapshot installs
+    and handshakes, and acks cumulative progress.  May raise
+    {!Ltree_recovery.Fault.Crash} when the replica's own [io] is armed —
+    that is the replica-crash cell of the matrix. *)
+val pump : t -> now:int -> unit
+
+(** [hello t ~now] (re-)announces the replica's applied position to the
+    primary ([-1] when unbootstrapped), resetting the shipper's view
+    after attach, replica recovery, or channel reconnect. *)
+val hello : t -> now:int -> unit
+
+(** [read ?max_lag t f] runs [f] over the replica's document, refusing
+    with the typed reason instead of serving a bad read: [Stale] when
+    the lag exceeds [max_lag] (Stale-refusal discipline, as
+    {!Ltree_exec.Read_snapshot}), [Diverged] once divergence is
+    detected, [Not_bootstrapped] before the first snapshot. *)
+val read :
+  ?max_lag:int -> t -> (Ltree_doc.Labeled_doc.t -> 'a) -> ('a, error) result
+
+(** [promote t] fails the replica over to primary: condemns the
+    unapplied stash, syncs, and re-{!Ltree_recovery.Durable_doc.recover}s
+    its own store — bumping the epoch exactly like crash recovery does.
+    The promoted store is the returned [t]; the replica stops applying
+    frames from the old primary.  Refuses when diverged or
+    unbootstrapped. *)
+val promote :
+  t ->
+  ( Ltree_recovery.Durable_doc.report * Ltree_recovery.Durable_doc.t,
+    error )
+  result
+
+(** {1 Inspection} *)
+
+val store : t -> Ltree_recovery.Durable_doc.t option
+val applied_seq : t -> int option
+
+(** [lag t] is the primary's last advertised high-water mark minus the
+    applied seq; [None] before bootstrap. *)
+val lag : t -> int option
+
+val diverged : t -> divergence option
+
+type stats = {
+  applied_frames : int;
+  dup_frames : int;  (** re-sent records already applied (re-acked) *)
+  bad_frames : int;  (** CRC/parse failures and wrong-direction frames *)
+  stashed : int;  (** records held for in-order apply *)
+  stale_frames : int;  (** frames from a superseded primary epoch *)
+  snapshots_installed : int;
+  handshakes : int;
+  install_failures : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,402 @@
+module Fault = Ltree_recovery.Fault
+module Durable_doc = Ltree_recovery.Durable_doc
+module Journal = Ltree_doc.Journal
+
+(* Monomorphic comparison prelude (lint rule R2). *)
+let ( = ) : int -> int -> bool = Stdlib.( = )
+let ( < ) : int -> int -> bool = Stdlib.( < )
+let ( <= ) : int -> int -> bool = Stdlib.( <= )
+let ( > ) : int -> int -> bool = Stdlib.( > )
+let ( >= ) : int -> int -> bool = Stdlib.( >= )
+let min : int -> int -> int = Stdlib.min
+let max : int -> int -> int = Stdlib.max
+
+(* How far below the ack point payloads and chain links are retained,
+   so a replica that recovers (regressing by at most its group-commit
+   buffer plus some reordering) resumes on data frames instead of
+   forcing a snapshot re-ship. *)
+let keep_window = 64
+
+type config = {
+  policy : Backoff.policy;
+  window : int;
+  handshake_every : int;
+}
+
+let default_config =
+  { policy = Backoff.default_policy; window = 16; handshake_every = 8 }
+
+type error = Send_failed of { seq : int; reason : Backoff.error }
+
+let pp_error ppf (Send_failed { seq; reason }) =
+  Format.fprintf ppf "shipping record %d failed: %a" seq Backoff.pp_error
+    reason
+
+type inflight = {
+  mutable attempts : int;
+  first_sent : int;
+  mutable next_due : int;
+}
+
+type stats = {
+  frames_sent : int;
+  retries : int;
+  backoff_ticks : int;
+  snapshots_sent : int;
+  handshakes_sent : int;
+  acks_seen : int;
+  hellos_seen : int;
+  bad_frames : int;
+}
+
+type t = {
+  io : Fault.io;
+  dir : string;
+  store : Durable_doc.t;
+  down : Channel.t;
+  up : Channel.t;
+  config : config;
+  buf : Frame.Assembler.asm;
+  retention : (int, string) Hashtbl.t;
+  chains : (int, int) Hashtbl.t;
+  inflight : (int, inflight) Hashtbl.t;
+  mutable chain_top : int;
+  mutable chain_base : int;
+  mutable broken : bool;
+  mutable acked : int option;
+  mutable snap_inflight : inflight option;
+  mutable snap_base : int;
+  mutable failed : error option;
+  mutable acked_progress : int;
+  mutable force_handshake : bool;
+  mutable frames_sent : int;
+  mutable retries : int;
+  mutable backoff_ticks : int;
+  mutable snapshots_sent : int;
+  mutable handshakes_sent : int;
+  mutable acks_seen : int;
+  mutable hellos_seen : int;
+  mutable bad_frames : int;
+}
+
+let ship_latency_hist () =
+  Ltree_obs.Registry.histogram ~name:"repl_ship_latency_ticks"
+    ~help:"virtual ticks between a record's first send and its ack"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:12)
+    ()
+
+let send_attempts_hist () =
+  Ltree_obs.Registry.histogram ~name:"repl_send_attempts"
+    ~help:"sends of one record before it was acked (1 = no retry); \
+           _count doubles as the acked-record counter"
+    ~bounds:(Ltree_obs.Histogram.linear_bounds ~start:1. ~step:1. ~count:10)
+    ()
+
+let backoff_hist () =
+  Ltree_obs.Registry.histogram ~name:"repl_backoff_ticks"
+    ~help:"backoff delay chosen per retry; _count doubles as the retry \
+           counter, _sum as total ticks spent backing off"
+    ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:8)
+    ()
+
+let snapshot_path t =
+  match Durable_doc.newest_valid_snapshot t.io ~dir:t.dir with
+  | Ok (source, _ldoc, base_seq, _epoch, _faults) ->
+    let file =
+      match source with
+      | Durable_doc.Current -> "snapshot"
+      | Durable_doc.Previous -> "snapshot.prev"
+    in
+    Some (Filename.concat t.dir file, base_seq)
+  | Error (_ : Durable_doc.fault list) -> None
+
+let create ~io ~dir ~store ~down ~up ?(config = default_config) () =
+  let base = Durable_doc.last_seq store in
+  let chains = Hashtbl.create 64 in
+  let t =
+    {
+      io;
+      dir;
+      store;
+      down;
+      up;
+      config;
+      buf = Frame.Assembler.create ();
+      retention = Hashtbl.create 64;
+      chains;
+      inflight = Hashtbl.create 16;
+      chain_top = base;
+      chain_base = base;
+      broken = false;
+      acked = None;
+      snap_inflight = None;
+      snap_base = -1;
+      failed = None;
+      acked_progress = 0;
+      force_handshake = false;
+      frames_sent = 0;
+      retries = 0;
+      backoff_ticks = 0;
+      snapshots_sent = 0;
+      handshakes_sent = 0;
+      acks_seen = 0;
+      hellos_seen = 0;
+      bad_frames = 0;
+    }
+  in
+  (* Anchor the chain at the store's current snapshot so the very first
+     catch-up ships a chain value both ends can extend from. *)
+  (match snapshot_path t with
+  | Some (path, base_seq) when base_seq = base -> (
+    match io.Fault.read_file path with
+    | Some bytes -> Hashtbl.replace chains base (Chain.anchor bytes)
+    | None -> t.broken <- true)
+  | Some _ | None -> t.broken <- true);
+  t
+
+let failed t = t.failed
+let acked t = t.acked
+
+let stats t =
+  {
+    frames_sent = t.frames_sent;
+    retries = t.retries;
+    backoff_ticks = t.backoff_ticks;
+    snapshots_sent = t.snapshots_sent;
+    handshakes_sent = t.handshakes_sent;
+    acks_seen = t.acks_seen;
+    hellos_seen = t.hellos_seen;
+    bad_frames = t.bad_frames;
+  }
+
+let reset t =
+  t.failed <- None;
+  Hashtbl.reset t.inflight;
+  t.snap_inflight <- None
+
+(* Fold newly appended journal records into retention + chain.  Scanning
+   is read-only, so this adds no write points to the primary. *)
+let ingest t =
+  let scan = Durable_doc.scan_journal t.io ~dir:t.dir in
+  List.iter
+    (fun (seq, entry) ->
+      if seq > t.chain_top then
+        if seq = t.chain_top + 1 then begin
+          let payload = Journal.entry_to_line entry in
+          let prev = Hashtbl.find t.chains t.chain_top in
+          Hashtbl.replace t.chains seq (Chain.extend ~prev ~seq ~payload);
+          Hashtbl.replace t.retention seq payload;
+          t.chain_top <- seq
+        end
+        else
+          (* Records vanished between pumps (a checkpoint truncated the
+             journal before we scanned it): continuity is lost and only
+             a snapshot re-ship can re-anchor. *)
+          t.broken <- true)
+    scan.Durable_doc.records
+
+let prune t ~acked =
+  let cut = acked - keep_window in
+  Hashtbl.filter_map_inplace
+    (fun seq v -> if seq < cut then None else Some v)
+    t.retention;
+  Hashtbl.filter_map_inplace
+    (fun seq v -> if seq < cut then None else Some v)
+    t.chains;
+  t.chain_base <- max t.chain_base cut
+
+let on_ack t ~now seq =
+  t.acks_seen <- t.acks_seen + 1;
+  let prev = match t.acked with None -> -1 | Some a -> a in
+  if seq > prev then begin
+    t.acked <- Some seq;
+    t.acked_progress <- t.acked_progress + (seq - max prev 0);
+    Hashtbl.iter
+      (fun s (fl : inflight) ->
+        if s <= seq then begin
+          Ltree_obs.Histogram.observe_int (ship_latency_hist ())
+            (max 1 (now - fl.first_sent));
+          Ltree_obs.Histogram.observe_int (send_attempts_hist ()) fl.attempts
+        end)
+      t.inflight;
+    Hashtbl.filter_map_inplace
+      (fun s fl -> if s <= seq then None else Some fl)
+      t.inflight;
+    (match t.snap_inflight with
+    | Some _ when seq >= t.snap_base -> t.snap_inflight <- None
+    | _ -> ());
+    prune t ~acked:seq
+  end
+
+let on_hello t seq =
+  t.hellos_seen <- t.hellos_seen + 1;
+  (* A hello overrides the cumulative ack — the replica may legitimately
+     have regressed (it recovered from its own disk, losing its
+     group-commit buffer). *)
+  t.acked <- (if seq < 0 then None else Some seq);
+  Hashtbl.reset t.inflight;
+  t.snap_inflight <- None;
+  t.failed <- None;
+  t.acked_progress <- 0;
+  t.force_handshake <- seq >= 0
+
+let process_up t ~now =
+  List.iter
+    (fun line ->
+      match Frame.decode line with
+      | Error (_ : Frame.error) -> t.bad_frames <- t.bad_frames + 1
+      | Ok (Frame.Ack { seq; epoch = _ }) -> on_ack t ~now seq
+      | Ok (Frame.Hello { seq; epoch = _ }) -> on_hello t seq
+      | Ok (Frame.Data _ | Frame.Snapshot _ | Frame.Handshake _) ->
+        t.bad_frames <- t.bad_frames + 1)
+    (Frame.Assembler.feed t.buf (Channel.drain t.up ~now))
+
+(* Ship the current snapshot as the catch-up base.  When the snapshot
+   file lags the store (records applied since the last rotation), force
+   a checkpoint first — syncing and re-ingesting in between so the
+   truncated records are already chained. *)
+let send_snapshot_now t ~now =
+  let fresh =
+    match snapshot_path t with
+    | Some (path, base_seq)
+      when base_seq = Durable_doc.last_seq t.store
+           && Durable_doc.pending t.store = 0 ->
+      Some (path, base_seq)
+    | Some _ | None -> None
+  in
+  let resolved =
+    match fresh with
+    | Some pb -> Some pb
+    | None ->
+      Durable_doc.sync t.store;
+      ingest t;
+      Durable_doc.checkpoint t.store;
+      snapshot_path t
+  in
+  match resolved with
+  | None -> t.broken <- true
+  | Some (path, base) -> (
+    match t.io.Fault.read_file path with
+    | None -> t.broken <- true
+    | Some bytes ->
+      if t.broken || not (Hashtbl.mem t.chains base) then begin
+        Hashtbl.reset t.chains;
+        Hashtbl.reset t.retention;
+        Hashtbl.replace t.chains base (Chain.anchor bytes);
+        t.chain_top <- base;
+        t.chain_base <- base;
+        t.broken <- false
+      end;
+      let chain = Hashtbl.find t.chains base in
+      Channel.send t.down ~now
+        (Frame.encode
+           (Snapshot
+              { epoch = Durable_doc.epoch t.store; base_seq = base; chain;
+                data = bytes }));
+      t.frames_sent <- t.frames_sent + 1;
+      t.snapshots_sent <- t.snapshots_sent + 1;
+      t.snap_base <- base)
+
+let step_snapshot t ~now =
+  match t.snap_inflight with
+  | None ->
+    send_snapshot_now t ~now;
+    t.snap_inflight <-
+      Some
+        {
+          attempts = 1;
+          first_sent = now;
+          next_due = now + Backoff.delay t.config.policy ~attempt:1;
+        }
+  | Some fl ->
+    if now >= fl.next_due then (
+      match
+        Backoff.check t.config.policy ~attempt:fl.attempts
+          ~waited:(now - fl.first_sent)
+      with
+      | Ok delay ->
+        send_snapshot_now t ~now;
+        fl.attempts <- fl.attempts + 1;
+        fl.next_due <- now + delay;
+        t.retries <- t.retries + 1;
+        t.backoff_ticks <- t.backoff_ticks + delay;
+        Ltree_obs.Histogram.observe_int (backoff_hist ()) delay
+      | Error reason ->
+        t.failed <- Some (Send_failed { seq = t.snap_base; reason }))
+
+let send_data t ~now ~seq payload =
+  Channel.send t.down ~now
+    (Frame.encode
+       (Frame.Data
+          { epoch = Durable_doc.epoch t.store; hwm = t.chain_top; seq;
+            payload }));
+  t.frames_sent <- t.frames_sent + 1
+
+let step_window t ~now ~acked =
+  let hi = min t.chain_top (acked + t.config.window) in
+  let seq = ref (acked + 1) in
+  while Option.is_none t.failed && !seq <= hi do
+    (match Hashtbl.find_opt t.retention !seq with
+    | None -> seq := hi (* gap: the snapshot path takes over next pump *)
+    | Some payload -> (
+      match Hashtbl.find_opt t.inflight !seq with
+      | None ->
+        send_data t ~now ~seq:!seq payload;
+        Hashtbl.replace t.inflight !seq
+          {
+            attempts = 1;
+            first_sent = now;
+            next_due = now + Backoff.delay t.config.policy ~attempt:1;
+          }
+      | Some fl ->
+        if now >= fl.next_due then (
+          match
+            Backoff.check t.config.policy ~attempt:fl.attempts
+              ~waited:(now - fl.first_sent)
+          with
+          | Ok delay ->
+            send_data t ~now ~seq:!seq payload;
+            fl.attempts <- fl.attempts + 1;
+            fl.next_due <- now + delay;
+            t.retries <- t.retries + 1;
+            t.backoff_ticks <- t.backoff_ticks + delay;
+            Ltree_obs.Histogram.observe_int (backoff_hist ()) delay;
+            (* A stalled record is how an out-of-band replica write
+               shows up from this side (the replica re-acks but never
+               applies): probe the prefix so divergence surfaces
+               instead of burning the retry budget silently. *)
+            t.force_handshake <- true
+          | Error reason ->
+            t.failed <- Some (Send_failed { seq = !seq; reason }))));
+    incr seq
+  done
+
+let step_handshake t ~now ~acked =
+  if
+    (t.force_handshake || t.acked_progress >= t.config.handshake_every)
+    && Hashtbl.mem t.chains acked
+  then begin
+    Channel.send t.down ~now
+      (Frame.encode
+         (Frame.Handshake
+            { epoch = Durable_doc.epoch t.store; seq = acked;
+              chain = Hashtbl.find t.chains acked }));
+    t.frames_sent <- t.frames_sent + 1;
+    t.handshakes_sent <- t.handshakes_sent + 1;
+    t.force_handshake <- false;
+    t.acked_progress <- 0
+  end
+
+let pump t ~now =
+  process_up t ~now;
+  ingest t;
+  if Option.is_none t.failed then
+    match t.acked with
+    | None -> step_snapshot t ~now
+    | Some acked ->
+      if acked < t.chain_top && not (Hashtbl.mem t.retention (acked + 1))
+      then step_snapshot t ~now
+      else begin
+        step_handshake t ~now ~acked;
+        step_window t ~now ~acked
+      end

@@ -46,5 +46,6 @@ let () =
        Test_recovery.suite;
        Test_workload.suite;
        Test_exec.suite;
-      Test_columnar.suite ]
+       Test_columnar.suite;
+       Test_replication.suite ]
     @ scheme_suites)

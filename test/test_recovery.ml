@@ -198,6 +198,37 @@ let torn_tail_truncated () =
      Alcotest.(check int) "four records kept" 4
        (List.length scan.Durable_doc.records))
 
+let empty_journal_recovers_clean () =
+  (* A crash during [initialize] can leave the journal file present but
+     empty (the header write tore at offset zero).  That must recover to
+     the snapshot with its own typed fault — zero records dropped, not a
+     condemned tail masquerading as a bad header. *)
+  let sim = Fault.create_sim () in
+  let io = Fault.sim_io sim in
+  let t = Durable_doc.initialize ~io ~dir:"store" (make_ldoc ()) in
+  let snapshot_labels = labels_of (Durable_doc.ldoc t) in
+  Fault.corrupt_file sim ~path:"store/journal" ~f:(fun _ -> "");
+  let rsim = Fault.create_sim ~files:(Fault.dump sim) () in
+  let rio = Fault.sim_io rsim in
+  (match Durable_doc.recover ~io:rio ~dir:"store" () with
+   | Error _ -> Alcotest.fail "snapshot alone must recover"
+   | Ok (report, t') ->
+     Alcotest.(check (list string)) "typed empty-journal fault"
+       [ "empty-journal" ]
+       (List.map Durable_doc.fault_kind report.Durable_doc.faults);
+     Alcotest.(check int) "nothing dropped" 0
+       report.Durable_doc.entries_dropped;
+     Alcotest.(check int) "nothing replayed" 0
+       report.Durable_doc.entries_replayed;
+     Alcotest.(check int) "durable seq is the snapshot's" 0
+       report.Durable_doc.durable_seq;
+     Alcotest.(check (list int)) "snapshot labels intact" snapshot_labels
+       (labels_of (Durable_doc.ldoc t'));
+     (* Recovery re-homed the header: a fresh scan is clean. *)
+     let scan = Durable_doc.scan_journal rio ~dir:"store" in
+     Alcotest.(check bool) "journal clean after re-homing" true
+       (Option.is_none scan.Durable_doc.scan_fault))
+
 let bitflip_detected () =
   let sim = Fault.create_sim () in
   let io = Fault.sim_io sim in
@@ -392,6 +423,8 @@ let suite =
       case "rotation falls back to previous snapshot" `Quick
         rotation_prev_fallback;
       case "torn journal tail truncated" `Quick torn_tail_truncated;
+      case "empty journal recovers to the snapshot" `Quick
+        empty_journal_recovers_clean;
       case "bit flip caught by record checksum" `Quick bitflip_detected;
       case "unresolvable anchor is typed" `Quick replay_error_typed;
       case "quick crash matrix" `Quick quick_crash_matrix;

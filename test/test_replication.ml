@@ -1,0 +1,474 @@
+(* Journal-shipping replication: frame codec, deterministic retry /
+   backoff (bounded attempts, monotone delays, typed deadline expiry),
+   channel fault injection, replica catch-up and Stale-refusal reads,
+   divergence detection, and failover.  Everything is seeded — a
+   failure replays exactly. *)
+
+open Ltree_doc
+open Ltree_recovery
+open Ltree_replication
+module Labeled_doc = Ltree_doc.Labeled_doc
+module Parser = Ltree_xml.Parser
+
+let case = Alcotest.test_case
+
+let labels_of ldoc = List.map snd (Labeled_doc.labeled_events ldoc)
+
+let make_ldoc () =
+  Labeled_doc.of_document
+    (Parser.parse_string
+       "<site><item><name>alpha</name></item><item><name>beta</name>\
+        </item><note>n</note></site>")
+
+(* Valid entries against [make_ldoc]'s shape, computed on a scratch
+   document so anchors resolve at every position. *)
+let script n =
+  let ldoc = make_ldoc () in
+  let root = Option.get (Labeled_doc.document ldoc).Ltree_xml.Dom.root in
+  let ops = ref [] in
+  for k = 1 to n do
+    let anchor = (Labeled_doc.label ldoc root).Labeled_doc.start_pos in
+    let entry =
+      Journal.Insert
+        { anchor;
+          index = Ltree_xml.Dom.child_count root;
+          xml = Printf.sprintf "<patch n=\"%d\">p%d</patch>" k k }
+    in
+    Journal.apply_entry ldoc entry;
+    ops := entry :: !ops
+  done;
+  (List.rev !ops, ldoc)
+
+(* {1 Frame codec} *)
+
+let frame_roundtrip () =
+  let frames =
+    [ Frame.Data { epoch = 1; hwm = 9; seq = 4; payload = "I 12 0 <a b=\"c d\"/>" };
+      Frame.Snapshot
+        { epoch = 2; base_seq = 7; chain = 0xDEADBEEF;
+          data = "line1\nline2\\with\\slashes\n" };
+      Frame.Handshake { epoch = 1; seq = 3; chain = 0 };
+      Frame.Ack { epoch = 1; seq = 42 };
+      Frame.Hello { epoch = 0; seq = -1 } ]
+  in
+  List.iter
+    (fun f ->
+      let line = Frame.encode f in
+      Alcotest.(check char)
+        "newline-terminated" '\n'
+        line.[String.length line - 1];
+      let back = Frame.decode (String.sub line 0 (String.length line - 1)) in
+      match back with
+      | Ok g -> Alcotest.(check bool) "round trip" true (f = g)
+      | Error e -> Alcotest.failf "decode failed: %a" Frame.pp_error e)
+    frames
+
+let frame_rejects_damage () =
+  let line =
+    Frame.encode (Frame.Data { epoch = 1; hwm = 2; seq = 2; payload = "D 5" })
+  in
+  let line = String.sub line 0 (String.length line - 1) in
+  (* Flip one payload bit: CRC must catch it. *)
+  let b = Bytes.of_string line in
+  Bytes.set b (Bytes.length b - 1)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b - 1)) lxor 1));
+  (match Frame.decode (Bytes.to_string b) with
+  | Error (Frame.Bad_crc _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "bit flip not caught by frame CRC");
+  (* A torn prefix is malformed or fails CRC — never Ok. *)
+  (match Frame.decode (String.sub line 0 (String.length line / 2)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "torn frame accepted");
+  match Frame.decode "F deadbeef Z 1 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad crc field accepted"
+
+let snapshot_escaping () =
+  let data = "a\nb\\n literal \\\\ and \\ trailing\n" in
+  Alcotest.(check (result string string))
+    "unescape inverts escape" (Ok data)
+    (Result.map_error
+       (Format.asprintf "%a" Frame.pp_error)
+       (Frame.unescape (Frame.escape data)))
+
+let assembler_reassembles () =
+  let asm = Frame.Assembler.create () in
+  let lines = Frame.Assembler.feed asm [ "one\ntw" ] in
+  Alcotest.(check (list string)) "first" [ "one" ] lines;
+  let lines = Frame.Assembler.feed asm [ "o\n"; "three\nfour" ] in
+  Alcotest.(check (list string)) "split healed" [ "two"; "three" ] lines;
+  let lines = Frame.Assembler.feed asm [ "\n" ] in
+  Alcotest.(check (list string)) "tail" [ "four" ] lines
+
+(* {1 Backoff} *)
+
+let backoff_monotone_capped () =
+  let p = { Backoff.base = 1; factor = 2; cap = 16; max_attempts = 20;
+            deadline = 10_000 } in
+  let prev = ref 0 in
+  for attempt = 1 to 12 do
+    let d = Backoff.delay p ~attempt in
+    Alcotest.(check bool)
+      (Printf.sprintf "monotone at %d" attempt)
+      true (d >= !prev);
+    Alcotest.(check bool)
+      (Printf.sprintf "capped at %d" attempt)
+      true (d <= p.cap);
+    prev := d
+  done;
+  Alcotest.(check int) "exact early values" 1 (Backoff.delay p ~attempt:1);
+  Alcotest.(check int) "doubling" 8 (Backoff.delay p ~attempt:4);
+  Alcotest.(check int) "hits cap" 16 (Backoff.delay p ~attempt:9)
+
+let backoff_bounded_attempts () =
+  let p = { Backoff.default_policy with max_attempts = 3; deadline = 1000 } in
+  (match Backoff.check p ~attempt:2 ~waited:5 with
+  | Ok d -> Alcotest.(check int) "retry allowed with next delay" 4 d
+  | Error _ -> Alcotest.fail "attempt 2 of 3 refused");
+  match Backoff.check p ~attempt:3 ~waited:5 with
+  | Error (Backoff.Exhausted { attempts }) ->
+    Alcotest.(check int) "typed exhaustion" 3 attempts
+  | Ok _ | Error _ -> Alcotest.fail "exhaustion not typed"
+
+let backoff_deadline_typed () =
+  let p = { Backoff.default_policy with max_attempts = 99; deadline = 50 } in
+  (match Backoff.check p ~attempt:4 ~waited:50 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "at-deadline refused");
+  match Backoff.check p ~attempt:4 ~waited:51 with
+  | Error (Backoff.Deadline_exceeded { waited; deadline }) ->
+    Alcotest.(check int) "waited" 51 waited;
+    Alcotest.(check int) "deadline" 50 deadline
+  | Ok _ | Error _ -> Alcotest.fail "deadline expiry not typed"
+
+(* {1 Channel} *)
+
+let channel_deterministic () =
+  let plan =
+    { Channel.ideal with
+      seed = 7;
+      noise_every = 2;
+      noise_modes = Fault.channel_modes }
+  in
+  let run () =
+    let ch = Channel.create ~plan () in
+    let out = ref [] in
+    for now = 1 to 40 do
+      Channel.send ch ~now (Printf.sprintf "msg-%d\n" now);
+      out := !out @ Channel.drain ch ~now
+    done;
+    for now = 41 to 50 do
+      out := !out @ Channel.drain ch ~now
+    done;
+    (!out, Channel.stats ch)
+  in
+  let a, sa = run () and b, sb = run () in
+  Alcotest.(check (list string)) "same deliveries" a b;
+  Alcotest.(check bool) "same stats" true (sa = sb);
+  Alcotest.(check bool) "noise actually injected" true
+    (sa.Channel.dropped + sa.Channel.damaged + sa.Channel.delayed > 0)
+
+let channel_short_read_heals () =
+  (* Every send short-reads; the assembler must still see whole lines
+     once the remainders arrive. *)
+  let plan =
+    { Channel.ideal with seed = 3; noise_every = 1;
+      noise_modes = [ Fault.Short_read ] }
+  in
+  let ch = Channel.create ~plan () in
+  let asm = Frame.Assembler.create () in
+  let got = ref [] in
+  for now = 1 to 20 do
+    Channel.send ch ~now (Printf.sprintf "line-%d\n" now);
+    got := !got @ Frame.Assembler.feed asm (Channel.drain ch ~now)
+  done;
+  for now = 21 to 30 do
+    got := !got @ Frame.Assembler.feed asm (Channel.drain ch ~now)
+  done;
+  Alcotest.(check (list string))
+    "all lines reassembled in order"
+    (List.init 20 (fun i -> Printf.sprintf "line-%d" (i + 1)))
+    !got
+
+let channel_sever_drops () =
+  let plan = { Channel.ideal with sever_at = Some (3, Fault.Clean) } in
+  let ch = Channel.create ~plan () in
+  Channel.send ch ~now:1 "a\n";
+  Channel.send ch ~now:1 "b\n";
+  Channel.send ch ~now:1 "c\n";
+  Channel.send ch ~now:1 "d\n";
+  Alcotest.(check bool) "severed" true (Channel.severed ch);
+  Alcotest.(check (list string))
+    "only pre-sever traffic" [ "a\n"; "b\n" ]
+    (Channel.drain ch ~now:9);
+  Channel.reconnect ch;
+  Channel.send ch ~now:10 "e\n";
+  Alcotest.(check (list string)) "flows after reconnect" [ "e\n" ]
+    (Channel.drain ch ~now:10)
+
+(* {1 Sessions: catch-up, staleness, divergence, failover} *)
+
+let session_over ?(config = Session.default_config) ?primary_plan
+    ?replica_plan n_ops =
+  let psim = Fault.create_sim ?plan:primary_plan () in
+  let rsim = Fault.create_sim ?plan:replica_plan () in
+  let session =
+    Session.create ~config ~primary_io:(Fault.sim_io psim) ~primary_dir:"p"
+      ~replica_io:(Fault.sim_io rsim) ~replica_dir:"r" (make_ldoc ())
+  in
+  let ops, oracle = script n_ops in
+  List.iter (Session.apply session) ops;
+  (session, oracle, psim, rsim)
+
+let clean_catch_up () =
+  let session, oracle, _, _ = session_over 25 in
+  Alcotest.(check bool) "quiesced" true (Session.quiesce session);
+  match Replica.read (Session.replica session) labels_of with
+  | Ok labels ->
+    Alcotest.(check (list int))
+      "replica bit-identical to oracle" (labels_of oracle) labels
+  | Error e -> Alcotest.failf "read refused: %a" Replica.pp_error e
+
+let noisy_catch_up () =
+  let noisy seed =
+    { Channel.ideal with
+      seed;
+      noise_every = 3;
+      noise_modes = Fault.channel_modes }
+  in
+  let config =
+    { Session.default_config with
+      down_plan = noisy 11;
+      up_plan = noisy 12;
+      attach_pumps = 128 }
+  in
+  let session, oracle, _, _ = session_over ~config 40 in
+  Alcotest.(check bool) "quiesced through noise" true
+    (Session.quiesce ~max_pumps:2048 session);
+  (match Replica.read (Session.replica session) labels_of with
+  | Ok labels ->
+    Alcotest.(check (list int))
+      "identical despite damage" (labels_of oracle) labels
+  | Error e -> Alcotest.failf "read refused: %a" Replica.pp_error e);
+  let s = Shipper.stats (Session.shipper session) in
+  Alcotest.(check bool) "damage forced retries" true (s.Shipper.retries > 0)
+
+let stale_read_refused () =
+  (* Drive a replica by hand so the lag is exact: deliver seq 2 with a
+     high-water mark of 2 while seq 1 is still missing. *)
+  let sim = Fault.create_sim () in
+  let io = Fault.sim_io sim in
+  let store = Durable_doc.initialize ~io ~dir:"p" (make_ldoc ()) in
+  let snapshot_bytes = Option.get (io.Fault.read_file "p/snapshot") in
+  let anchor = Chain.anchor snapshot_bytes in
+  let ops, _oracle = script 2 in
+  let payloads = List.map Journal.entry_to_line ops in
+  let p1 = List.nth payloads 0 and p2 = List.nth payloads 1 in
+  ignore store;
+  let rsim = Fault.create_sim () in
+  let down = Channel.create () and up = Channel.create () in
+  let replica =
+    Replica.create ~io:(Fault.sim_io rsim) ~dir:"r" ~inbox:down ~outbox:up ()
+  in
+  Channel.send down ~now:1
+    (Frame.encode
+       (Frame.Snapshot { epoch = 1; base_seq = 0; chain = anchor;
+                         data = snapshot_bytes }));
+  Replica.pump replica ~now:1;
+  Alcotest.(check (option int)) "bootstrapped at 0" (Some 0)
+    (Replica.applied_seq replica);
+  Channel.send down ~now:2
+    (Frame.encode (Frame.Data { epoch = 1; hwm = 2; seq = 2; payload = p2 }));
+  Replica.pump replica ~now:2;
+  (match Replica.read ~max_lag:0 replica labels_of with
+  | Error (Replica.Stale { lag; max_lag }) ->
+    Alcotest.(check int) "lag counts the gap" 2 lag;
+    Alcotest.(check int) "bound reported" 0 max_lag
+  | Ok _ -> Alcotest.fail "stale read served"
+  | Error e -> Alcotest.failf "wrong refusal: %a" Replica.pp_error e);
+  (* Looser bound: same read is allowed. *)
+  (match Replica.read ~max_lag:5 replica labels_of with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "loose bound refused: %a" Replica.pp_error e);
+  (* The missing record arrives; the stash drains; lag closes. *)
+  Channel.send down ~now:3
+    (Frame.encode (Frame.Data { epoch = 1; hwm = 2; seq = 1; payload = p1 }));
+  Replica.pump replica ~now:3;
+  Alcotest.(check (option int)) "caught up" (Some 2)
+    (Replica.applied_seq replica);
+  match Replica.read ~max_lag:0 replica labels_of with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "fresh read refused: %a" Replica.pp_error e
+
+let divergence_rejected () =
+  let session, _oracle, _, _ = session_over 10 in
+  Alcotest.(check bool) "healthy first" true (Session.quiesce session);
+  let replica = Session.replica session in
+  (* A rogue write reaches the replica store outside the stream. *)
+  let rstore = Option.get (Replica.store replica) in
+  let root =
+    Option.get
+      (Labeled_doc.document (Durable_doc.ldoc rstore)).Ltree_xml.Dom.root
+  in
+  let anchor =
+    (Labeled_doc.label (Durable_doc.ldoc rstore) root).Labeled_doc.start_pos
+  in
+  Durable_doc.apply rstore
+    (Journal.Insert { anchor; index = 0; xml = "<rogue/>" });
+  (* Keep replicating: the next handshake must catch it. *)
+  let ops, _ = script 20 in
+  List.iter (Session.apply session) ops;
+  ignore (Session.quiesce session);
+  (match Replica.diverged replica with
+  | Some _ -> ()
+  | None -> Alcotest.fail "rogue write not detected");
+  (match Replica.read replica labels_of with
+  | Error (Replica.Diverged _) -> ()
+  | Ok _ -> Alcotest.fail "diverged replica served a read"
+  | Error e -> Alcotest.failf "wrong refusal: %a" Replica.pp_error e);
+  match Replica.promote replica with
+  | Error (Replica.Diverged _) -> ()
+  | Ok _ -> Alcotest.fail "diverged replica promoted"
+  | Error e -> Alcotest.failf "wrong promote refusal: %a" Replica.pp_error e
+
+let chain_mismatch_detected () =
+  let session, _oracle, _, _ = session_over 5 in
+  Alcotest.(check bool) "healthy first" true (Session.quiesce session);
+  let replica = Session.replica session in
+  let applied = Option.get (Replica.applied_seq replica) in
+  (* Forge a handshake whose chain cannot match. *)
+  Channel.send (Session.down session)
+    ~now:(Session.clock session + 1)
+    (Frame.encode
+       (Frame.Handshake { epoch = 99; seq = applied; chain = 0x1234567 }));
+  Replica.pump replica ~now:(Session.clock session + 1);
+  match Replica.diverged replica with
+  | Some (Replica.Chain_mismatch { at_seq; _ }) ->
+    Alcotest.(check int) "at the handshaken seq" applied at_seq
+  | Some d ->
+    Alcotest.failf "wrong divergence: %a" Replica.pp_divergence d
+  | None -> Alcotest.fail "chain mismatch not detected"
+
+let failover_promotes () =
+  let session, oracle, _, _ = session_over 30 in
+  Alcotest.(check bool) "caught up before the cut" true
+    (Session.quiesce session);
+  let primary_epoch = Durable_doc.epoch (Session.primary session) in
+  (* Lose the primary: sever both directions mid-flight. *)
+  Channel.sever (Session.down session) ~now:(Session.clock session);
+  Channel.sever (Session.up session) ~now:(Session.clock session);
+  match Session.failover session with
+  | Error e -> Alcotest.failf "failover refused: %a" Replica.pp_error e
+  | Ok (report, promoted) ->
+    Alcotest.(check bool)
+      "promotion bumps the epoch past the primary's" true
+      (Durable_doc.epoch promoted > primary_epoch);
+    Alcotest.(check int) "nothing condemned on a quiesced replica" 0
+      report.Durable_doc.entries_dropped;
+    Alcotest.(check (list int))
+      "survivor bit-identical to oracle" (labels_of oracle)
+      (labels_of (Durable_doc.ldoc promoted))
+
+let replica_reattach_after_crash () =
+  let psim = Fault.create_sim () in
+  let rsim = Fault.create_sim () in
+  let session =
+    Session.create ~primary_io:(Fault.sim_io psim) ~primary_dir:"p"
+      ~replica_io:(Fault.sim_io rsim) ~replica_dir:"r" (make_ldoc ())
+  in
+  let ops, oracle = script 30 in
+  let before, after = (List.filteri (fun i _ -> i < 20) ops,
+                       List.filteri (fun i _ -> i >= 20) ops) in
+  List.iter (Session.apply session) before;
+  Alcotest.(check bool) "caught up" true (Session.quiesce session);
+  (* "Crash" the replica process: recover a fresh store from its
+     surviving files and re-attach it to the same session. *)
+  let rsim2 = Fault.create_sim ~files:(Fault.dump rsim) () in
+  let io2 = Fault.sim_io rsim2 in
+  (match Durable_doc.recover ~io:io2 ~dir:"r" () with
+  | Error faults ->
+    Alcotest.failf "replica store unrecoverable (%d faults)"
+      (List.length faults)
+  | Ok (_report, store) ->
+    ignore (Session.replace_replica ~io:io2 ~store session));
+  List.iter (Session.apply session) after;
+  Alcotest.(check bool) "caught up after reattach" true
+    (Session.quiesce session);
+  match Replica.read (Session.replica session) labels_of with
+  | Ok labels ->
+    Alcotest.(check (list int))
+      "reattached replica tracks new writes" (labels_of oracle) labels
+  | Error e -> Alcotest.failf "read refused: %a" Replica.pp_error e
+
+(* A small but complete replica-level crash matrix: every primary and
+   replica write point, every channel send, all modes, plus the
+   divergence probe — each cell recovered / promoted / resynced and
+   verified against the oracle. *)
+let matrix_smoke () =
+  let config =
+    { Repl_matrix.seed = 7;
+      ops = 12;
+      doc_nodes = 30;
+      group_commit = 2;
+      checkpoint_every = 6 }
+  in
+  let s = Repl_matrix.run config in
+  (match
+     List.filter (fun c -> c.Repl_matrix.failures <> []) s.Repl_matrix.cells
+   with
+  | [] -> ()
+  | c :: _ ->
+    Alcotest.failf "%d cells failed; first %s: %s" s.Repl_matrix.failed_cells
+      (Repl_matrix.cell_name c)
+      (String.concat "; " c.Repl_matrix.failures));
+  Alcotest.(check bool) "sweep complete" true (Repl_matrix.ok s);
+  Alcotest.(check bool) "swept all three sites" true
+    (s.Repl_matrix.primary_points > 0
+    && s.Repl_matrix.replica_points > 0
+    && s.Repl_matrix.channel_sends > 0)
+
+let matrix_cell_names () =
+  List.iter
+    (fun (s, want) ->
+      match (Repl_matrix.parse_cell s, want) with
+      | Some id, true ->
+        Alcotest.(check string)
+          "name round-trips" s
+          (Repl_matrix.cell_name
+             { Repl_matrix.id; outcome = Repl_matrix.Resynced; failures = [] })
+      | None, false -> ()
+      | Some _, false -> Alcotest.failf "parsed junk %S" s
+      | None, true -> Alcotest.failf "failed to parse %S" s)
+    [ ("primary:P12/torn", true);
+      ("replica:P5/clean", true);
+      ("channel:C9/flip", true);
+      ("probe:divergence", true);
+      ("primary:C12/torn", false);
+      ("channel:P9/flip", false);
+      ("primary:P0/torn", false);
+      ("primary:P12/bogus", false);
+      ("store:P12/torn", false);
+      ("P12/torn", false) ]
+
+let suite =
+  ( "replication",
+    [ case "frame round trip" `Quick frame_roundtrip;
+      case "frame rejects damage" `Quick frame_rejects_damage;
+      case "snapshot escaping" `Quick snapshot_escaping;
+      case "assembler reassembles chunks" `Quick assembler_reassembles;
+      case "backoff monotone and capped" `Quick backoff_monotone_capped;
+      case "backoff bounded attempts" `Quick backoff_bounded_attempts;
+      case "backoff deadline typed" `Quick backoff_deadline_typed;
+      case "channel deterministic per seed" `Quick channel_deterministic;
+      case "short reads reassemble" `Quick channel_short_read_heals;
+      case "sever drops backlog" `Quick channel_sever_drops;
+      case "clean catch-up bit-identical" `Quick clean_catch_up;
+      case "noisy catch-up bit-identical" `Quick noisy_catch_up;
+      case "stale reads refused with lag" `Quick stale_read_refused;
+      case "rogue write detected" `Quick divergence_rejected;
+      case "chain mismatch detected" `Quick chain_mismatch_detected;
+      case "failover promotes survivor" `Quick failover_promotes;
+      case "replica reattaches after crash" `Quick replica_reattach_after_crash;
+      case "matrix cell names round-trip" `Quick matrix_cell_names;
+      case "replica matrix smoke" `Quick matrix_smoke
+    ] )

@@ -96,6 +96,10 @@ let default_config =
         ( "Ltree_recovery.Crash_matrix.run.*",
           "matrix cells share the replay cache and progress counter \
            under cache_mu/progress_mu; audited in DESIGN.md section 9" );
+        ( "Ltree_replication.Repl_matrix.run.*",
+          "replica-matrix cells are fully independent (own sims, \
+           channels and stores); the only shared state is the progress \
+           counter under progress_mu; audited in DESIGN.md section 12" );
         ( "Ltree_obs.Span.*",
           "the process-wide trace ring is the R7-allowlisted global; \
            every access runs under ring_mu; audited in DESIGN.md \

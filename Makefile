@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-query bench-recovery bench-parallel bench-parallel-smoke bench-replication examples soak lint analyze analyze-baseline selfcheck selfcheck-quick crash-matrix crash-matrix-quick replica-matrix replicate-smoke trace-smoke ci clean
+.PHONY: all build test bench bench-query bench-recovery bench-parallel bench-parallel-smoke bench-replication examples soak lint analyze analyze-baseline selfcheck selfcheck-quick crash-matrix crash-matrix-quick replica-matrix replicate-smoke trace-smoke obs-smoke ci clean
 
 all: build
 
@@ -74,11 +74,29 @@ trace-smoke:
 	dune exec bin/ltree_cli.exe -- metrics --ops 200 --seed 1 > /dev/null
 	rm -f _trace_smoke.jsonl
 
+# Flight-recorder smoke: force a replica-matrix cell failure, check that
+# the recorder dumped a bundle naming the exact cell, validate the
+# bundle, replay just that cell from the bundle, and round-trip a traced
+# replication run plus the JSON metrics export.
+obs-smoke:
+	! dune exec bin/ltree_cli.exe -- crash-matrix --replica --ops 24 \
+	  --nodes 40 --group-commit 2 --checkpoint-every 8 \
+	  --inject-cell-failure 'primary:P6/torn' \
+	  --bundle _obs_smoke.jsonl > /dev/null 2>&1
+	dune exec bin/ltree_cli.exe -- bundle --validate _obs_smoke.jsonl
+	dune exec bin/ltree_cli.exe -- bundle --replay _obs_smoke.jsonl
+	dune exec bin/ltree_cli.exe -- replicate --ops 60 --nodes 60 \
+	  --noise-every 5 --trace > /dev/null
+	dune exec bin/ltree_cli.exe -- metrics --ops 100 --seed 1 --json \
+	  > /dev/null
+	rm -f _obs_smoke.jsonl
+
 ci:
 	dune build @all && dune runtest --force && dune build @lint && \
 	$(MAKE) analyze && \
 	$(MAKE) selfcheck-quick && $(MAKE) crash-matrix-quick && \
-	$(MAKE) trace-smoke && $(MAKE) bench-parallel-smoke && \
+	$(MAKE) trace-smoke && $(MAKE) obs-smoke && \
+	$(MAKE) bench-parallel-smoke && \
 	$(MAKE) replicate-smoke && \
 	dune exec bench/exp_query.exe -- --n 2000 --queries 100 --json BENCH_query.json
 

@@ -18,6 +18,13 @@
    Part 3 — failover: after a quiesced run, sever and promote, timing
    {!Ltree_replication.Session.failover} (condemn + sync + recover).
 
+   Part 4 — causal waterfall: the steady workload re-runs with
+   {!Ltree_obs.Causal} tracing on, and the per-record stage stamps
+   (append → ship → deliver → apply → readable, in virtual-clock ticks)
+   are aggregated into mean per-stage latencies.  Group commit should
+   show up entirely in the append→ship stage: records wait in the
+   journal for the batch to fill while the downstream stages stay flat.
+
    Rows land in BENCH_replication.json. *)
 
 open Ltree_recovery
@@ -84,6 +91,17 @@ type row =
       ms : float;
       promoted_seq : int;
       dropped : int;
+    }
+  | Waterfall of {
+      group_commit : int;
+      ops : int;
+      records : int;
+      mean_ship : float;  (** append → ship, virtual ticks *)
+      mean_deliver : float;  (** ship → deliver *)
+      mean_apply : float;  (** deliver → apply *)
+      mean_readable : float;  (** apply → readable *)
+      mean_e2e : float;  (** append → readable *)
+      retries : int;
     }
 
 let run_steady ~ops group_commit =
@@ -157,6 +175,52 @@ let run_failover ~ops group_commit =
         promoted_seq = Durable_doc.last_seq promoted;
         dropped = report.Durable_doc.entries_dropped }
 
+let run_waterfall ~ops group_commit =
+  let module Causal = Ltree_obs.Causal in
+  Causal.reset ();
+  (* The e2e histogram lives in the process-wide registry; start each
+     traced run from zero so check_waterfall compares like with like. *)
+  (match Ltree_obs.Registry.find "repl_e2e_lag_ticks" with
+   | Some h -> Ltree_obs.Histogram.reset h
+   | None -> ());
+  Causal.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Causal.set_enabled false;
+      Causal.reset ())
+  @@ fun () ->
+  let session = make_session ~group_commit () in
+  List.iter (Session.apply session) (script (fresh_ldoc ()) ops);
+  if not (Session.quiesce ~max_pumps:(1024 + (16 * ops)) session) then
+    failwith "exp_replication: traced run failed to catch up";
+  (match Causal.check_waterfall () with
+   | Ok _ -> ()
+   | Error e -> failwith ("exp_replication: waterfall check failed: " ^ e));
+  let records = Causal.records () in
+  let mean stage_a stage_b =
+    let sum = ref 0 and n = ref 0 in
+    List.iter
+      (fun tr ->
+        match (Causal.stage_tick tr stage_a, Causal.stage_tick tr stage_b) with
+        | Some a, Some b ->
+          sum := !sum + (b - a);
+          incr n
+        | _ -> ())
+      records;
+    if !n = 0 then 0. else float_of_int !sum /. float_of_int !n
+  in
+  Waterfall
+    { group_commit;
+      ops;
+      records = List.length records;
+      mean_ship = mean Causal.Append Causal.Ship;
+      mean_deliver = mean Causal.Ship Causal.Deliver;
+      mean_apply = mean Causal.Deliver Causal.Apply;
+      mean_readable = mean Causal.Apply Causal.Readable;
+      mean_e2e = mean Causal.Append Causal.Readable;
+      retries =
+        List.fold_left (fun acc tr -> acc + tr.Causal.retries) 0 records }
+
 let print_rows rows =
   Table.print ~title:"steady-state shipping vs. group commit"
     ~header:[ "group"; "ops"; "ns/op"; "peak lag"; "mean lag"; "ticks";
@@ -172,7 +236,7 @@ let print_rows rows =
                Printf.sprintf "%.0f" s.ns_per_op; string_of_int s.peak_lag;
                Printf.sprintf "%.2f" s.mean_lag; string_of_int s.ticks;
                string_of_int s.frames ]
-         | Catchup _ | Failover _ -> None)
+         | Catchup _ | Failover _ | Waterfall _ -> None)
        rows);
   Table.print ~title:"cold-replica catch-up"
     ~header:[ "group"; "ops"; "ms"; "records/s"; "ticks" ]
@@ -185,7 +249,7 @@ let print_rows rows =
                Printf.sprintf "%.2f" c.ms;
                Printf.sprintf "%.0f" c.records_per_sec;
                string_of_int c.ticks ]
-         | Steady _ | Failover _ -> None)
+         | Steady _ | Failover _ | Waterfall _ -> None)
        rows);
   Table.print ~title:"failover (condemn + sync + recover)"
     ~header:[ "group"; "ops"; "ms"; "promoted seq"; "dropped" ]
@@ -197,7 +261,25 @@ let print_rows rows =
              [ string_of_int f.group_commit; string_of_int f.ops;
                Printf.sprintf "%.3f" f.ms; string_of_int f.promoted_seq;
                string_of_int f.dropped ]
-         | Steady _ | Catchup _ -> None)
+         | Steady _ | Catchup _ | Waterfall _ -> None)
+       rows);
+  Table.print ~title:"causal waterfall (mean virtual ticks per stage)"
+    ~header:[ "group"; "records"; "ship"; "deliver"; "apply"; "readable";
+              "e2e"; "retries" ]
+    ~align:
+      [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right; Table.Right; Table.Right ]
+    (List.filter_map
+       (function
+         | Waterfall w ->
+           Some
+             [ string_of_int w.group_commit; string_of_int w.records;
+               Printf.sprintf "%.2f" w.mean_ship;
+               Printf.sprintf "%.2f" w.mean_deliver;
+               Printf.sprintf "%.2f" w.mean_apply;
+               Printf.sprintf "%.2f" w.mean_readable;
+               Printf.sprintf "%.2f" w.mean_e2e; string_of_int w.retries ]
+         | Steady _ | Catchup _ | Failover _ -> None)
        rows)
 
 let json_of_rows rows =
@@ -219,6 +301,15 @@ let json_of_rows rows =
         "  {\"section\": \"failover\", \"group_commit\": %d, \"ops\": %d, \
          \"ms\": %.3f, \"promoted_seq\": %d, \"dropped\": %d}"
         f.group_commit f.ops f.ms f.promoted_seq f.dropped
+    | Waterfall w ->
+      Printf.sprintf
+        "  {\"section\": \"waterfall\", \"group_commit\": %d, \"ops\": %d, \
+         \"records\": %d, \"mean_ship_ticks\": %.3f, \
+         \"mean_deliver_ticks\": %.3f, \"mean_apply_ticks\": %.3f, \
+         \"mean_readable_ticks\": %.3f, \"mean_e2e_ticks\": %.3f, \
+         \"retries\": %d}"
+        w.group_commit w.ops w.records w.mean_ship w.mean_deliver
+        w.mean_apply w.mean_readable w.mean_e2e w.retries
   in
   "[\n" ^ String.concat ",\n" (List.map row_json rows) ^ "\n]\n"
 
@@ -240,6 +331,7 @@ let () =
     List.map (run_steady ~ops:!ops) groups
     @ List.map (run_catchup ~ops:!ops) groups
     @ List.map (run_failover ~ops:!ops) groups
+    @ List.map (run_waterfall ~ops:!ops) groups
   in
   print_rows rows;
   if !json <> "" then begin

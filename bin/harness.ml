@@ -65,6 +65,23 @@ let labels t = Ltree.labels t.mt
 let accountant t = t.acct
 let doc_counters t = Labeled_doc.counters t.ldoc
 
+(* Telemetry gauge sources over the live stack, for `ltree top`: the
+   sampler polls these closures on its clock, so the dashboard shows how
+   label width, population and journal depth move as the workload
+   runs. *)
+let register_telemetry t =
+  let reg name help fn = Ltree_obs.Telemetry.register ~name ~help fn in
+  reg "doc_bits_per_label" "bits per label of the live document's L-Tree"
+    (fun () -> float_of_int (Ltree.bits_per_label (Labeled_doc.tree t.ldoc)));
+  reg "doc_live_tags" "live begin/end tags in the document's L-Tree"
+    (fun () -> float_of_int (Ltree.live_length (Labeled_doc.tree t.ldoc)));
+  reg "twin_leaves" "leaves in the materialized twin tree"
+    (fun () -> float_of_int (Ltree.length t.mt));
+  reg "journal_entries" "entries in the in-memory recovery journal"
+    (fun () -> float_of_int (Journal.length t.journal));
+  reg "durable_last_seq" "journal sequence applied by the durable twin"
+    (fun () -> float_of_int (Durable_doc.last_seq t.durable))
+
 let queries =
   [ "site//item/name"; "//person[address/city]"; "//patch";
     "//open_auction[bidder]/itemref"; "//item/following-sibling::item" ]
@@ -346,6 +363,8 @@ let exec t line =
     | "corrupt", _ ->
       (* An unmirrored materialized insert: legal for the tree itself,
          but it desynchronizes the twins, so twin.parity must fail. *)
+      if Ltree_obs.Recorder.is_enabled () then
+        Ltree_obs.Recorder.note ~kind:"fault" "harness_corrupt";
       t.mh <- Ltree.insert_after t.mt (pick t.mh 0) :: t.mh
     | "storm", _ ->
       (* A synthetic relabeling storm: one full accounting window of
@@ -353,6 +372,8 @@ let exec t line =
          budget, so obs.amortized-bound must trip.  The twins are left
          untouched — like [corrupt], this op exists to prove the alarm
          fires. *)
+      if Ltree_obs.Recorder.is_enabled () then
+        Ltree_obs.Recorder.note ~kind:"fault" "harness_storm";
       let n = max 2 (Ltree.length t.mt) in
       for _ = 1 to Accountant.window t.acct do
         Accountant.note t.acct ~n ~relabels:100_000

@@ -584,7 +584,13 @@ let check_cmd =
            ~docv:"PATH"
            ~doc:"Where to write the minimized counterexample on failure.")
   in
-  let run file f s ops seed inject storm dump domains =
+  let bundle_arg =
+    Arg.(value & opt (some string) None & info [ "bundle" ] ~docv:"PATH"
+           ~doc:"On invariant failure, also dump the flight-recorder ring \
+                 — the events leading up to the violation plus a metrics \
+                 snapshot — as a JSONL diagnostic bundle to $(docv).")
+  in
+  let run file f s ops seed inject storm dump bundle domains =
     with_domains domains @@ fun pool ->
     let params = params_of f s in
     let make_doc =
@@ -614,6 +620,23 @@ let check_cmd =
     | failure :: _ as failures ->
       List.iter (fun f -> Format.printf "FAIL %a@." I.pp_failure f)
         failures;
+      (match bundle with
+       | None -> ()
+       | Some path ->
+         let data =
+           Ltree_obs.Recorder.dump ~reason:"invariant"
+             ~attrs:
+               [ ("invariant", failure.I.name);
+                 ("seed", string_of_int seed);
+                 ("ops", string_of_int ops) ]
+             ()
+         in
+         write_out (Some path) data;
+         (match Ltree_obs.Recorder.validate data with
+          | Ok n ->
+            Printf.printf "flight bundle (%d lines) written to %s\n" n path
+          | Error e ->
+            Printf.eprintf "flight bundle failed validation: %s\n" e));
       let c = Harness.minimized_counterexample t ~make_doc failure in
       I.Counterexample.save ~path:dump c;
       Format.printf "%a@." I.Counterexample.pp c;
@@ -627,7 +650,7 @@ let check_cmd =
        ~doc:"Replay a workload and deep-validate every registered \
              invariant.")
     Term.(const run $ file_opt $ f_arg $ s_arg $ ops_arg $ seed_arg
-          $ inject_arg $ storm_arg $ dump_arg $ domains_arg)
+          $ inject_arg $ storm_arg $ dump_arg $ bundle_arg $ domains_arg)
 
 (* crash-matrix *)
 
@@ -671,7 +694,30 @@ let crash_matrix_cmd =
                  mid-record; recover or promote; verify the survivor \
                  against the oracle prefix.")
   in
-  let run ops seed nodes group_commit checkpoint_every only replica domains =
+  let inject_cell_arg =
+    Arg.(value & opt (some string) None
+         & info [ "inject-cell-failure" ] ~docv:"CELL"
+             ~doc:"Force the named replica-matrix cell to report a \
+                   synthetic verification failure — a self-test of the \
+                   failure path and (with $(b,--bundle)) of the \
+                   flight-recorder dump.  Requires $(b,--replica).")
+  in
+  let bundle_arg =
+    Arg.(value & opt (some string) None & info [ "bundle" ] ~docv:"PATH"
+           ~doc:"When any cell fails, dump the flight-recorder ring as a \
+                 JSONL bundle to $(docv); the header names the failing \
+                 cell and run parameters, so $(b,ltree bundle --replay) \
+                 can re-run exactly that cell.  Requires $(b,--replica).")
+  in
+  let run ops seed nodes group_commit checkpoint_every only replica
+      inject_cell bundle domains =
+    if (Option.is_some inject_cell || Option.is_some bundle) && not replica
+    then begin
+      Printf.eprintf
+        "--inject-cell-failure and --bundle apply to the replica matrix: \
+         add --replica\n";
+      exit 2
+    end;
     with_domains domains @@ fun pool ->
     let last = ref 0 in
     let progress ~done_cells ~total =
@@ -697,6 +743,19 @@ let crash_matrix_cmd =
               s;
             exit 2)
       in
+      let inject =
+        match inject_cell with
+        | None -> None
+        | Some s -> (
+          match R.parse_cell s with
+          | Some cell -> Some cell
+          | None ->
+            Printf.eprintf
+              "cannot parse --inject-cell-failure %S (expected e.g. \
+               primary:P12/torn)\n"
+              s;
+            exit 2)
+      in
       let config =
         { R.seed; ops; doc_nodes = nodes; group_commit; checkpoint_every }
       in
@@ -704,7 +763,7 @@ let crash_matrix_cmd =
         "replica crash matrix: %d ops, doc ~%d nodes, group commit %d, \
          checkpoint every %d, seed %d, %d domain(s)\n%!"
         ops nodes group_commit checkpoint_every seed (max 1 domains);
-      let s = R.run ?pool ?only ~progress config in
+      let s = R.run ?pool ?only ?inject ~progress config in
       Printf.printf "%s\n" (R.describe s);
       if not (R.ok s) then begin
         List.iter
@@ -718,6 +777,38 @@ let crash_matrix_cmd =
                              --only %s --ops %d --seed %d\n"
                 (R.cell_name c) ops seed)
           s.R.cells;
+        (match bundle with
+         | None -> ()
+         | Some path ->
+           let failing =
+             List.find_opt
+               (fun c -> match c.R.failures with [] -> false | _ -> true)
+               s.R.cells
+           in
+           let cell_name, failure =
+             match failing with
+             | Some c -> (R.cell_name c, String.concat "; " c.R.failures)
+             | None -> ("?", "sweep incomplete")
+           in
+           let data =
+             Ltree_obs.Recorder.dump ~reason:"repl-matrix-cell"
+               ~attrs:
+                 [ ("cell", cell_name); ("failure", failure);
+                   ("seed", string_of_int seed);
+                   ("ops", string_of_int ops);
+                   ("nodes", string_of_int nodes);
+                   ("group_commit", string_of_int group_commit);
+                   ("checkpoint_every", string_of_int checkpoint_every) ]
+               ()
+           in
+           write_out (Some path) data;
+           (match Ltree_obs.Recorder.validate data with
+            | Ok n ->
+              Printf.printf
+                "flight bundle (%d lines, cell %s) written to %s\n" n
+                cell_name path
+            | Error e ->
+              Printf.eprintf "flight bundle failed validation: %s\n" e));
         exit 1
       end
     end
@@ -789,7 +880,8 @@ let crash_matrix_cmd =
              --replica) at every write point in every corruption mode, \
              recover or promote, and verify against a bit-exact oracle.")
     Term.(const run $ ops_arg $ seed_arg $ nodes_arg $ group_arg
-          $ ckpt_arg $ only_arg $ replica_arg $ domains_arg)
+          $ ckpt_arg $ only_arg $ replica_arg $ inject_cell_arg
+          $ bundle_arg $ domains_arg)
 
 (* trace / metrics: the observability front ends.  Both replay the same
    deterministic harness workload `ltree check` uses — it exercises the
@@ -905,31 +997,51 @@ let metrics_cmd =
            ~docv:"PATH" ~doc:"Write the exposition here (stdout by \
                               default).")
   in
-  let run f s ops seed out =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one JSON object (histograms, counters and the \
+                 amortized-bound verdict) instead of Prometheus text.")
+  in
+  let run f s ops seed out json =
     let params = params_of f s in
     let t = run_observed_workload ~params ~seed ~ops in
-    let buf = Buffer.create 4096 in
-    Buffer.add_string buf (Ltree_obs.Registry.expose ());
-    Ltree_obs.Registry.expose_counters buf ~prefix:"ltree_doc"
-      (Harness.doc_counters t);
     let acct = Harness.accountant t in
-    Buffer.add_string buf
-      (Printf.sprintf
-         "# obs.amortized-bound: %s (%d insertions, c=%.2f, window=%d, \
-          breaches=%d)\n"
-         (if Ltree_obs.Accountant.ok acct then "ok" else "BREACHED")
-         (Ltree_obs.Accountant.insertions acct)
-         (Ltree_obs.Accountant.c acct)
-         (Ltree_obs.Accountant.window acct)
-         (List.length (Ltree_obs.Accountant.breaches acct)));
-    write_out out (Buffer.contents buf)
+    if json then
+      let extra =
+        [ ( "amortized_bound",
+            Printf.sprintf
+              "{\"ok\":%b,\"insertions\":%d,\"c\":%.2f,\"window\":%d,\
+               \"breaches\":%d}"
+              (Ltree_obs.Accountant.ok acct)
+              (Ltree_obs.Accountant.insertions acct)
+              (Ltree_obs.Accountant.c acct)
+              (Ltree_obs.Accountant.window acct)
+              (List.length (Ltree_obs.Accountant.breaches acct)) ) ]
+      in
+      write_out out (Ltree_obs.Registry.expose_json ~extra () ^ "\n")
+    else begin
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf (Ltree_obs.Registry.expose ());
+      Ltree_obs.Registry.expose_counters buf ~prefix:"ltree_doc"
+        (Harness.doc_counters t);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "# obs.amortized-bound: %s (%d insertions, c=%.2f, window=%d, \
+            breaches=%d)\n"
+           (if Ltree_obs.Accountant.ok acct then "ok" else "BREACHED")
+           (Ltree_obs.Accountant.insertions acct)
+           (Ltree_obs.Accountant.c acct)
+           (Ltree_obs.Accountant.window acct)
+           (List.length (Ltree_obs.Accountant.breaches acct)));
+      write_out out (Buffer.contents buf)
+    end
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Replay a workload and print every histogram in Prometheus \
-             text exposition format.")
+             text exposition format (or one JSON object with --json).")
     Term.(const run $ f_arg $ s_arg $ ops_workload_arg $ seed_workload_arg
-          $ out)
+          $ out $ json_arg)
 
 (* replicate *)
 
@@ -975,8 +1087,20 @@ let replicate_cmd =
              ~doc:"Write the run's Prometheus exposition to $(docv) \
                    ($(b,-) or bare flag for stdout).")
   in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Stamp every journal record with a content-derived trace \
+                 id and print the per-record waterfall \
+                 (append → ship → deliver → apply → readable, in \
+                 virtual-clock ticks) plus the cross-check against the \
+                 end-to-end lag histogram.")
+  in
   let run ops seed nodes group_commit checkpoint_every noise_every failover
-      metrics =
+      metrics trace =
+    if trace then begin
+      Ltree_obs.Causal.reset ();
+      Ltree_obs.Causal.set_enabled true
+    end;
     let config =
       { M.seed; ops; doc_nodes = nodes; group_commit; checkpoint_every }
     in
@@ -1056,6 +1180,14 @@ let replicate_cmd =
        | None -> ());
       exit 1
     end;
+    if trace then begin
+      print_string (Ltree_obs.Causal.waterfall ());
+      match Ltree_obs.Causal.check_waterfall () with
+      | Ok summary -> Printf.printf "  %s\n" summary
+      | Error e ->
+        Printf.eprintf "waterfall/histogram mismatch: %s\n" e;
+        exit 1
+    end;
     if failover then begin
       let now = Rp.Session.clock session in
       Rp.Channel.sever (Rp.Session.down session) ~now;
@@ -1090,7 +1222,149 @@ let replicate_cmd =
              catch-up, lag, retries, optional failover, and the \
              replication histograms.")
     Term.(const run $ ops_arg $ seed_arg $ nodes_arg $ group_arg
-          $ ckpt_arg $ noise_arg $ failover_arg $ metrics_arg)
+          $ ckpt_arg $ noise_arg $ failover_arg $ metrics_arg $ trace_arg)
+
+(* bundle: the flight recorder's front door.  With no mode flag it
+   replays the observed workload and dumps the ring; --validate checks
+   an existing bundle file; --replay re-runs the replica-matrix cell
+   named in a bundle's header (the loop a failing CI matrix closes:
+   the failure dumps a bundle, the bundle replays the cell). *)
+
+let bundle_cmd =
+  let module R = Ltree_replication.Repl_matrix in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ]
+           ~docv:"PATH" ~doc:"Write the bundle here (stdout by default).")
+  in
+  let validate_arg =
+    Arg.(value & opt (some file) None & info [ "validate" ] ~docv:"BUNDLE"
+           ~doc:"Validate an existing bundle file and exit.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"BUNDLE"
+           ~doc:"Re-run the replica-matrix cell named in the bundle \
+                 header, with the bundle's own seed and run parameters \
+                 (an $(b,--only) replay driven by the dump).")
+  in
+  let run f s ops seed out validate replay =
+    match (validate, replay) with
+    | Some path, _ -> (
+      let data = read_file path in
+      match Ltree_obs.Recorder.validate data with
+      | Ok n -> Printf.printf "%s: valid bundle (%d lines)\n" path n
+      | Error e ->
+        Printf.eprintf "%s: invalid bundle: %s\n" path e;
+        exit 1)
+    | None, Some path -> (
+      let data = read_file path in
+      (match Ltree_obs.Recorder.validate data with
+       | Ok _ -> ()
+       | Error e ->
+         Printf.eprintf "%s: invalid bundle: %s\n" path e;
+         exit 1);
+      let attr k = Ltree_obs.Recorder.attr_of_bundle data k in
+      match attr "cell" with
+      | None ->
+        Printf.eprintf "%s: bundle header names no cell to replay\n" path;
+        exit 2
+      | Some cell_s -> (
+        match R.parse_cell cell_s with
+        | None ->
+          Printf.eprintf "%s: cannot parse cell %S\n" path cell_s;
+          exit 2
+        | Some cell ->
+          let geti k fallback =
+            match attr k with
+            | None -> fallback
+            | Some v -> (
+              match int_of_string_opt v with
+              | Some n -> n
+              | None -> fallback)
+          in
+          let d = R.default_config in
+          let config =
+            { R.seed = geti "seed" d.R.seed;
+              ops = geti "ops" d.R.ops;
+              doc_nodes = geti "nodes" d.R.doc_nodes;
+              group_commit = geti "group_commit" d.R.group_commit;
+              checkpoint_every =
+                geti "checkpoint_every" d.R.checkpoint_every }
+          in
+          Printf.printf "replaying cell %s (seed %d, ops %d)\n" cell_s
+            config.R.seed config.R.ops;
+          let s = R.run ~only:cell config in
+          Printf.printf "%s\n" (R.describe s);
+          if not (R.ok s) then begin
+            List.iter
+              (fun c ->
+                List.iter
+                  (fun f -> Printf.printf "  %s: %s\n" (R.cell_name c) f)
+                  c.R.failures)
+              s.R.cells;
+            exit 1
+          end))
+    | None, None ->
+      let params = params_of f s in
+      ignore (run_observed_workload ~params ~seed ~ops);
+      let data =
+        Ltree_obs.Recorder.dump ~reason:"explicit"
+          ~attrs:
+            [ ("seed", string_of_int seed); ("ops", string_of_int ops) ]
+          ()
+      in
+      (match Ltree_obs.Recorder.validate data with
+       | Ok n ->
+         Printf.eprintf "bundle: %d lines, %d events in the ring\n" n
+           (List.length (Ltree_obs.Recorder.events ()))
+       | Error e ->
+         Printf.eprintf "generated bundle failed validation: %s\n" e;
+         exit 1);
+      write_out out data
+  in
+  Cmd.v
+    (Cmd.info "bundle"
+       ~doc:"Dump, validate or replay a flight-recorder diagnostic \
+             bundle.")
+    Term.(const run $ f_arg $ s_arg $ ops_workload_arg $ seed_workload_arg
+          $ out $ validate_arg $ replay_arg)
+
+(* top: gauge telemetry sampled over the observed workload *)
+
+let top_cmd =
+  let width_arg =
+    Arg.(value & opt int 32 & info [ "width" ] ~docv:"W"
+           ~doc:"Sparkline width (most recent $(docv) samples).")
+  in
+  let every_arg =
+    Arg.(value & opt int 10 & info [ "every" ] ~docv:"N"
+           ~doc:"Sample the gauges every $(docv) operations.")
+  in
+  let run f s ops seed width every domains =
+    with_domains domains @@ fun pool ->
+    let params = params_of f s in
+    let make_doc () = Xml_gen.xmark ~seed ~scale:0.3 () in
+    let t = Harness.create ~params ?pool ~seed ~make_doc () in
+    Ltree_obs.Telemetry.register_gc ();
+    Harness.register_telemetry t;
+    (match pool with Some p -> Pool.register_telemetry p | None -> ());
+    let prng = Ltree_workload.Prng.create seed in
+    let every = max 1 every in
+    for i = 1 to ops do
+      List.iter (Harness.apply t) (Harness.random_ops prng);
+      if i mod (max 1 (ops / 4)) = 0 then
+        Harness.apply t Harness.checkpoint_op;
+      if i mod every = 0 then Ltree_obs.Telemetry.sample ~now:i ()
+    done;
+    Ltree_obs.Telemetry.sample ~now:(ops + 1) ();
+    print_string (Ltree_obs.Telemetry.top ~width ())
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Replay a workload while sampling gauge telemetry (GC, label \
+             width, journal depth, pool queue) and print the sparkline \
+             dashboard.")
+    Term.(const run $ f_arg $ s_arg $ ops_workload_arg $ seed_workload_arg
+          $ width_arg $ every_arg $ domains_arg)
 
 let () =
   let doc = "L-Tree: dynamic order-preserving labels for XML documents" in
@@ -1101,4 +1375,4 @@ let () =
           [ generate_cmd; label_cmd; query_cmd; compare_cmd; tune_cmd;
             bench_cmd; snapshot_cmd; restore_cmd; check_cmd;
             crash_matrix_cmd; replicate_cmd; shell_cmd; trace_cmd;
-            metrics_cmd ]))
+            metrics_cmd; bundle_cmd; top_cmd ]))

@@ -28,13 +28,25 @@ let size reg = List.length reg.entries
 
 type failure = { name : string; detail : string }
 
+(* Violations feed the flight recorder so a later bundle dump shows
+   which invariant tripped and why, alongside the events before it. *)
+let record_failure f =
+  if Ltree_obs.Recorder.is_enabled () then
+    Ltree_obs.Recorder.note ~kind:"invariant"
+      ~attrs:[ ("detail", f.detail) ]
+      f.name
+
 let run_entry e =
-  match e.run () with
-  | () -> None
-  | exception Violation { name; detail } -> Some { name; detail }
-  | exception Failure detail -> Some { name = e.name; detail }
-  | exception Invalid_argument detail -> Some { name = e.name; detail }
-  | exception Not_found -> Some { name = e.name; detail = "Not_found" }
+  let failure =
+    match e.run () with
+    | () -> None
+    | exception Violation { name; detail } -> Some { name; detail }
+    | exception Failure detail -> Some { name = e.name; detail }
+    | exception Invalid_argument detail -> Some { name = e.name; detail }
+    | exception Not_found -> Some { name = e.name; detail = "Not_found" }
+  in
+  (match failure with Some f -> record_failure f | None -> ());
+  failure
 
 let run_all ?depth reg =
   let want e =

@@ -142,6 +142,10 @@ let create ~size =
   in
   t.domains <-
     List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t ~slot:(i + 1)));
+  if Ltree_obs.Recorder.is_enabled () then
+    Ltree_obs.Recorder.note ~kind:"exec"
+      ~attrs:[ ("size", string_of_int size) ]
+      "pool_created";
   t
 
 let size t = t.pool_size
@@ -152,7 +156,11 @@ let shutdown t =
   Condition.broadcast t.work;
   Mutex.unlock t.mu;
   List.iter Domain.join t.domains;
-  t.domains <- []
+  t.domains <- [];
+  if Ltree_obs.Recorder.is_enabled () then
+    Ltree_obs.Recorder.note ~kind:"exec"
+      ~attrs:[ ("jobs", string_of_int t.jobs) ]
+      "pool_shutdown"
 
 let with_pool ~size f =
   let t = create ~size in
@@ -283,6 +291,29 @@ let map ?chunk t f arr =
         out.(i) <- Some (f arr.(i))
       done);
   Array.map (function Some v -> v | None -> assert false) out
+
+(* Pull-based gauges over the pool's live state for the periodic
+   sampler ([ltree top]).  The closures run at sample time, outside the
+   sampler's lock, and take the pool mutex themselves. *)
+let register_telemetry t =
+  let under_mu f =
+    Mutex.lock t.mu;
+    let v = f () in
+    Mutex.unlock t.mu;
+    v
+  in
+  Ltree_obs.Telemetry.register ~name:"exec_pool_pending_chunks"
+    ~help:"chunk tasks of the in-flight job not yet finished" (fun () ->
+      under_mu (fun () ->
+          match t.current with
+          | Some j -> float_of_int (max 0 (Atomic.get j.j_pending))
+          | None -> 0.));
+  Ltree_obs.Telemetry.register ~name:"exec_pool_claim_ops"
+    ~help:"cumulative atomic claim operations on the chunk cursor"
+    (fun () -> under_mu (fun () -> float_of_int t.claims));
+  Ltree_obs.Telemetry.register ~name:"exec_pool_chunk_tasks"
+    ~help:"cumulative chunk tasks run" (fun () ->
+      under_mu (fun () -> float_of_int t.tasks))
 
 let default_size () =
   match Sys.getenv_opt "LTREE_DOMAINS" with

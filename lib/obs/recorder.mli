@@ -1,0 +1,74 @@
+(** Process-wide flight recorder: a bounded black-box ring of structured
+    events that every subsystem feeds cheaply.
+
+    Subsystems call {!note} at interesting moments — span closes, fault
+    injections, channel damage, recovery decisions, matrix cell
+    verdicts.  The ring keeps only the most recent [capacity] events;
+    when something goes wrong (an [Invariant] violation, a
+    crash-/repl-matrix cell failure, or an explicit [ltree bundle]) the
+    caller {!dump}s a self-describing JSONL diagnostic bundle of the
+    events leading up to the failure plus a full metrics snapshot.
+
+    Like {!Span}'s trace ring, the recorder is a single process-wide
+    instance: the ring is mutex-guarded, the enabled flag and current
+    virtual-clock tick are atomics, and the disabled fast path of
+    {!note} is one atomic load. *)
+
+type event = {
+  at : float;  (** wall clock at the event *)
+  tick : int;  (** virtual-clock tick (see {!set_tick}); [0] outside sessions *)
+  domain : int;  (** id of the domain that noted the event *)
+  kind : string;  (** event class: ["span"], ["fault"], ["channel"], ["cell"], ["invariant"], ... *)
+  name : string;
+  attrs : (string * string) list;
+}
+
+(** Recording is on by default; disabling makes {!note} a no-op. *)
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+(** [set_tick n] stamps subsequent events with virtual-clock tick [n].
+    Session pumps call this so events line up with the causal trace. *)
+val set_tick : int -> unit
+
+val tick : unit -> int
+
+(** [set_capacity n] replaces the ring with an empty one holding [n]
+    events.  Raises [Invalid_argument] when [n < 1]. *)
+val set_capacity : int -> unit
+
+(** Drop all events and reset the tick to [0]. *)
+val reset : unit -> unit
+
+(** [note ?tick ?attrs ~kind name] appends one event, overwriting the
+    oldest when the ring is full.  [tick] defaults to the last
+    {!set_tick} value. *)
+val note :
+  ?tick:int -> ?attrs:(string * string) list -> kind:string -> string -> unit
+
+(** Recorded events, oldest first. *)
+val events : unit -> event list
+
+(** Events overwritten because the ring was full. *)
+val dropped : unit -> int
+
+(** {1 Diagnostic bundles} *)
+
+(** [dump ?reason ?attrs ()] renders the current ring as a JSONL bundle:
+    a header line carrying [reason] and [attrs] (matrix dumps put the
+    failing cell name and run parameters here, so {!attr_of_bundle} can
+    drive an [--only] replay), one line per event, one line with the
+    full {!Registry} metrics snapshot, and a footer with the event
+    count. *)
+val dump : ?reason:string -> ?attrs:(string * string) list -> unit -> string
+
+(** [validate data] checks that [data] is a well-formed bundle: every
+    line parses as JSON, the first line is a bundle header, and the last
+    a footer.  [Ok n] gives the number of lines. *)
+val validate : string -> (int, string) result
+
+(** [attr_of_bundle data key] extracts a string attribute from the
+    bundle header, e.g. [attr_of_bundle data "cell"] for the failing
+    cell to replay. *)
+val attr_of_bundle : string -> string -> string option

@@ -6,11 +6,21 @@ let ( > ) : int -> int -> bool = Stdlib.( > )
 let _ = ( = )
 let _ = ( > )
 
-(* The table is mutex-guarded: get-or-create races from worker domains
-   must hand every caller the same histogram instance. *)
-type t = { tbl : (string, Histogram.t) Hashtbl.t; mu : Mutex.t }
+(* Monotonic counters are a name plus an atomic cell: increments from
+   worker domains need no lock, only registration does. *)
+type counter = { cname : string; chelp : string; cell : int Atomic.t }
 
-let create () = { tbl = Hashtbl.create 32; mu = Mutex.create () }
+(* The tables are mutex-guarded: get-or-create races from worker domains
+   must hand every caller the same instance. *)
+type t = {
+  tbl : (string, Histogram.t) Hashtbl.t;
+  ctbl : (string, counter) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+let create () =
+  { tbl = Hashtbl.create 32; ctbl = Hashtbl.create 16; mu = Mutex.create () }
+
 let default = create ()
 
 let locked registry f =
@@ -36,15 +46,42 @@ let histograms ?(registry = default) () =
   in
   List.sort (fun a b -> String.compare (Histogram.name a) (Histogram.name b)) out
 
+let counter ?(registry = default) ~name ~help () =
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.ctbl name with
+      | Some c -> c
+      | None ->
+        let c = { cname = name; chelp = help; cell = Atomic.make 0 } in
+        Hashtbl.replace registry.ctbl name c;
+        c)
+
+let counter_name c = c.cname
+let counter_value c = Atomic.get c.cell
+let counter_incr c = ignore (Atomic.fetch_and_add c.cell 1)
+let counter_add c n = if n > 0 then ignore (Atomic.fetch_and_add c.cell n)
+let find_counter ?(registry = default) name =
+  locked registry (fun () -> Hashtbl.find_opt registry.ctbl name)
+
+let counters ?(registry = default) () =
+  let out =
+    locked registry (fun () ->
+        Hashtbl.fold (fun _ c acc -> c :: acc) registry.ctbl [])
+  in
+  List.sort (fun a b -> String.compare a.cname b.cname) out
+
 let clear ?(registry = default) () =
-  locked registry (fun () -> Hashtbl.reset registry.tbl)
+  locked registry (fun () ->
+      Hashtbl.reset registry.tbl;
+      Hashtbl.reset registry.ctbl)
 
 let reset_observations ?(registry = default) () =
-  let hs =
+  let hs, cs =
     locked registry (fun () ->
-        Hashtbl.fold (fun _ h acc -> h :: acc) registry.tbl [])
+        ( Hashtbl.fold (fun _ h acc -> h :: acc) registry.tbl [],
+          Hashtbl.fold (fun _ c acc -> c :: acc) registry.ctbl [] ))
   in
-  List.iter Histogram.reset hs
+  List.iter Histogram.reset hs;
+  List.iter (fun c -> Atomic.set c.cell 0) cs
 
 (* Prometheus text exposition.  The "le" label is the bucket's inclusive
    upper bound; the final bucket is "+Inf" and equals [_count]. *)
@@ -75,6 +112,11 @@ let expose_histogram buf h =
   Buffer.add_string buf
     (Printf.sprintf "%s_count %d\n" name (Histogram.count h))
 
+let expose_counter buf c =
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" c.cname c.chelp);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.cname);
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" c.cname (counter_value c))
+
 let expose_counters buf ~prefix counters =
   List.iter
     (fun (field, v) ->
@@ -86,4 +128,62 @@ let expose_counters buf ~prefix counters =
 let expose ?(registry = default) () =
   let buf = Buffer.create 4096 in
   List.iter (fun h -> expose_histogram buf h) (histograms ~registry ());
+  List.iter (fun c -> expose_counter buf c) (counters ~registry ());
+  Buffer.contents buf
+
+(* {1 JSON exposition}
+
+   The same registry content as [expose], machine-readable: bucket
+   counts are cumulative and labelled exactly like the text format
+   (["le"] is the same string, ending in ["+Inf"]), so scrapers can
+   treat the two as views of one model. *)
+
+let histogram_json buf h =
+  let name = Histogram.name h in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"help\":\"%s\",\"count\":%d,\"sum\":%.6f,\"buckets\":["
+       (Trace.json_escape name)
+       (Trace.json_escape (Histogram.help h))
+       (Histogram.count h) (Histogram.sum h));
+  let bounds = Histogram.bounds h in
+  let cumulative = Histogram.cumulative h in
+  Array.iteri
+    (fun i b ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"le\":\"%s\",\"count\":%d}" (le_label b)
+           cumulative.(i)))
+    bounds;
+  if Array.length bounds > 0 then Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (Printf.sprintf "{\"le\":\"+Inf\",\"count\":%d}]}"
+       cumulative.(Array.length bounds))
+
+let counter_json buf c =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"help\":\"%s\",\"value\":%d}"
+       (Trace.json_escape c.cname) (Trace.json_escape c.chelp)
+       (counter_value c))
+
+let expose_json ?(registry = default) ?(extra = []) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"histograms\":[";
+  List.iteri
+    (fun i h ->
+      if i > 0 then Buffer.add_char buf ',';
+      histogram_json buf h)
+    (histograms ~registry ());
+  Buffer.add_string buf "],\"counters\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      counter_json buf c)
+    (counters ~registry ());
+  Buffer.add_char buf ']';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":%s" (Trace.json_escape k) v))
+    extra;
+  Buffer.add_char buf '}';
   Buffer.contents buf

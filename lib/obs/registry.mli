@@ -1,9 +1,9 @@
-(** Named histogram registry with Prometheus-style text exposition.
+(** Named histogram/counter registry with Prometheus-style exposition.
 
-    Instrumented modules call {!histogram} at first use; the same name
-    always yields the same histogram, so instrumentation sites need no
-    plumbing.  A process-wide {!default} registry backs the [ltree
-    metrics] subcommand and bench reports. *)
+    Instrumented modules call {!histogram} or {!counter} at first use;
+    the same name always yields the same instance, so instrumentation
+    sites need no plumbing.  A process-wide {!default} registry backs
+    the [ltree metrics] subcommand and bench reports. *)
 
 type t
 
@@ -24,16 +24,48 @@ val find : ?registry:t -> string -> Histogram.t option
 (** All registered histograms, sorted by name. *)
 val histograms : ?registry:t -> unit -> Histogram.t list
 
-(** Remove every histogram. *)
+(** {1 Counters}
+
+    Monotonic counters: a registered name plus an atomic cell, so
+    increments from worker domains take no lock. *)
+
+type counter
+
+(** [counter ~name ~help ()] returns the counter registered under
+    [name], creating it (at zero) on first call. *)
+val counter : ?registry:t -> name:string -> help:string -> unit -> counter
+
+val counter_name : counter -> string
+val counter_value : counter -> int
+val counter_incr : counter -> unit
+
+(** [counter_add c n] adds [n] when positive; negative deltas are
+    ignored (counters are monotonic). *)
+val counter_add : counter -> int -> unit
+
+val find_counter : ?registry:t -> string -> counter option
+
+(** All registered counters, sorted by name. *)
+val counters : ?registry:t -> unit -> counter list
+
+(** Remove every histogram and counter. *)
 val clear : ?registry:t -> unit -> unit
 
-(** Keep registrations but zero every histogram. *)
+(** Keep registrations but zero every histogram and counter. *)
 val reset_observations : ?registry:t -> unit -> unit
 
 (** [expose ()] renders every histogram in Prometheus text exposition
-    format: [# HELP]/[# TYPE] headers, cumulative [_bucket{le="..."}]
-    lines ending in [+Inf], then [_sum] and [_count]. *)
+    format — [# HELP]/[# TYPE] headers, cumulative [_bucket{le="..."}]
+    lines ending in [+Inf], then [_sum] and [_count] — followed by every
+    registered counter as a [counter]-typed metric. *)
 val expose : ?registry:t -> unit -> string
+
+(** [expose_json ?extra ()] is the same registry content as {!expose}
+    as one JSON object: [{"histograms":[...],"counters":[...]}], bucket
+    labels matching the text format.  Each [(key, json)] pair in
+    [extra] is appended verbatim as an extra top-level field — [json]
+    must already be valid JSON. *)
+val expose_json : ?registry:t -> ?extra:(string * string) list -> unit -> string
 
 (** [expose_counters buf ~prefix c] appends one [counter]-typed metric
     per {!Ltree_metrics.Counters} field, named

@@ -41,6 +41,22 @@ let reset () =
 
 let current_path stack name = String.concat "/" (List.rev (name :: !stack))
 
+(* Silently-overwritten records are invisible in the ring by design;
+   the counter makes the loss observable in the exposition, so a scrape
+   can tell "quiet system" from "ring too small". *)
+let dropped_counter () =
+  Registry.counter ~name:"obs_trace_dropped_total"
+    ~help:"Trace records overwritten because the span ring was full" ()
+
+let add_record r =
+  let overwrote =
+    locked (fun () ->
+        let full = Trace.length !ring = Trace.capacity !ring in
+        Trace.add !ring r;
+        full)
+  in
+  if overwrote then Registry.counter_incr (dropped_counter ())
+
 let finish ~name ~path ~depth ~start ~before ~attrs ~on_close counters =
   let duration = Unix.gettimeofday () -. start in
   let deltas =
@@ -48,8 +64,13 @@ let finish ~name ~path ~depth ~start ~before ~attrs ~on_close counters =
     | Some c, Some b -> Ltree_metrics.Counters.(to_assoc (diff c b))
     | _ -> []
   in
-  let r = { Trace.name; path; depth; start; duration; deltas; attrs } in
-  locked (fun () -> Trace.add !ring r);
+  let domain = (Domain.self () :> int) in
+  let r = { Trace.name; path; depth; domain; start; duration; deltas; attrs } in
+  add_record r;
+  if Recorder.is_enabled () then
+    Recorder.note ~kind:"span"
+      ~attrs:(("dur_us", Printf.sprintf "%.1f" (duration *. 1e6)) :: attrs)
+      path;
   (match on_close with Some f -> f r | None -> ())
 
 let with_ ?(attrs = []) ?counters ?on_close ~name fn =
@@ -92,10 +113,11 @@ let event ?(attrs = []) name =
       { Trace.name;
         path;
         depth = List.length !stack;
+        domain = (Domain.self () :> int);
         start = Unix.gettimeofday ();
         duration = 0.;
         deltas = [];
         attrs }
     in
-    locked (fun () -> Trace.add !ring r)
+    add_record r
   end

@@ -11,6 +11,7 @@ type record = {
   name : string;
   path : string;
   depth : int;
+  domain : int;
   start : float;
   duration : float;
   deltas : (string * int) list;
@@ -79,8 +80,8 @@ let record_to_json r =
   let buf = Buffer.create 160 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"name\":\"%s\",\"path\":\"%s\",\"depth\":%d,\"start\":%.6f,\"dur_us\":%.3f"
-       (json_escape r.name) (json_escape r.path) r.depth r.start
+       "{\"name\":\"%s\",\"path\":\"%s\",\"depth\":%d,\"domain\":%d,\"start\":%.6f,\"dur_us\":%.3f"
+       (json_escape r.name) (json_escape r.path) r.depth r.domain r.start
        (r.duration *. 1e6));
   (match r.deltas with
    | [] -> ()
@@ -262,10 +263,13 @@ let validate_jsonl data =
 
 (* {1 Flamegraph}
 
-   Self-time by span path.  [total] is the sum of durations of the spans
-   recorded at a path; [self] subtracts the durations of recorded spans
-   whose parent path it is.  Rendering indents by path depth, so the
-   lexicographic sort groups children under their parents. *)
+   Self-time by (domain, span path).  [total] is the sum of durations of
+   the spans recorded at a path; [self] subtracts the durations of
+   recorded spans whose parent path it is -- but only spans from the
+   same domain, so pool-worker spans never eat into another domain's
+   self time.  Rendering indents by path depth, so the lexicographic
+   sort groups children under their parents; when records come from more
+   than one domain, each domain gets its own section. *)
 
 type frame_stat = {
   mutable total : float;
@@ -279,18 +283,18 @@ let parent_path path =
   | Some i -> Some (String.sub path 0 i)
 
 let flamegraph_stats records =
-  let tbl : (string, frame_stat) Hashtbl.t = Hashtbl.create 64 in
-  let stat path =
-    match Hashtbl.find_opt tbl path with
+  let tbl : (int * string, frame_stat) Hashtbl.t = Hashtbl.create 64 in
+  let stat key =
+    match Hashtbl.find_opt tbl key with
     | Some s -> s
     | None ->
       let s = { total = 0.; self = 0.; count = 0 } in
-      Hashtbl.replace tbl path s;
+      Hashtbl.replace tbl key s;
       s
   in
   List.iter
     (fun r ->
-      let s = stat r.path in
+      let s = stat (r.domain, r.path) in
       s.total <- s.total +. r.duration;
       s.self <- s.self +. r.duration;
       s.count <- s.count + 1)
@@ -300,12 +304,15 @@ let flamegraph_stats records =
       match parent_path r.path with
       | None -> ()
       | Some p -> (
-          match Hashtbl.find_opt tbl p with
+          match Hashtbl.find_opt tbl (r.domain, p) with
           | Some s -> s.self <- s.self -. r.duration
           | None -> ()))
     records;
-  let out = Hashtbl.fold (fun path s acc -> (path, s) :: acc) tbl [] in
-  List.sort (fun (a, _) (b, _) -> String.compare a b) out
+  let out = Hashtbl.fold (fun key s acc -> (key, s) :: acc) tbl [] in
+  List.sort
+    (fun ((da, a), _) ((db, b), _) ->
+      match Int.compare da db with 0 -> String.compare a b | c -> c)
+    out
 
 let flamegraph records =
   let stats = flamegraph_stats records in
@@ -322,18 +329,27 @@ let flamegraph records =
   in
   let width =
     List.fold_left
-      (fun acc (path, _) ->
+      (fun acc ((_, path), _) ->
         max acc ((2 * depth path) + String.length (name_of path)))
       0 stats
   in
+  let domains =
+    List.sort_uniq Int.compare (List.map (fun ((d, _), _) -> d) stats)
+  in
+  let multi = match domains with [] | [ _ ] -> false | _ -> true in
   Buffer.add_string buf
     (Printf.sprintf "%-*s %12s %12s %8s\n" width "span path" "total(us)"
        "self(us)" "count");
   List.iter
-    (fun (path, s) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%-*s %12.1f %12.1f %8d\n" width
-           (String.make (2 * depth path) ' ' ^ name_of path)
-           (s.total *. 1e6) (s.self *. 1e6) s.count))
-    stats;
+    (fun d ->
+      if multi then Buffer.add_string buf (Printf.sprintf "domain %d\n" d);
+      List.iter
+        (fun ((d', path), s) ->
+          if d' = d then
+            Buffer.add_string buf
+              (Printf.sprintf "%-*s %12.1f %12.1f %8d\n" width
+                 (String.make (2 * depth path) ' ' ^ name_of path)
+                 (s.total *. 1e6) (s.self *. 1e6) s.count))
+        stats)
+    domains;
   Buffer.contents buf

@@ -10,6 +10,7 @@ type record = {
   name : string;  (** leaf span name, e.g. ["insert"] *)
   path : string;  (** '/'-joined ancestry, e.g. ["harness/op/insert"] *)
   depth : int;    (** nesting depth at the time the span ran (root = 0) *)
+  domain : int;   (** id of the domain that ran the span (main = 0) *)
   start : float;  (** [Unix.gettimeofday] at span entry *)
   duration : float;  (** seconds; [0.] for point events *)
   deltas : (string * int) list;
@@ -44,6 +45,11 @@ val to_list : t -> record list
 
 (** {1 JSONL export} *)
 
+(** [json_escape s] escapes quotes, backslashes and control characters
+    so [s] can be embedded in a JSON string literal.  Shared by every
+    JSON emitter in the library. *)
+val json_escape : string -> string
+
 val record_to_json : record -> string
 val to_jsonl : record list -> string
 
@@ -64,6 +70,9 @@ val validate_jsonl : string -> (int, string) result
 (** {1 Flamegraph} *)
 
 (** [flamegraph records] renders a text table of total time, self time
-    (total minus time in recorded child spans) and call count per span
-    path, indented by nesting depth. *)
+    (total minus time in recorded child spans from the same domain) and
+    call count per span path, indented by nesting depth.  Records from
+    different domains aggregate separately; when more than one domain
+    contributed, each gets its own [domain N] section so pool-worker
+    paths never interleave with the main domain's. *)
 val flamegraph : record list -> string

@@ -334,6 +334,13 @@ let apply t entry =
     (fun () ->
       Journal.apply_entry t.ldoc entry;
       t.last_seq <- t.last_seq + 1;
+      (* Causal tracing: the record's trace id is content-derived from
+         (seq, payload), so this stamp and the replica's recomputation
+         agree without shipping the id.  First-wins keeps the primary's
+         append tick when a replica re-applies the same record. *)
+      if Ltree_obs.Causal.is_enabled () then
+        Ltree_obs.Causal.stamp Ltree_obs.Causal.Append ~seq:t.last_seq
+          ~payload:(Journal.entry_to_line entry);
       Buffer.add_string t.pending (record_line ~seq:t.last_seq entry);
       t.pending_count <- t.pending_count + 1;
       if t.pending_count >= t.group_commit then flush_pending t)

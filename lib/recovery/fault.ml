@@ -104,7 +104,14 @@ let injected_payload (p : plan) ~point data =
        boundary crash — exactly like rename/fsync degrade Torn/Flip. *)
     | Short_read | Delay -> None
 
-let crash t what = raise (Crash { point = t.point; what })
+let crash t what =
+  (* Feed the flight recorder before unwinding: the injection is the
+     event a later bundle dump most needs to show. *)
+  if Ltree_obs.Recorder.is_enabled () then
+    Ltree_obs.Recorder.note ~kind:"fault"
+      ~attrs:[ ("point", string_of_int t.point) ]
+      what;
+  raise (Crash { point = t.point; what })
 
 let sim_write t path data =
   match arm t with

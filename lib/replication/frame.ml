@@ -6,7 +6,7 @@ let ( < ) : int -> int -> bool = Stdlib.( < )
 let ( >= ) : int -> int -> bool = Stdlib.( >= )
 
 type t =
-  | Data of { epoch : int; hwm : int; seq : int; payload : string }
+  | Data of { epoch : int; hwm : int; seq : int; trace : int; payload : string }
   | Snapshot of { epoch : int; base_seq : int; chain : int; data : string }
   | Handshake of { epoch : int; seq : int; chain : int }
   | Ack of { epoch : int; seq : int }
@@ -62,8 +62,11 @@ let unescape s =
   go 0
 
 let body = function
-  | Data { epoch; hwm; seq; payload } ->
-    Printf.sprintf "D %d %d %d %s" epoch hwm seq payload
+  | Data { epoch; hwm; seq; trace; payload } ->
+    (* The trace id rides inside the CRC-covered body: damage to it
+       surfaces as Bad_crc, never as a wrong causal parent. *)
+    Printf.sprintf "D %d %d %d %s %s" epoch hwm seq (Checksum.to_hex trace)
+      payload
   | Snapshot { epoch; base_seq; chain; data } ->
     Printf.sprintf "S %d %d %s %s" epoch base_seq (Checksum.to_hex chain)
       (escape data)
@@ -112,7 +115,8 @@ let decode_body b =
         let* epoch, pos = int_field "epoch" b pos in
         let* hwm, pos = int_field "hwm" b pos in
         let* seq, pos = int_field "seq" b pos in
-        Ok (Data { epoch; hwm; seq; payload = rest b pos })
+        let* trace, pos = crc_field "trace" b pos in
+        Ok (Data { epoch; hwm; seq; trace; payload = rest b pos })
       | 'S' ->
         let* epoch, pos = int_field "epoch" b pos in
         let* base_seq, pos = int_field "base_seq" b pos in

@@ -6,9 +6,14 @@
     receiver, to be recovered by the shipper's retransmit machinery.
     Body kinds:
 
-    - [D <epoch> <hwm> <seq> <payload>] — one journal record.  [hwm] is
-      the primary's last durable seq at send time, so the replica can
-      report its lag without a second round-trip.
+    - [D <epoch> <hwm> <seq> <trace-hex> <payload>] — one journal
+      record.  [hwm] is the primary's last durable seq at send time, so
+      the replica can report its lag without a second round-trip.
+      [trace-hex] is the record's content-derived causal trace id
+      ({!Ltree_obs.Causal.id_of}); it sits inside the CRC-covered body,
+      so transit damage surfaces as [Bad_crc] — never as a wrong causal
+      parent — and the replica additionally verifies it against its own
+      recomputation from [(seq, payload)].
     - [S <epoch> <base_seq> <chain-hex> <escaped-data>] — a full
       snapshot file for bootstrap/catch-up when the needed journal
       suffix is no longer retained.  [chain-hex] anchors the prefix-CRC
@@ -20,7 +25,7 @@
       applied position; overrides any previous ack. *)
 
 type t =
-  | Data of { epoch : int; hwm : int; seq : int; payload : string }
+  | Data of { epoch : int; hwm : int; seq : int; trace : int; payload : string }
   | Snapshot of { epoch : int; base_seq : int; chain : int; data : string }
   | Handshake of { epoch : int; seq : int; chain : int }
   | Ack of { epoch : int; seq : int }

@@ -475,7 +475,7 @@ let eval_probe config ~bc ~script =
 
 (* {1 The sweep} *)
 
-let run ?pool ?progress ?only config =
+let run ?pool ?progress ?only ?inject config =
   let bc = base_config config in
   let script = Crash_matrix.generate_script bc in
   let oracle = Crash_matrix.build_oracle bc script in
@@ -528,6 +528,10 @@ let run ?pool ?progress ?only config =
         (fun () -> f ~done_cells:d ~total)
   in
   let eval_cell id =
+    if Ltree_obs.Recorder.is_enabled () then
+      Ltree_obs.Recorder.note ~kind:"cell"
+        ~attrs:[ ("phase", "start") ]
+        (id_name id);
     let outcome, failures =
       match id with
       | Primary_cell (p, m) ->
@@ -537,6 +541,22 @@ let run ?pool ?progress ?only config =
       | Channel_cell (n, m) -> eval_channel config ~bc ~script ~oracle (n, m)
       | Divergence_probe -> eval_probe config ~bc ~script
     in
+    (* The injection hook forces a named cell to fail so the
+       bundle-on-failure path can be exercised end to end (obs-smoke);
+       it must look exactly like a real verification failure. *)
+    let failures =
+      match inject with
+      | Some inj when String.equal (id_name inj) (id_name id) ->
+        "injected failure (--inject-cell-failure)" :: failures
+      | _ -> failures
+    in
+    (match failures with
+     | [] -> ()
+     | f :: _ ->
+       if Ltree_obs.Recorder.is_enabled () then
+         Ltree_obs.Recorder.note ~kind:"cell"
+           ~attrs:[ ("phase", "failed"); ("failure", f) ]
+           (id_name id));
     note_progress ();
     { id; outcome; failures }
   in

@@ -89,17 +89,24 @@ val ok : summary -> bool
 (** [describe s] is a one-line human summary of the sweep. *)
 val describe : summary -> string
 
-(** [run ?pool ?progress ?only config] executes the sweep.  Cells are
-    independent (each owns its sims, channels, and both stores) and fan
-    out across [pool] when given; [progress] is serialized under a
-    mutex with a monotone [done_cells].  [only] restricts the sweep to
-    one cell — the profile pass still runs, so the cell replays against
-    the exact write-point and send numbering of the full matrix.
+(** [run ?pool ?progress ?only ?inject config] executes the sweep.
+    Cells are independent (each owns its sims, channels, and both
+    stores) and fan out across [pool] when given; [progress] is
+    serialized under a mutex with a monotone [done_cells].  [only]
+    restricts the sweep to one cell — the profile pass still runs, so
+    the cell replays against the exact write-point and send numbering
+    of the full matrix.  [inject] forces the named cell to report one
+    synthetic verification failure (indistinguishable from a real one
+    downstream) — the hook behind [--inject-cell-failure], used to
+    exercise the flight-recorder bundle path.  Each evaluated cell
+    notes start/failure events (kind ["cell"], name = the exact cell
+    coordinate) into {!Ltree_obs.Recorder} when recording is on.
     Raises [Invalid_argument] when the requested coordinate is outside
     the profiled matrix. *)
 val run :
   ?pool:Ltree_exec.Pool.t ->
   ?progress:(done_cells:int -> total:int -> unit) ->
   ?only:id ->
+  ?inject:id ->
   config ->
   summary

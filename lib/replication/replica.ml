@@ -191,13 +191,22 @@ let maybe_checkpoint t s =
     t.applied_since_ckpt <- 0
   end
 
+(* Divergence verdicts feed the flight recorder before they park the
+   replica: the bundle should show why the stream stopped. *)
+let set_diverged t d =
+  if Ltree_obs.Recorder.is_enabled () then
+    Ltree_obs.Recorder.note ~kind:"recovery"
+      ~attrs:[ ("detail", Format.asprintf "%a" pp_divergence d) ]
+      "diverged";
+  t.diverged <- Some d
+
 (* Apply the next-in-order record; caller guarantees [seq = applied + 1]
    and that the chain holds a link at [applied]. *)
-let apply_one t s ~seq ~payload =
+let apply_one t s ~now ~seq ~payload =
   let prev = Hashtbl.find t.chains (seq - 1) in
   match Journal.entry_of_line payload with
   | exception Journal.Corrupt detail ->
-    t.diverged <- Some (Apply_rejected { at_seq = seq; detail })
+    set_diverged t (Apply_rejected { at_seq = seq; detail })
   | entry -> (
     match
       Ltree_obs.Span.with_ ~name:"repl.apply"
@@ -207,22 +216,22 @@ let apply_one t s ~seq ~payload =
         (fun () -> Durable_doc.apply s entry)
     with
     | () ->
+      Ltree_obs.Causal.stamp ~tick:now Ltree_obs.Causal.Apply ~seq ~payload;
       Hashtbl.replace t.chains seq (Chain.extend ~prev ~seq ~payload);
       prune_chains t ~applied:seq;
       t.applied_frames <- t.applied_frames + 1;
       t.applied_since_ckpt <- t.applied_since_ckpt + 1;
       maybe_checkpoint t s
     | exception Journal.Replay_error { what; anchor } ->
-      t.diverged <-
-        Some
-          (Apply_rejected
-             {
-               at_seq = seq;
-               detail =
-                 Printf.sprintf "%s anchor %d does not resolve" what anchor;
-             }))
+      set_diverged t
+        (Apply_rejected
+           {
+             at_seq = seq;
+             detail =
+               Printf.sprintf "%s anchor %d does not resolve" what anchor;
+           }))
 
-let rec drain_stash t s =
+let rec drain_stash t s ~now =
   match t.diverged with
   | Some _ -> ()
   | None ->
@@ -233,13 +242,14 @@ let rec drain_stash t s =
       | None -> ()
       | Some payload ->
         Hashtbl.remove t.stash (applied + 1);
-        apply_one t s ~seq:(applied + 1) ~payload;
-        drain_stash t s)
+        apply_one t s ~now ~seq:(applied + 1) ~payload;
+        drain_stash t s ~now)
 
 (* Returns [true] when the frame advanced or confirmed replica state
    and an ack should go out this pump. *)
-let on_data t ~hwm ~seq ~payload =
+let on_data t ~now ~hwm ~seq ~payload =
   t.hwm <- max t.hwm hwm;
+  Ltree_obs.Causal.stamp ~tick:now Ltree_obs.Causal.Deliver ~seq ~payload;
   match t.store with
   | None -> false
   | Some s ->
@@ -249,8 +259,8 @@ let on_data t ~hwm ~seq ~payload =
       true
     end
     else if seq = applied + 1 && Hashtbl.mem t.chains applied then begin
-      apply_one t s ~seq ~payload;
-      (match t.diverged with None -> drain_stash t s | Some _ -> ());
+      apply_one t s ~now ~seq ~payload;
+      (match t.diverged with None -> drain_stash t s ~now | Some _ -> ());
       Option.is_none t.diverged
     end
     else begin
@@ -271,7 +281,7 @@ let on_data t ~hwm ~seq ~payload =
 let journal_file = "journal"
 let snapshot_file = "snapshot"
 
-let on_snapshot t ~base_seq ~chain ~data =
+let on_snapshot t ~now ~base_seq ~chain ~data =
   match t.store with
   | Some s when Durable_doc.last_seq s >= base_seq ->
     t.dup_frames <- t.dup_frames + 1;
@@ -292,13 +302,21 @@ let on_snapshot t ~base_seq ~chain ~data =
       Hashtbl.replace t.chains base_seq chain;
       t.applied_since_ckpt <- 0;
       t.snapshots_installed <- t.snapshots_installed + 1;
-      drain_stash t s;
+      if Ltree_obs.Recorder.is_enabled () then
+        Ltree_obs.Recorder.note ~tick:now ~kind:"recovery"
+          ~attrs:[ ("base_seq", string_of_int base_seq) ]
+          "snapshot_installed";
+      drain_stash t s ~now;
       Option.is_none t.diverged
     | Error (_ : Durable_doc.fault list) ->
       t.install_failures <- t.install_failures + 1;
+      if Ltree_obs.Recorder.is_enabled () then
+        Ltree_obs.Recorder.note ~tick:now ~kind:"recovery"
+          ~attrs:[ ("base_seq", string_of_int base_seq) ]
+          "snapshot_install_failed";
       false)
 
-let on_handshake t ~seq ~chain:want =
+let on_handshake t ~now ~seq ~chain:want =
   t.handshakes <- t.handshakes + 1;
   match t.store with
   | None -> ()
@@ -307,30 +325,38 @@ let on_handshake t ~seq ~chain:want =
     match Hashtbl.find_opt t.chains seq with
     | Some got ->
       if got <> want then
-        t.diverged <- Some (Chain_mismatch { at_seq = seq; want; got })
+        set_diverged t (Chain_mismatch { at_seq = seq; want; got })
     | None ->
       if Hashtbl.length t.chains = 0 && seq = applied then begin
         (* Anchor adoption: the replica just recovered from its own
            disk and lost the in-memory chain; the primary's link at
            exactly our applied seq re-establishes it. *)
         Hashtbl.replace t.chains seq want;
-        match t.store with Some s -> drain_stash t s | None -> ()
+        match t.store with Some s -> drain_stash t s ~now | None -> ()
       end
       else if seq <= applied && seq >= applied - chain_window then
         (* We claim to have applied [seq] yet hold no link for it:
            some write bypassed the stream. *)
-        t.diverged <- Some (Missing_chain { at_seq = seq }))
+        set_diverged t (Missing_chain { at_seq = seq }))
 
-let on_frame t frame =
+let on_frame t ~now frame =
   match (frame : Frame.t) with
-  | Data { epoch; hwm; seq; payload } ->
-    if epoch < t.primary_epoch then begin
+  | Data { epoch; hwm; seq; trace; payload } ->
+    if not (trace = Ltree_obs.Causal.id_of ~seq ~payload) then begin
+      (* CRC-valid but the trace id disagrees with our recomputation
+         from (seq, payload): the sender is confused or we hit a CRC
+         collision.  Either way the frame must not enter the causal
+         record, let alone the store. *)
+      t.bad_frames <- t.bad_frames + 1;
+      false
+    end
+    else if epoch < t.primary_epoch then begin
       t.stale_frames <- t.stale_frames + 1;
       false
     end
     else begin
       if epoch > t.primary_epoch then t.primary_epoch <- epoch;
-      on_data t ~hwm ~seq ~payload
+      on_data t ~now ~hwm ~seq ~payload
     end
   | Snapshot { epoch; base_seq; chain; data } ->
     if epoch < t.primary_epoch then begin
@@ -339,7 +365,7 @@ let on_frame t frame =
     end
     else begin
       if epoch > t.primary_epoch then t.primary_epoch <- epoch;
-      on_snapshot t ~base_seq ~chain ~data
+      on_snapshot t ~now ~base_seq ~chain ~data
     end
   | Handshake { epoch; seq; chain } ->
     if epoch < t.primary_epoch then begin
@@ -348,7 +374,7 @@ let on_frame t frame =
     end
     else begin
       if epoch > t.primary_epoch then t.primary_epoch <- epoch;
-      on_handshake t ~seq ~chain;
+      on_handshake t ~now ~seq ~chain;
       false
     end
   | Ack _ | Hello _ ->
@@ -367,7 +393,7 @@ let pump t ~now =
         | None -> (
           match Frame.decode line with
           | Error (_ : Frame.error) -> t.bad_frames <- t.bad_frames + 1
-          | Ok frame -> if on_frame t frame then ack_due := true))
+          | Ok frame -> if on_frame t ~now frame then ack_due := true))
       lines;
     (match lag t with
     | Some l -> Ltree_obs.Histogram.observe_int (lag_hist ()) l

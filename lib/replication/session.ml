@@ -48,6 +48,8 @@ let up t = t.up
 
 let pump t =
   t.clock <- t.clock + 1;
+  if Ltree_obs.Recorder.is_enabled () then
+    Ltree_obs.Recorder.set_tick t.clock;
   Shipper.pump t.shipper ~now:t.clock;
   Replica.pump t.replica ~now:t.clock
 
@@ -87,6 +89,12 @@ let create ?(config = default_config) ~primary_io ~primary_dir ~replica_io
       ops = 0;
     }
   in
+  (* Causal stamps taken outside explicit [~tick] sites (the primary's
+     appends) read the session clock.  Installed only when tracing is
+     on: pool-parallel matrix cells run with tracing off and must not
+     race over the provider. *)
+  if Ltree_obs.Causal.is_enabled () then
+    Ltree_obs.Causal.set_now (fun () -> t.clock);
   Replica.hello replica ~now:0;
   (* Bounded attach: let the bootstrap snapshot round-trip. *)
   let pumps = ref 0 in

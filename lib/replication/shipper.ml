@@ -207,6 +207,10 @@ let prune t ~acked =
 
 let on_ack t ~now seq =
   t.acks_seen <- t.acks_seen + 1;
+  if Ltree_obs.Recorder.is_enabled () then
+    Ltree_obs.Recorder.note ~tick:now ~kind:"channel"
+      ~attrs:[ ("seq", string_of_int seq) ]
+      "ack";
   let prev = match t.acked with None -> -1 | Some a -> a in
   if seq > prev then begin
     t.acked <- Some seq;
@@ -216,7 +220,15 @@ let on_ack t ~now seq =
         if s <= seq then begin
           Ltree_obs.Histogram.observe_int (ship_latency_hist ())
             (max 1 (now - fl.first_sent));
-          Ltree_obs.Histogram.observe_int (send_attempts_hist ()) fl.attempts
+          Ltree_obs.Histogram.observe_int (send_attempts_hist ()) fl.attempts;
+          (* The cumulative ack is the moment the primary knows the
+             record is applied and readable on the replica: the end of
+             its causal waterfall. *)
+          match Hashtbl.find_opt t.retention s with
+          | Some payload ->
+            Ltree_obs.Causal.stamp ~tick:now Ltree_obs.Causal.Readable ~seq:s
+              ~payload
+          | None -> ()
         end)
       t.inflight;
     Hashtbl.filter_map_inplace
@@ -295,6 +307,10 @@ let send_snapshot_now t ~now =
                 data = bytes }));
       t.frames_sent <- t.frames_sent + 1;
       t.snapshots_sent <- t.snapshots_sent + 1;
+      if Ltree_obs.Recorder.is_enabled () then
+        Ltree_obs.Recorder.note ~tick:now ~kind:"channel"
+          ~attrs:[ ("base_seq", string_of_int base) ]
+          "snapshot_sent";
       t.snap_base <- base)
 
 let step_snapshot t ~now =
@@ -322,6 +338,12 @@ let step_snapshot t ~now =
         t.backoff_ticks <- t.backoff_ticks + delay;
         Ltree_obs.Histogram.observe_int (backoff_hist ()) delay
       | Error reason ->
+        if Ltree_obs.Recorder.is_enabled () then
+          Ltree_obs.Recorder.note ~tick:now ~kind:"recovery"
+            ~attrs:
+              [ ("seq", string_of_int t.snap_base);
+                ("reason", Format.asprintf "%a" Backoff.pp_error reason) ]
+            "snapshot_send_failed";
         t.failed <- Some (Send_failed { seq = t.snap_base; reason }))
 
 let send_data t ~now ~seq payload =
@@ -329,7 +351,10 @@ let send_data t ~now ~seq payload =
     (Frame.encode
        (Frame.Data
           { epoch = Durable_doc.epoch t.store; hwm = t.chain_top; seq;
-            payload }));
+            trace = Ltree_obs.Causal.id_of ~seq ~payload; payload }));
+  (* First-wins stamping keeps the first send's tick on retransmits;
+     retries are attributed separately via [note_retry]. *)
+  Ltree_obs.Causal.stamp ~tick:now Ltree_obs.Causal.Ship ~seq ~payload;
   t.frames_sent <- t.frames_sent + 1
 
 let step_window t ~now ~acked =
@@ -356,6 +381,7 @@ let step_window t ~now ~acked =
           with
           | Ok delay ->
             send_data t ~now ~seq:!seq payload;
+            Ltree_obs.Causal.note_retry ~seq:!seq ~payload;
             fl.attempts <- fl.attempts + 1;
             fl.next_due <- now + delay;
             t.retries <- t.retries + 1;
@@ -367,6 +393,12 @@ let step_window t ~now ~acked =
                instead of burning the retry budget silently. *)
             t.force_handshake <- true
           | Error reason ->
+            if Ltree_obs.Recorder.is_enabled () then
+              Ltree_obs.Recorder.note ~tick:now ~kind:"recovery"
+                ~attrs:
+                  [ ("seq", string_of_int !seq);
+                    ("reason", Format.asprintf "%a" Backoff.pp_error reason) ]
+                "send_failed";
             t.failed <- Some (Send_failed { seq = !seq; reason }))));
     incr seq
   done
@@ -383,6 +415,10 @@ let step_handshake t ~now ~acked =
               chain = Hashtbl.find t.chains acked }));
     t.frames_sent <- t.frames_sent + 1;
     t.handshakes_sent <- t.handshakes_sent + 1;
+    if Ltree_obs.Recorder.is_enabled () then
+      Ltree_obs.Recorder.note ~tick:now ~kind:"channel"
+        ~attrs:[ ("seq", string_of_int acked) ]
+        "handshake_sent";
     t.force_handshake <- false;
     t.acked_progress <- 0
   end

@@ -7,6 +7,9 @@ module Span = Ltree_obs.Span
 module Histogram = Ltree_obs.Histogram
 module Registry = Ltree_obs.Registry
 module Accountant = Ltree_obs.Accountant
+module Recorder = Ltree_obs.Recorder
+module Causal = Ltree_obs.Causal
+module Telemetry = Ltree_obs.Telemetry
 
 let case = Alcotest.test_case
 
@@ -89,6 +92,7 @@ let ring_wraparound () =
     { Trace.name = string_of_int i;
       path = string_of_int i;
       depth = 0;
+      domain = 0;
       start = 0.;
       duration = 0.;
       deltas = [];
@@ -306,6 +310,206 @@ let instrumented_insert_accounting () =
   Alcotest.(check int) "span deltas account for all relabels"
     (Counters.relabels counters) total_delta
 
+(* Satellite: spans silently overwritten by a full ring must be counted
+   and exposed as a Prometheus counter. *)
+let trace_dropped_counter () =
+  Span.set_enabled true;
+  Span.set_capacity 4;
+  let before =
+    match Registry.find_counter "obs_trace_dropped_total" with
+    | Some c -> Registry.counter_value c
+    | None -> 0
+  in
+  for i = 1 to 10 do
+    Span.event (string_of_int i)
+  done;
+  Alcotest.(check int) "ring reports the overwrites" 6 (Span.dropped ());
+  (match Registry.find_counter "obs_trace_dropped_total" with
+   | None -> Alcotest.fail "obs_trace_dropped_total not registered"
+   | Some c ->
+     Alcotest.(check int) "counter tracks the overwrites" (before + 6)
+       (Registry.counter_value c));
+  let out = Registry.expose () in
+  Alcotest.(check bool) "counter exposed" true
+    (contains out "obs_trace_dropped_total");
+  Alcotest.(check bool) "typed as counter" true
+    (contains out "# TYPE obs_trace_dropped_total counter");
+  Span.set_capacity 1024
+
+(* Satellite: records from different domains must not interleave in the
+   flamegraph — self-time subtracts only same-domain children, and a
+   multi-domain trace gets per-domain sections. *)
+let flamegraph_domain_sections () =
+  let r ~domain ~path ~name ~depth ~duration =
+    { Trace.name; path; depth; domain; start = 0.; duration; deltas = [];
+      attrs = [] }
+  in
+  let d0 =
+    [ r ~domain:0 ~path:"op" ~name:"op" ~depth:0 ~duration:3e-6;
+      r ~domain:0 ~path:"op/leaf" ~name:"leaf" ~depth:1 ~duration:1e-6 ]
+  in
+  let solo = Trace.flamegraph d0 in
+  Alcotest.(check bool) "single-domain output has no section headers" false
+    (contains solo "domain");
+  let multi =
+    Trace.flamegraph
+      (d0
+      @ [ r ~domain:1 ~path:"op" ~name:"op" ~depth:0 ~duration:5e-6;
+          r ~domain:1 ~path:"op/leaf" ~name:"leaf" ~depth:1 ~duration:2e-6 ])
+  in
+  Alcotest.(check bool) "domain 0 section" true (contains multi "domain 0");
+  Alcotest.(check bool) "domain 1 section" true (contains multi "domain 1");
+  (* Domain 0's op self-time is 3-1=2.0us; domain 1's is 5-2=3.0us.  If
+     aggregation pooled across domains the sections would show pooled
+     values instead. *)
+  Alcotest.(check bool) "per-domain self time" true
+    (contains multi "2.0" && contains multi "3.0")
+
+let expose_json_golden () =
+  let reg = Registry.create () in
+  let h =
+    Registry.histogram ~registry:reg ~name:"demo_seconds"
+      ~help:"demo latencies" ~bounds:[| 1.; 2. |] ()
+  in
+  List.iter (Histogram.observe h) [ 0.5; 1.5; 9. ];
+  let c =
+    Registry.counter ~registry:reg ~name:"demo_total" ~help:"demo events" ()
+  in
+  Registry.counter_add c 7;
+  let expected =
+    "{\"histograms\":[{\"name\":\"demo_seconds\",\"help\":\"demo \
+     latencies\",\"count\":3,\"sum\":11.000000,\"buckets\":[{\"le\":\"1\",\
+     \"count\":1},{\"le\":\"2\",\"count\":2},{\"le\":\"+Inf\",\"count\":3}]\
+     }],\"counters\":[{\"name\":\"demo_total\",\"help\":\"demo \
+     events\",\"value\":7}],\"node\":\"a\"}"
+  in
+  let got = Registry.expose_json ~registry:reg ~extra:[ ("node", "\"a\"") ] ()
+  in
+  Alcotest.(check string) "json exposition golden" expected got;
+  match Trace.validate_json_line got with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "exposition is not valid JSON: %s" e
+
+let recorder_ring_and_bundle () =
+  Recorder.set_enabled true;
+  Recorder.set_capacity 4;
+  Recorder.set_tick 0;
+  Recorder.note ~kind:"fault" ~attrs:[ ("mode", "torn") ] "channel_inject";
+  Recorder.set_tick 9;
+  Recorder.note ~kind:"cell" "primary:P3/torn";
+  (match Recorder.events () with
+   | [ a; b ] ->
+     Alcotest.(check string) "kind" "fault" a.Recorder.kind;
+     Alcotest.(check int) "tick before set_tick" 0 a.Recorder.tick;
+     Alcotest.(check int) "tick follows set_tick" 9 b.Recorder.tick;
+     Alcotest.(check (list (pair string string)))
+       "attrs kept" [ ("mode", "torn") ] a.Recorder.attrs
+   | es -> Alcotest.failf "expected 2 events, got %d" (List.length es));
+  for i = 1 to 5 do
+    Recorder.note ~kind:"span" (string_of_int i)
+  done;
+  Alcotest.(check int) "ring clamps" 4 (List.length (Recorder.events ()));
+  Alcotest.(check int) "overwrites counted" 3 (Recorder.dropped ());
+  let data =
+    Recorder.dump ~reason:"test"
+      ~attrs:[ ("cell", "probe:divergence"); ("seed", "7") ]
+      ()
+  in
+  (match Recorder.validate data with
+   | Ok n ->
+     Alcotest.(check bool) "header + events + metrics + footer" true (n >= 7)
+   | Error e -> Alcotest.failf "bundle invalid: %s" e);
+  Alcotest.(check (option string))
+    "cell attr recoverable for --only replay" (Some "probe:divergence")
+    (Recorder.attr_of_bundle data "cell");
+  Alcotest.(check (option string)) "seed attr" (Some "7")
+    (Recorder.attr_of_bundle data "seed");
+  Alcotest.(check (option string)) "absent attr" None
+    (Recorder.attr_of_bundle data "nope");
+  (match Recorder.validate "not a bundle\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "garbage validated as a bundle");
+  Recorder.set_enabled false;
+  Recorder.note ~kind:"span" "ghost";
+  Recorder.set_enabled true;
+  Alcotest.(check int) "disabled note is a no-op" 4
+    (List.length (Recorder.events ()));
+  Recorder.set_capacity 2048
+
+let telemetry_sampler () =
+  let t = Telemetry.create ~capacity:4 () in
+  let v = ref 0. in
+  Telemetry.register ~t ~name:"g" ~help:"a gauge" (fun () -> !v);
+  for i = 1 to 6 do
+    v := float_of_int i;
+    Telemetry.sample ~t ~now:i ()
+  done;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "ring keeps the most recent capacity samples"
+    [ (3, 3.); (4, 4.); (5, 5.); (6, 6.) ]
+    (Telemetry.series ~t "g");
+  (match Telemetry.latest ~t "g" with
+   | Some (now, x) ->
+     Alcotest.(check int) "latest tick" 6 now;
+     Alcotest.(check (float 1e-9)) "latest value" 6. x
+   | None -> Alcotest.fail "no latest sample");
+  let exp = Telemetry.expose ~t () in
+  Alcotest.(check bool) "gauge typed" true (contains exp "# TYPE g gauge");
+  Alcotest.(check bool) "latest value exposed" true (contains exp "g 6");
+  let top = Telemetry.top ~t () in
+  Alcotest.(check bool) "dashboard row" true (contains top "g");
+  Alcotest.(check bool) "range column" true (contains top "3.00..6.00");
+  Telemetry.register ~t ~name:"g" ~help:"replaced" (fun () -> 0.);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "re-register drops old samples" [] (Telemetry.series ~t "g")
+
+let causal_ids_and_stamps () =
+  Causal.reset ();
+  (match Registry.find "repl_e2e_lag_ticks" with
+   | Some h -> Histogram.reset h
+   | None -> ());
+  Causal.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Causal.set_enabled false;
+      Causal.reset ())
+  @@ fun () ->
+  let payload = "I 12 0 <patch n=\"1\">p1</patch>" in
+  let id = Causal.id_of ~seq:3 ~payload in
+  Alcotest.(check bool) "id fits 32 bits" true (id >= 0 && id <= 0xffffffff);
+  Alcotest.(check (option int)) "hex round-trips" (Some id)
+    (Causal.id_of_hex (Causal.id_to_hex id));
+  Alcotest.(check bool) "payload-sensitive" true
+    (id <> Causal.id_of ~seq:3 ~payload:(payload ^ "x"));
+  Alcotest.(check bool) "seq-sensitive" true
+    (id <> Causal.id_of ~seq:4 ~payload);
+  Alcotest.(check (option int)) "junk hex rejected" None
+    (Causal.id_of_hex "xyz");
+  Causal.stamp ~tick:2 Causal.Append ~seq:3 ~payload;
+  Causal.stamp ~tick:4 Causal.Ship ~seq:3 ~payload;
+  Causal.stamp ~tick:9 Causal.Ship ~seq:3 ~payload;
+  Causal.note_retry ~seq:3 ~payload;
+  Causal.stamp ~tick:5 Causal.Deliver ~seq:3 ~payload;
+  Causal.stamp ~tick:6 Causal.Apply ~seq:3 ~payload;
+  Causal.stamp ~tick:7 Causal.Readable ~seq:3 ~payload;
+  (match Causal.records () with
+   | [ tr ] ->
+     Alcotest.(check int) "trace id" id tr.Causal.trace_id;
+     Alcotest.(check int) "seq" 3 tr.Causal.trace_seq;
+     Alcotest.(check int) "retry attributed" 1 tr.Causal.retries;
+     Alcotest.(check (option int)) "retransmit keeps the first ship tick"
+       (Some 4)
+       (Causal.stage_tick tr Causal.Ship);
+     Alcotest.(check (option int)) "readable tick" (Some 7)
+       (Causal.stage_tick tr Causal.Readable)
+   | rs -> Alcotest.failf "expected 1 trace, got %d" (List.length rs));
+  let wf = Causal.waterfall () in
+  Alcotest.(check bool) "waterfall row carries the id" true
+    (contains wf (Causal.id_to_hex id));
+  match Causal.check_waterfall () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
 let suite =
   ( "obs",
     [ case "span nesting" `Quick span_nesting;
@@ -319,4 +523,10 @@ let suite =
       case "accountant bound + storm" `Quick accountant_bound_and_storm;
       case "accountant partial windows" `Quick accountant_partial_windows;
       case "instrumented insert accounting" `Quick
-        instrumented_insert_accounting ] )
+        instrumented_insert_accounting;
+      case "trace dropped counter" `Quick trace_dropped_counter;
+      case "flamegraph domain sections" `Quick flamegraph_domain_sections;
+      case "expose_json golden" `Quick expose_json_golden;
+      case "recorder ring + bundle" `Quick recorder_ring_and_bundle;
+      case "telemetry sampler" `Quick telemetry_sampler;
+      case "causal ids + stamps" `Quick causal_ids_and_stamps ] )

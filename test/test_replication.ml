@@ -9,6 +9,7 @@ open Ltree_recovery
 open Ltree_replication
 module Labeled_doc = Ltree_doc.Labeled_doc
 module Parser = Ltree_xml.Parser
+module Causal = Ltree_obs.Causal
 
 let case = Alcotest.test_case
 
@@ -43,7 +44,10 @@ let script n =
 
 let frame_roundtrip () =
   let frames =
-    [ Frame.Data { epoch = 1; hwm = 9; seq = 4; payload = "I 12 0 <a b=\"c d\"/>" };
+    [ Frame.Data
+        { epoch = 1; hwm = 9; seq = 4;
+          trace = Causal.id_of ~seq:4 ~payload:"I 12 0 <a b=\"c d\"/>";
+          payload = "I 12 0 <a b=\"c d\"/>" };
       Frame.Snapshot
         { epoch = 2; base_seq = 7; chain = 0xDEADBEEF;
           data = "line1\nline2\\with\\slashes\n" };
@@ -65,7 +69,10 @@ let frame_roundtrip () =
 
 let frame_rejects_damage () =
   let line =
-    Frame.encode (Frame.Data { epoch = 1; hwm = 2; seq = 2; payload = "D 5" })
+    Frame.encode
+      (Frame.Data
+         { epoch = 1; hwm = 2; seq = 2;
+           trace = Causal.id_of ~seq:2 ~payload:"D 5"; payload = "D 5" })
   in
   let line = String.sub line 0 (String.length line - 1) in
   (* Flip one payload bit: CRC must catch it. *)
@@ -278,7 +285,10 @@ let stale_read_refused () =
   Alcotest.(check (option int)) "bootstrapped at 0" (Some 0)
     (Replica.applied_seq replica);
   Channel.send down ~now:2
-    (Frame.encode (Frame.Data { epoch = 1; hwm = 2; seq = 2; payload = p2 }));
+    (Frame.encode
+       (Frame.Data
+          { epoch = 1; hwm = 2; seq = 2;
+            trace = Causal.id_of ~seq:2 ~payload:p2; payload = p2 }));
   Replica.pump replica ~now:2;
   (match Replica.read ~max_lag:0 replica labels_of with
   | Error (Replica.Stale { lag; max_lag }) ->
@@ -292,7 +302,10 @@ let stale_read_refused () =
   | Error e -> Alcotest.failf "loose bound refused: %a" Replica.pp_error e);
   (* The missing record arrives; the stash drains; lag closes. *)
   Channel.send down ~now:3
-    (Frame.encode (Frame.Data { epoch = 1; hwm = 2; seq = 1; payload = p1 }));
+    (Frame.encode
+       (Frame.Data
+          { epoch = 1; hwm = 2; seq = 1;
+            trace = Causal.id_of ~seq:1 ~payload:p1; payload = p1 }));
   Replica.pump replica ~now:3;
   Alcotest.(check (option int)) "caught up" (Some 2)
     (Replica.applied_seq replica);
@@ -450,6 +463,167 @@ let matrix_cell_names () =
       ("store:P12/torn", false);
       ("P12/torn", false) ]
 
+(* {1 Causal tracing} *)
+
+(* Satellite: the trace id must round-trip through Frame under every
+   channel fault mode — damage surfaces as a typed frame error or an
+   intact frame, never as a decoded Data frame whose trace id disagrees
+   with its own (seq, payload).  A wrong causal parent is therefore
+   impossible at the decode layer. *)
+let trace_id_survives_channel_damage () =
+  let payload = "I 7 0 <patch n=\"1\">p1</patch>" in
+  let seq = 7 in
+  let trace = Causal.id_of ~seq ~payload in
+  let line = Frame.encode (Frame.Data { epoch = 1; hwm = 9; seq; trace; payload }) in
+  let body = String.sub line 0 (String.length line - 1) in
+  let rejected = ref 0 in
+  let check_never_wrong what r =
+    match r with
+    | Ok (Frame.Data d) ->
+      Alcotest.(check bool)
+        (what ^ ": decoded trace consistent with content") true
+        (d.trace = Causal.id_of ~seq:d.seq ~payload:d.payload)
+    | Ok _ -> ()
+    | Error _ -> incr rejected
+  in
+  List.iter
+    (fun (mode : Fault.mode) ->
+      match mode with
+      | Fault.Clean ->
+        (* the channel drops the chunk whole; nothing reaches the
+           decoder *)
+        ()
+      | Fault.Torn | Fault.Short_read ->
+        (* every possible prefix: a torn chunk, or a short read whose
+           remainder never arrives *)
+        for cut = 0 to String.length body - 1 do
+          check_never_wrong (Fault.mode_name mode)
+            (Frame.decode (String.sub body 0 cut))
+        done
+      | Fault.Flip ->
+        for i = 0 to String.length body - 1 do
+          for bit = 0 to 7 do
+            let b = Bytes.of_string body in
+            Bytes.set b i
+              (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+            check_never_wrong "flip" (Frame.decode (Bytes.to_string b))
+          done
+        done
+      | Fault.Delay ->
+        (* delivered late but intact: decodes to the exact frame *)
+        (match Frame.decode body with
+         | Ok (Frame.Data d) ->
+           Alcotest.(check int) "delayed frame keeps its id" trace d.trace
+         | Ok _ | Error _ -> Alcotest.fail "intact frame failed to decode"))
+    Fault.channel_modes;
+  Alcotest.(check bool) "damage was actually rejected somewhere" true
+    (!rejected > 0)
+
+(* A frame whose CRC is valid but whose trace id disagrees with its
+   (seq, payload) — a shipper bug or forgery, not line noise — must be
+   dropped as a bad frame, never applied. *)
+let wrong_trace_id_rejected () =
+  let sim = Fault.create_sim () in
+  let io = Fault.sim_io sim in
+  ignore (Durable_doc.initialize ~io ~dir:"p" (make_ldoc ()));
+  let snapshot_bytes = Option.get (io.Fault.read_file "p/snapshot") in
+  let anchor = Chain.anchor snapshot_bytes in
+  let ops, _ = script 1 in
+  let p1 = Journal.entry_to_line (List.hd ops) in
+  let rsim = Fault.create_sim () in
+  let down = Channel.create () and up = Channel.create () in
+  let replica =
+    Replica.create ~io:(Fault.sim_io rsim) ~dir:"r" ~inbox:down ~outbox:up ()
+  in
+  Channel.send down ~now:1
+    (Frame.encode
+       (Frame.Snapshot
+          { epoch = 1; base_seq = 0; chain = anchor; data = snapshot_bytes }));
+  Replica.pump replica ~now:1;
+  let bad_before = (Replica.stats replica).Replica.bad_frames in
+  Channel.send down ~now:2
+    (Frame.encode
+       (Frame.Data
+          { epoch = 1; hwm = 1; seq = 1;
+            trace = Causal.id_of ~seq:1 ~payload:p1 lxor 1; payload = p1 }));
+  Replica.pump replica ~now:2;
+  Alcotest.(check (option int)) "forged frame not applied" (Some 0)
+    (Replica.applied_seq replica);
+  Alcotest.(check int) "counted as a bad frame" (bad_before + 1)
+    (Replica.stats replica).Replica.bad_frames;
+  (* The honest retransmit applies cleanly. *)
+  Channel.send down ~now:3
+    (Frame.encode
+       (Frame.Data
+          { epoch = 1; hwm = 1; seq = 1;
+            trace = Causal.id_of ~seq:1 ~payload:p1; payload = p1 }));
+  Replica.pump replica ~now:3;
+  Alcotest.(check (option int)) "honest frame applied" (Some 1)
+    (Replica.applied_seq replica)
+
+(* Tentpole acceptance: drive a noisy session with tracing on; the
+   per-record waterfall's stage durations must telescope to exactly the
+   end-to-end lag histogram (within one virtual-clock tick), and retries
+   must be attributed to records. *)
+let causal_waterfall_e2e () =
+  Causal.reset ();
+  (match Ltree_obs.Registry.find "repl_e2e_lag_ticks" with
+   | Some h -> Ltree_obs.Histogram.reset h
+   | None -> ());
+  Causal.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Causal.set_enabled false;
+      Causal.reset ())
+  @@ fun () ->
+  let noisy seed =
+    { Channel.ideal with
+      seed;
+      noise_every = 3;
+      noise_modes = Fault.channel_modes }
+  in
+  let config =
+    { Session.default_config with
+      down_plan = noisy 11;
+      up_plan = noisy 12;
+      attach_pumps = 128 }
+  in
+  let session, oracle, _, _ = session_over ~config 20 in
+  Alcotest.(check bool) "caught up under noise" true
+    (Session.quiesce ~max_pumps:2048 session);
+  (match Replica.read (Session.replica session) labels_of with
+   | Ok labels ->
+     Alcotest.(check (list int)) "bit-identical" (labels_of oracle) labels
+   | Error e -> Alcotest.failf "read refused: %a" Replica.pp_error e);
+  let records = Causal.records () in
+  Alcotest.(check bool) "every scripted record traced" true
+    (List.length records >= 20);
+  List.iter
+    (fun tr ->
+      let pairs =
+        [ (Causal.Append, Causal.Ship); (Causal.Ship, Causal.Deliver);
+          (Causal.Deliver, Causal.Apply); (Causal.Apply, Causal.Readable) ]
+      in
+      List.iter
+        (fun (a, b) ->
+          match (Causal.stage_tick tr a, Causal.stage_tick tr b) with
+          | Some ta, Some tb ->
+            Alcotest.(check bool)
+              (Printf.sprintf "seq %d: %s <= %s" tr.Causal.trace_seq
+                 (Causal.stage_name a) (Causal.stage_name b))
+              true (ta <= tb)
+          | _ -> ())
+        pairs)
+    records;
+  Alcotest.(check bool) "noise attributed retries to records" true
+    (List.exists (fun tr -> tr.Causal.retries > 0) records);
+  (match Causal.check_waterfall () with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  let wf = Causal.waterfall () in
+  Alcotest.(check bool) "waterfall renders a row per record" true
+    (List.length (String.split_on_char '\n' wf) > 20)
+
 let suite =
   ( "replication",
     [ case "frame round trip" `Quick frame_roundtrip;
@@ -470,5 +644,9 @@ let suite =
       case "failover promotes survivor" `Quick failover_promotes;
       case "replica reattaches after crash" `Quick replica_reattach_after_crash;
       case "matrix cell names round-trip" `Quick matrix_cell_names;
-      case "replica matrix smoke" `Quick matrix_smoke
+      case "replica matrix smoke" `Quick matrix_smoke;
+      case "trace id survives channel damage" `Quick
+        trace_id_survives_channel_damage;
+      case "wrong trace id rejected" `Quick wrong_trace_id_rejected;
+      case "causal waterfall end-to-end" `Quick causal_waterfall_e2e
     ] )

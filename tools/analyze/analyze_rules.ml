@@ -104,6 +104,14 @@ let default_config =
           "the process-wide trace ring is the R7-allowlisted global; \
            every access runs under ring_mu; audited in DESIGN.md \
            section 10" );
+        ( "Ltree_obs.Recorder.*",
+          "the flight-recorder event ring is the R7-allowlisted \
+           [default] global; every access runs under its [mu] via the \
+           [locked] helper; audited in DESIGN.md section 10" );
+        ( "Ltree_obs.Causal.*",
+          "the causal-trace table is the R7-allowlisted [state] \
+           global; every access runs under [state.mu] via the [locked] \
+           helper; audited in DESIGN.md section 10" );
       ];
     hot_attr = "ltree.hot";
     cold_attr = "ltree.cold";

@@ -30,6 +30,7 @@ module Accountant = Ltree_obs.Accountant
 module Pool = Ltree_exec.Pool
 module Read_snapshot = Ltree_exec.Read_snapshot
 module Par_query = Ltree_exec.Par_query
+module Sharded_doc = Ltree_shard.Sharded_doc
 
 type t = {
   params : Params.t;
@@ -45,6 +46,9 @@ type t = {
   mutable snapshot : string;
   sim : Fault.sim;  (* the durable twin's simulated disk *)
   durable : Durable_doc.t;  (* crash-safe replica fed the same entries *)
+  sharded : Sharded_doc.t;
+      (* K-shard twin fed the same entries; shard.plans-agree compares
+         its fan-out plans against its own unsharded reference store *)
   mt : Ltree.t;
   vt : Virtual_ltree.t;
   mutable mh : Ltree.leaf list;  (* newest first *)
@@ -250,6 +254,99 @@ let register_invariants t =
               got.(i)
               (Query.label_descendants t.pager t.store ~anc ~desc))
           batch));
+  (* Sharded fan-out plans must stay byte-identical to the same plans
+     over the router twin's single unsharded store — at the harness's
+     pool size, across rebalances (the checkpoint op may split a
+     shard), and under label-window restriction (windows are chosen to
+     straddle shard boundaries). *)
+  (match t.pool with
+  | None -> ()
+  | Some pool ->
+    Invariant.register reg ~name:"shard.plans-agree" ~depth:Invariant.Deep
+      (fun () ->
+        let sd = t.sharded in
+        let tags =
+          Hashtbl.fold
+            (fun tag _ acc -> tag :: acc)
+            t.store.Shredder.label_by_tag []
+          |> List.sort String.compare
+        in
+        let check name got want =
+          if not (List.equal Int.equal got want) then
+            Invariant.fail ~name:"shard.plans-agree"
+              "%s: sharded plan found %d ids, unsharded %d (or a \
+               different order)"
+              name (List.length got) (List.length want)
+        in
+        let windows =
+          match
+            List.map snd (Labeled_doc.labeled_events (Sharded_doc.router sd))
+          with
+          | [] -> [ None ]
+          | labels ->
+            let lo = List.hd labels
+            and hi = List.nth labels (List.length labels - 1)
+            and mid = List.nth labels (List.length labels / 2) in
+            [ None; Some (lo, mid); Some (mid + 1, hi) ]
+        in
+        List.iter
+          (fun anc ->
+            List.iter
+              (fun desc ->
+                check
+                  (Printf.sprintf "shard:%s//%s" anc desc)
+                  (Sharded_doc.descendants sd pool ~anc ~desc)
+                  (Sharded_doc.unsharded_descendants sd pool ~anc ~desc);
+                check
+                  (Printf.sprintf "shard:%s/%s" anc desc)
+                  (Sharded_doc.children sd pool ~parent:anc ~child:desc)
+                  (Sharded_doc.unsharded_children sd pool ~parent:anc
+                     ~child:desc);
+                check
+                  (Printf.sprintf "shard-inl:%s//%s" anc desc)
+                  (Sharded_doc.descendants_inl sd pool ~anc ~desc)
+                  (Sharded_doc.unsharded_descendants_inl sd pool ~anc
+                     ~desc))
+              tags)
+          tags;
+        (* Windowed plans on a few tag pairs: the windows straddle
+           shard boundaries, so routing must both prune shards and
+           keep boundary-crossing answers exact. *)
+        (match tags with
+        | a :: b :: _ ->
+          List.iter
+            (fun within ->
+              let wname =
+                match within with
+                | None -> "full"
+                | Some (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi
+              in
+              check
+                (Printf.sprintf "shard:%s//%s within %s" a b wname)
+                (Sharded_doc.descendants ?within sd pool ~anc:a ~desc:b)
+                (Sharded_doc.unsharded_descendants ?within sd pool ~anc:a
+                   ~desc:b))
+            windows
+        | _ -> ());
+        (match tags with
+        | a :: b :: c :: _ ->
+          check
+            (Printf.sprintf "shard:%s//%s//%s" a b c)
+            (Sharded_doc.path sd pool [ a; b; c ])
+            (Sharded_doc.unsharded_path sd pool [ a; b; c ])
+        | _ -> ());
+        let batch =
+          Array.of_list
+            (List.concat_map (fun a -> List.map (fun d -> (a, d)) tags) tags)
+        in
+        let got = Sharded_doc.descendants_batch sd pool batch in
+        let want = Sharded_doc.unsharded_descendants_batch sd pool batch in
+        Array.iteri
+          (fun i (anc, desc) ->
+            check
+              (Printf.sprintf "shard-batch:%s//%s" anc desc)
+              got.(i) want.(i))
+          batch));
   Invariant.register reg ~name:"recovery.roundtrip" ~depth:Invariant.Deep
     (fun () ->
       let recovered = Snapshot.load t.snapshot in
@@ -303,12 +400,15 @@ let create ?(params = Params.make ~f:8 ~s:2) ?pool ~seed ~make_doc () =
     Durable_doc.initialize ~io:(Fault.sim_io sim) ~dir:"store"
       (Labeled_doc.of_document ~params (make_doc ()))
   in
+  (* The sharded twin re-labels its own replica too, so the same
+     begin-tag anchors address the same nodes through its router. *)
+  let sharded = Sharded_doc.create ~params ~shards:3 (make_doc ()) in
   let mt, ml = Ltree.bulk_load ~params 64 in
   let vt, vl = Virtual_ltree.bulk_load ~params 64 in
   let t =
     {
       params; seed; doc; root; ldoc; engine; pager; store; sync; journal;
-      sim; durable;
+      sim; durable; sharded;
       snapshot = Snapshot.save ldoc;
       mt; vt;
       mh = Array.to_list ml;
@@ -385,7 +485,8 @@ let exec t line =
         let node = pick es (int_arg i) in
         let anchor = (Labeled_doc.label t.ldoc node).Labeled_doc.start_pos in
         Journal.delete_subtree t.journal t.ldoc node;
-        Durable_doc.apply t.durable (Journal.Delete { anchor }))
+        Durable_doc.apply t.durable (Journal.Delete { anchor });
+        Sharded_doc.apply t.sharded (Journal.Delete { anchor }))
     | "doc-text", [ i ] -> (
       match live_texts t with
       | [] -> ()
@@ -394,6 +495,8 @@ let exec t line =
         let anchor = (Labeled_doc.label t.ldoc node).Labeled_doc.start_pos in
         Journal.set_text t.journal t.ldoc node "selfcheck edit";
         Durable_doc.apply t.durable
+          (Journal.Set_text { anchor; text = "selfcheck edit" });
+        Sharded_doc.apply t.sharded
           (Journal.Set_text { anchor; text = "selfcheck edit" }))
     | "doc-ins", [ i; c ] -> (
       match live_elements t with
@@ -410,11 +513,16 @@ let exec t line =
         in
         Journal.insert_subtree t.journal t.ldoc ~parent ~index
           (Parser.parse_fragment xml);
-        Durable_doc.apply t.durable (Journal.Insert { anchor; index; xml }))
+        Durable_doc.apply t.durable (Journal.Insert { anchor; index; xml });
+        Sharded_doc.apply t.sharded (Journal.Insert { anchor; index; xml }))
     | "checkpoint", _ ->
       t.snapshot <- Snapshot.save t.ldoc;
       Journal.clear t.journal;
-      Durable_doc.checkpoint t.durable
+      Durable_doc.checkpoint t.durable;
+      Sharded_doc.checkpoint t.sharded;
+      (* Density may have drifted; a split here proves the plans stay
+         exact across a live rebalance. *)
+      ignore (Sharded_doc.maybe_rebalance t.sharded : bool)
     | _, _ -> ())
 
 let apply t line =

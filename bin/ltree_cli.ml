@@ -883,6 +883,121 @@ let crash_matrix_cmd =
           $ ckpt_arg $ only_arg $ replica_arg $ inject_cell_arg
           $ bundle_arg $ domains_arg)
 
+(* shard-matrix *)
+
+let shard_matrix_cmd =
+  let module SM = Ltree_shard.Shard_matrix in
+  let module F = Ltree_recovery.Fault in
+  let ops_arg =
+    Arg.(value & opt int SM.default_config.SM.ops & info [ "ops" ]
+           ~docv:"OPS" ~doc:"Length of the seeded global operation script.")
+  in
+  let seed_arg =
+    Arg.(value & opt int SM.default_config.SM.seed & info [ "seed" ]
+           ~docv:"SEED"
+           ~doc:"Seed for the script and every injection choice.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int SM.default_config.SM.doc_nodes & info [ "nodes" ]
+           ~docv:"N" ~doc:"Target size of the base document.")
+  in
+  let shards_arg =
+    Arg.(value & opt int SM.default_config.SM.shards & info [ "shards" ]
+           ~docv:"K" ~doc:"Number of subtree shards.")
+  in
+  let group_arg =
+    Arg.(value & opt int SM.default_config.SM.group_commit
+         & info [ "group-commit" ] ~docv:"G"
+             ~doc:"Journal records batched per fsync, per shard.")
+  in
+  let ckpt_arg =
+    Arg.(value & opt int SM.default_config.SM.checkpoint_every
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:"Global operations between all-shard snapshot rotations.")
+  in
+  let only_arg =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"CELL"
+           ~doc:"Rerun a single cell named as in the failure output, \
+                 e.g. $(b,S1/P37/torn).")
+  in
+  let run ops seed nodes shards group_commit checkpoint_every only domains =
+    with_domains domains @@ fun pool ->
+    let only =
+      match only with
+      | None -> None
+      | Some s -> (
+        match SM.parse_cell s with
+        | Some cell -> Some cell
+        | None ->
+          Printf.eprintf "cannot parse --only %S (expected e.g. S1/P37/torn)\n"
+            s;
+          exit 2)
+    in
+    let last = ref 0 in
+    let progress ~done_cells ~total =
+      let decile = done_cells * 10 / total in
+      if decile > !last then begin
+        last := decile;
+        Printf.printf "  ...%d%% (%d/%d cells)\n%!" (decile * 10) done_cells
+          total
+      end
+    in
+    let config =
+      { SM.seed; ops; doc_nodes = nodes; shards; group_commit;
+        checkpoint_every }
+    in
+    Printf.printf
+      "shard crash matrix: %d shards, %d ops, doc ~%d nodes, group commit \
+       %d, checkpoint every %d, seed %d, %d domain(s)\n%!"
+      shards ops nodes group_commit checkpoint_every seed (max 1 domains);
+    let s = SM.run ?pool ?only ~progress config in
+    Array.iteri
+      (fun j total ->
+        Printf.printf "  shard %d: %d write points (%d init-phase)\n" j total
+          s.SM.init_points.(j))
+      s.SM.total_points;
+    Printf.printf "swept %d cells across %d modes\n"
+      (List.length s.SM.cells)
+      (List.length F.all_modes);
+    let recovered, unrecoverable =
+      List.partition
+        (fun c -> match c.SM.outcome with
+           | SM.Recovered _ -> true
+           | SM.Unrecoverable _ -> false)
+        s.SM.cells
+    in
+    Printf.printf "recovered: %d cells; pre-first-checkpoint losses: %d\n"
+      (List.length recovered)
+      (List.length unrecoverable);
+    if s.SM.failed_cells = 0 then
+      Printf.printf "shard matrix clean: all %d cells verified\n"
+        (List.length s.SM.cells)
+    else begin
+      Printf.printf "FAIL: %d cells failed verification\n" s.SM.failed_cells;
+      List.iter
+        (fun c ->
+          match c.SM.failures with
+          | [] -> ()
+          | failures ->
+            Printf.printf "  cell %s:\n" (SM.cell_name c);
+            List.iter (fun f -> Printf.printf "    %s\n" f) failures;
+            Printf.printf
+              "    rerun: ltree shard-matrix --only %s --ops %d --shards %d \
+               --seed %d\n"
+              (SM.cell_name c) ops shards seed)
+        s.SM.cells;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "shard-matrix"
+       ~doc:"Crash exactly one subtree shard's store at every one of its \
+             write points in every corruption mode, recover that shard \
+             alone, and verify the recovered shard, its live siblings and \
+             the router against bit-exact oracles.")
+    Term.(const run $ ops_arg $ seed_arg $ nodes_arg $ shards_arg
+          $ group_arg $ ckpt_arg $ only_arg $ domains_arg)
+
 (* trace / metrics: the observability front ends.  Both replay the same
    deterministic harness workload `ltree check` uses — it exercises the
    L-Tree twins, the labeled document, the synced relational store and
@@ -1374,5 +1489,6 @@ let () =
        (Cmd.group info
           [ generate_cmd; label_cmd; query_cmd; compare_cmd; tune_cmd;
             bench_cmd; snapshot_cmd; restore_cmd; check_cmd;
-            crash_matrix_cmd; replicate_cmd; shell_cmd; trace_cmd;
+            crash_matrix_cmd; shard_matrix_cmd; replicate_cmd; shell_cmd;
+            trace_cmd;
             metrics_cmd; bundle_cmd; top_cmd ]))

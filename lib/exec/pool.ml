@@ -25,10 +25,13 @@ type job = {
   j_id : int;
   j_hi : int;
   j_chunk : int;
-  j_claim : int;             (* indices claimed per cursor bump: K chunks *)
+  j_k : int Atomic.t;        (* chunks claimed per cursor bump — adaptive *)
   j_next : int Atomic.t;     (* next un-claimed span start *)
   j_pending : int Atomic.t;  (* chunks not yet finished *)
   j_claims : int Atomic.t;   (* claim (fetch_and_add) operations issued *)
+  j_adapts : int Atomic.t;   (* times the claim size was halved (skew) *)
+  j_span_us : int Atomic.t;  (* wall time of completed spans, microseconds *)
+  j_spans : int Atomic.t;    (* completed spans *)
   j_body : int -> int -> unit;
   mutable j_failure : exn option;  (* first failure wins; guarded by [mu] *)
 }
@@ -48,6 +51,7 @@ type t = {
   mutable inline_jobs : int;
   mutable tasks : int;
   mutable claims : int;
+  mutable adapts : int;
   worker_tasks : int array;  (* per participant; slot 0 = submitter *)
 }
 
@@ -57,21 +61,57 @@ type stats = {
   serial_jobs : int;
   chunk_tasks : int;
   claim_ops : int;
+  claim_adaptations : int;
   per_worker : int array;
 }
 
+(* A span must run this long (µs) before it may count as "dominating":
+   the skew detector compares span wall times, and without an absolute
+   floor the sub-µs jitter of trivially fast spans (mean rounding to 0)
+   would read as domination and thrash the claim size. *)
+let adapt_floor_us = 1000
+
+(* Halve the job's claim size once: a participant discovered that its
+   span dominates wall time, so future claims should be finer-grained
+   and the tail can rebalance across the other participants. *)
+let halve_claim job =
+  let cur = Atomic.get job.j_k in
+  if cur > 1 && Atomic.compare_and_set job.j_k cur (max 1 (cur / 2)) then
+    Atomic.incr job.j_adapts
+
+(* [elapsed] µs into a span: does it dominate the completed spans'
+   mean?  Only meaningful once at least one other span has finished. *)
+let span_dominates job elapsed_us =
+  elapsed_us > adapt_floor_us
+  &&
+  let spans = Atomic.get job.j_spans in
+  spans > 0 && elapsed_us > 2 * (Atomic.get job.j_span_us / spans)
+
 (* Run chunks of [job] until the claim cursor is exhausted.  Called by
    the submitter (slot 0) and by any worker that saw the job.  Each
-   cursor bump claims a span of [j_claim] indices — K whole chunks —
-   and the span is then run chunk by chunk on aligned boundaries, so
-   bodies still see exactly the chunk grid the submitter described
-   while paying 1/K of the atomic traffic. *)
+   cursor bump claims a span of [j_k * j_chunk] indices — K whole
+   chunks — and the span is then run chunk by chunk on aligned
+   boundaries, so bodies still see exactly the chunk grid the submitter
+   described while paying 1/K of the atomic traffic.
+
+   K is adaptive: spans are wall-timed (only while K > 1), and a
+   participant whose span dominates the completed-span mean halves the
+   shared K — the fixed nchunks/(4·pool) batching regresses skewed
+   workloads where one chunk holds all the hot rows, so once skew shows
+   up the remaining range is claimed at finer grain.  The halving is
+   checked between chunks (mid-span, so the straggler shrinks claims
+   while it is still running) and once more at span end. *)
 let run_chunks t job ~slot =
   let rec loop () =
-    let start = Atomic.fetch_and_add job.j_next job.j_claim in
+    let k = Atomic.get job.j_k in
+    let claim = k * job.j_chunk in
+    let start = Atomic.fetch_and_add job.j_next claim in
     if start < job.j_hi then begin
       Atomic.incr job.j_claims;
-      let span_stop = min job.j_hi (start + job.j_claim) in
+      let span_stop = min job.j_hi (start + claim) in
+      let timed = k > 1 in
+      let t0 = if timed then Unix.gettimeofday () else 0.0 in
+      let halved = ref false in
       let pos = ref start in
       let ran = ref 0 in
       while !pos < span_stop do
@@ -88,8 +128,23 @@ let run_chunks t job ~slot =
             Mutex.unlock t.mu));
         t.worker_tasks.(slot) <- t.worker_tasks.(slot) + 1;
         incr ran;
-        pos := !pos + job.j_chunk
+        pos := !pos + job.j_chunk;
+        if timed && not !halved && !pos < span_stop then begin
+          let us =
+            int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+          in
+          if span_dominates job us then begin
+            halve_claim job;
+            halved := true
+          end
+        end
       done;
+      if timed then begin
+        let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        if (not !halved) && span_dominates job us then halve_claim job;
+        ignore (Atomic.fetch_and_add job.j_span_us us);
+        Atomic.incr job.j_spans
+      end;
       let left = Atomic.fetch_and_add job.j_pending (- !ran) - !ran in
       if left = 0 then begin
         Mutex.lock t.mu;
@@ -138,6 +193,7 @@ let create ~size =
       inline_jobs = 0;
       tasks = 0;
       claims = 0;
+      adapts = 0;
       worker_tasks = Array.make size 0 }
   in
   t.domains <-
@@ -174,6 +230,7 @@ let stats t =
       serial_jobs = t.inline_jobs;
       chunk_tasks = t.tasks;
       claim_ops = t.claims;
+      claim_adaptations = t.adapts;
       per_worker = Array.copy t.worker_tasks }
   in
   Mutex.unlock t.mu;
@@ -205,18 +262,25 @@ let claims_hist () =
     ~bounds:(Ltree_obs.Histogram.log2_bounds ~start:1. ~count:12)
     ()
 
-let note_job t ~nchunks ~caller_chunks ~claims =
+let adapts_counter () =
+  Ltree_obs.Registry.counter ~name:"exec_pool_claim_adaptations"
+    ~help:"claim-size halvings triggered by a wall-time-dominating span"
+    ()
+
+let note_job t ~nchunks ~caller_chunks ~claims ~adapts =
   Mutex.lock t.mu;
   t.jobs <- t.jobs + 1;
   t.tasks <- t.tasks + nchunks;
   t.claims <- t.claims + claims;
+  t.adapts <- t.adapts + adapts;
   Mutex.unlock t.mu;
   let stolen = nchunks - caller_chunks in
   Ltree_obs.Histogram.observe_int (tasks_hist ()) nchunks;
   Ltree_obs.Histogram.observe_int (stolen_hist ()) stolen;
   Ltree_obs.Histogram.observe (share_hist ())
     (float_of_int stolen /. float_of_int nchunks);
-  Ltree_obs.Histogram.observe_int (claims_hist ()) claims
+  Ltree_obs.Histogram.observe_int (claims_hist ()) claims;
+  Ltree_obs.Registry.counter_add (adapts_counter ()) adapts
 
 let serial_run t body lo hi =
   Mutex.lock t.mu;
@@ -258,10 +322,13 @@ let parallel_for ?chunk t ~lo ~hi body =
             { j_id = t.next_job_id;
               j_hi = hi;
               j_chunk = chunk;
-              j_claim = k * chunk;
+              j_k = Atomic.make k;
               j_next = Atomic.make lo;
               j_pending = Atomic.make nchunks;
               j_claims = Atomic.make 0;
+              j_adapts = Atomic.make 0;
+              j_span_us = Atomic.make 0;
+              j_spans = Atomic.make 0;
               j_body = body;
               j_failure = None }
           in
@@ -278,7 +345,8 @@ let parallel_for ?chunk t ~lo ~hi body =
           Mutex.unlock t.mu;
           note_job t ~nchunks
             ~caller_chunks:(t.worker_tasks.(0) - caller_before)
-            ~claims:(Atomic.get job.j_claims);
+            ~claims:(Atomic.get job.j_claims)
+            ~adapts:(Atomic.get job.j_adapts);
           (match job.j_failure with Some e -> raise e | None -> ())
     end
   end

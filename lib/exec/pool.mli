@@ -33,6 +33,12 @@ type stats = {
           [claim_ops] over [parallel_jobs] — also the
           [exec_pool_claims_per_job] histogram — measures how well the
           batching amortizes cursor contention. *)
+  claim_adaptations : int;
+      (** claim-size halvings triggered by skew detection: a span whose
+          wall time dominates the job's running mean (and exceeds an
+          absolute floor) halves the job's chunks-per-claim so the
+          remaining hot chunks rebalance across workers.  Also exposed
+          as the [exec_pool_claim_adaptations] counter. *)
   per_worker : int array;
 }
 

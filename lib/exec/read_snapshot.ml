@@ -41,7 +41,25 @@ type t = {
   src : source;
 }
 
-exception Stale of string
+(* The full staleness evidence: both stamps the snapshot froze and both
+   live values, so a handler (or the flight recorder) can tell a tree
+   mutation (version moved) from an index rebuild/repair (generation
+   moved) without re-deriving either. *)
+type staleness = {
+  stale_snap_version : int;
+  stale_snap_generation : int;
+  stale_live_version : int;
+  stale_live_generation : int;
+}
+
+exception Stale of staleness
+
+let staleness_to_string s =
+  Printf.sprintf
+    "snapshot stamped version=%d generation=%d but live is version=%d \
+     generation=%d"
+    s.stale_snap_version s.stale_snap_generation s.stale_live_version
+    s.stale_live_generation
 
 let empty_slice =
   { s_starts = Column.create ~capacity:1 ();
@@ -135,16 +153,30 @@ let[@ltree.hot] is_fresh t =
   t.snap_version = Ltree_doc.Labeled_doc.version t.src.src_doc
   && t.snap_generation = Label_index.generation t.src.src_store.Shredder.label_index
 
+(* The refusal path allocates (payload record, recorder attrs) — cold
+   by definition: it fires once per stale snapshot, not per query. *)
+let[@ltree.cold] refuse t live_v live_g =
+  let s =
+    { stale_snap_version = t.snap_version;
+      stale_snap_generation = t.snap_generation;
+      stale_live_version = live_v;
+      stale_live_generation = live_g }
+  in
+  if Ltree_obs.Recorder.is_enabled () then
+    Ltree_obs.Recorder.note ~kind:"exec"
+      ~attrs:
+        [ ("snap_version", string_of_int s.stale_snap_version);
+          ("snap_generation", string_of_int s.stale_snap_generation);
+          ("live_version", string_of_int s.stale_live_version);
+          ("live_generation", string_of_int s.stale_live_generation) ]
+      "snapshot_stale";
+  raise (Stale s)
+
 let[@ltree.hot] ensure_fresh t =
   let live_v = Ltree_doc.Labeled_doc.version t.src.src_doc in
   let live_g = Label_index.generation t.src.src_store.Shredder.label_index in
   if t.snap_version <> live_v || t.snap_generation <> live_g then
-    raise
-      (Stale
-         (Printf.sprintf
-            "snapshot stamped version=%d generation=%d but live is \
-             version=%d generation=%d"
-            t.snap_version t.snap_generation live_v live_g))
+    (refuse t live_v live_g [@ltree.cold])
 
 let refresh t =
   if is_fresh t then t

@@ -31,7 +31,22 @@ type slice = {
   s_stamp : int;
 }
 
-exception Stale of string
+(** Why a snapshot was refused: the stamps it froze against both live
+    values at refusal time.  A moved [version] means the tree mutated; a
+    moved [generation] means the per-tag index was rebuilt or repaired —
+    the payload distinguishes the two so handlers (and the recorder
+    event [snapshot_stale]) need not re-derive which side diverged. *)
+type staleness = {
+  stale_snap_version : int;
+  stale_snap_generation : int;
+  stale_live_version : int;
+  stale_live_generation : int;
+}
+
+exception Stale of staleness
+
+(** Render a {!staleness} the way the old string payload read. *)
+val staleness_to_string : staleness -> string
 
 (** [of_store ?prev pager store doc] freezes every tag currently in the
     store.  With [?prev], slices of tags whose index entry is unchanged
@@ -66,8 +81,11 @@ val entry_of_slice : slice -> Ltree_relstore.Label_index.entry
 
 val is_fresh : t -> bool
 
-(** [ensure_fresh t] raises {!Stale} if the live document version or
-    index generation moved since the freeze. *)
+(** [ensure_fresh t] raises {!Stale} — carrying both frozen and live
+    stamps — if the live document version or index generation moved
+    since the freeze.  When the flight recorder is enabled, the refusal
+    is also noted as an [exec]/[snapshot_stale] event with the same
+    four stamps. *)
 val ensure_fresh : t -> unit
 
 (** [refresh t] is [t] if still fresh, else a new snapshot of the same

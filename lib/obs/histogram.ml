@@ -11,6 +11,9 @@ module Stats = Ltree_metrics.Stats
 type t = {
   name : string;
   help : string;
+  labels : (string * string) list;
+      (* sorted by key; a labeled histogram is one series of the metric
+         [name] — the registry keys instances by name + labels *)
   bounds : float array;  (* strictly increasing upper bounds *)
   counts : int array;    (* length bounds + 1; last slot is +Inf *)
   mutable stats : Stats.t;
@@ -25,15 +28,21 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let create ~name ~help ~bounds =
+let create ~name ~help ?(labels = []) ~bounds () =
   let n = Array.length bounds in
   if n = 0 then invalid_arg "Histogram.create: no bounds";
   for i = 1 to n - 1 do
     if Float.compare bounds.(i - 1) bounds.(i) >= 0 then
       invalid_arg "Histogram.create: bounds must be strictly increasing"
   done;
+  List.iter
+    (fun (k, _) ->
+      if String.length k = 0 || String.equal k "le" then
+        invalid_arg "Histogram.create: invalid label key")
+    labels;
   { name;
     help;
+    labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels;
     bounds = Array.copy bounds;
     counts = Array.make (n + 1) 0;
     stats = Stats.create ();
@@ -41,6 +50,7 @@ let create ~name ~help ~bounds =
 
 let name t = t.name
 let help t = t.help
+let labels t = t.labels
 let bounds t = Array.copy t.bounds
 let stats t = t.stats
 

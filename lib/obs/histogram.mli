@@ -7,11 +7,25 @@
 
 type t
 
-(** Raises [Invalid_argument] on empty or non-increasing [bounds]. *)
-val create : name:string -> help:string -> bounds:float array -> t
+(** Raises [Invalid_argument] on empty or non-increasing [bounds], or
+    on a label with an empty or reserved ([le]) key.  [labels] name one
+    series of the metric [name] (e.g. [("shard", "2")]); they are kept
+    sorted by key and rendered inside the exposition braces before
+    [le]. *)
+val create :
+  name:string ->
+  help:string ->
+  ?labels:(string * string) list ->
+  bounds:float array ->
+  unit ->
+  t
 
 val name : t -> string
 val help : t -> string
+
+(** Label pairs sorted by key; [[]] for an unlabeled histogram. *)
+val labels : t -> (string * string) list
+
 val bounds : t -> float array
 
 (** The exact-stats layer under the buckets. *)

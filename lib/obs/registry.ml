@@ -27,24 +27,51 @@ let locked registry f =
   Mutex.lock registry.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry.mu) f
 
-let histogram ?(registry = default) ~name ~help ~bounds () =
+(* Labels rendered Prometheus-style, sorted by key — also the registry
+   key suffix, so the same (name, labels) pair always resolves to the
+   same series while distinct label sets stay distinct instances. *)
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k v) labels)
+
+let series_key name labels =
+  match labels with [] -> name | _ -> name ^ "{" ^ render_labels labels ^ "}"
+
+let histogram ?(registry = default) ~name ~help ?(labels = []) ~bounds () =
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let key = series_key name labels in
   locked registry (fun () ->
-      match Hashtbl.find_opt registry.tbl name with
+      match Hashtbl.find_opt registry.tbl key with
       | Some h -> h
       | None ->
-        let h = Histogram.create ~name ~help ~bounds in
-        Hashtbl.replace registry.tbl name h;
+        let h = Histogram.create ~name ~help ~labels ~bounds () in
+        Hashtbl.replace registry.tbl key h;
         h)
 
-let find ?(registry = default) name =
-  locked registry (fun () -> Hashtbl.find_opt registry.tbl name)
+let find ?(registry = default) ?(labels = []) name =
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  locked registry (fun () ->
+      Hashtbl.find_opt registry.tbl (series_key name labels))
 
+(* Sort by name first so every series of one metric is contiguous (the
+   expositions emit HELP/TYPE once per metric), then by labels. *)
 let histograms ?(registry = default) () =
   let out =
     locked registry (fun () ->
         Hashtbl.fold (fun _ h acc -> h :: acc) registry.tbl [])
   in
-  List.sort (fun a b -> String.compare (Histogram.name a) (Histogram.name b)) out
+  List.sort
+    (fun a b ->
+      let c = String.compare (Histogram.name a) (Histogram.name b) in
+      if c = 0 then
+        String.compare
+          (render_labels (Histogram.labels a))
+          (render_labels (Histogram.labels b))
+      else c)
+    out
 
 let counter ?(registry = default) ~name ~help () =
   locked registry (fun () ->
@@ -92,25 +119,33 @@ let le_label b =
     Printf.sprintf "%.0f" b
   else Printf.sprintf "%g" b
 
-let expose_histogram buf h =
+let expose_histogram ?(header = true) buf h =
   let name = Histogram.name h in
-  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (Histogram.help h));
-  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  if header then begin
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n" name (Histogram.help h));
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name)
+  end;
+  (* Series labels precede [le] inside the braces; an unlabeled
+     histogram keeps the seed's exact rendering. *)
+  let lbl = render_labels (Histogram.labels h) in
+  let pre = if String.length lbl = 0 then "" else lbl ^ "," in
+  let suffix = if String.length lbl = 0 then "" else "{" ^ lbl ^ "}" in
   let bounds = Histogram.bounds h in
   let cumulative = Histogram.cumulative h in
   Array.iteri
     (fun i b ->
       Buffer.add_string buf
-        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (le_label b)
+        (Printf.sprintf "%s_bucket{%sle=\"%s\"} %d\n" name pre (le_label b)
            cumulative.(i)))
     bounds;
   Buffer.add_string buf
-    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name
+    (Printf.sprintf "%s_bucket{%sle=\"+Inf\"} %d\n" name pre
        cumulative.(Array.length bounds));
   Buffer.add_string buf
-    (Printf.sprintf "%s_sum %.6f\n" name (Histogram.sum h));
+    (Printf.sprintf "%s_sum%s %.6f\n" name suffix (Histogram.sum h));
   Buffer.add_string buf
-    (Printf.sprintf "%s_count %d\n" name (Histogram.count h))
+    (Printf.sprintf "%s_count%s %d\n" name suffix (Histogram.count h))
 
 let expose_counter buf c =
   Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" c.cname c.chelp);
@@ -127,7 +162,16 @@ let expose_counters buf ~prefix counters =
 
 let expose ?(registry = default) () =
   let buf = Buffer.create 4096 in
-  List.iter (fun h -> expose_histogram buf h) (histograms ~registry ());
+  (* [histograms] sorts by (name, labels), so every series of a labeled
+     metric is contiguous: emit the HELP/TYPE header on the first series
+     of each metric name only. *)
+  let prev = ref "" in
+  List.iter
+    (fun h ->
+      let header = not (String.equal !prev (Histogram.name h)) in
+      prev := Histogram.name h;
+      expose_histogram ~header buf h)
+    (histograms ~registry ());
   List.iter (fun c -> expose_counter buf c) (counters ~registry ());
   Buffer.contents buf
 
@@ -141,9 +185,25 @@ let expose ?(registry = default) () =
 let histogram_json buf h =
   let name = Histogram.name h in
   Buffer.add_string buf
-    (Printf.sprintf "{\"name\":\"%s\",\"help\":\"%s\",\"count\":%d,\"sum\":%.6f,\"buckets\":["
+    (Printf.sprintf "{\"name\":\"%s\",\"help\":\"%s\","
        (Trace.json_escape name)
-       (Trace.json_escape (Histogram.help h))
+       (Trace.json_escape (Histogram.help h)));
+  (* Unlabeled histograms keep the seed's exact JSON shape; a labeled
+     series adds one "labels" object. *)
+  (match Histogram.labels h with
+  | [] -> ()
+  | labels ->
+    Buffer.add_string buf "\"labels\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (Trace.json_escape k)
+             (Trace.json_escape v)))
+      labels;
+    Buffer.add_string buf "},");
+  Buffer.add_string buf
+    (Printf.sprintf "\"count\":%d,\"sum\":%.6f,\"buckets\":["
        (Histogram.count h) (Histogram.sum h));
   let bounds = Histogram.bounds h in
   let cumulative = Histogram.cumulative h in

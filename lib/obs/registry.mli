@@ -12,16 +12,29 @@ val create : unit -> t
 (** The process-wide registry used when [?registry] is omitted. *)
 val default : t
 
-(** [histogram ~name ~help ~bounds ()] returns the histogram registered
-    under [name], creating it on first call.  Later calls ignore [help]
-    and [bounds] and return the existing histogram. *)
+(** [histogram ~name ~help ?labels ~bounds ()] returns the histogram
+    registered under [name] with exactly [labels] (order-insensitive;
+    default none), creating it on first call.  Later calls ignore
+    [help] and [bounds] and return the existing series.  Distinct label
+    sets under one [name] are distinct series of one metric — e.g.
+    [~labels:[("shard", "2")]] for per-shard latency — and exposition
+    groups them under a single HELP/TYPE header. *)
 val histogram :
-  ?registry:t -> name:string -> help:string -> bounds:float array -> unit ->
+  ?registry:t ->
+  name:string ->
+  help:string ->
+  ?labels:(string * string) list ->
+  bounds:float array ->
+  unit ->
   Histogram.t
 
-val find : ?registry:t -> string -> Histogram.t option
+(** [find ?labels name] is the series registered under [name] with
+    exactly [labels] (default: the unlabeled series). *)
+val find : ?registry:t -> ?labels:(string * string) list -> string ->
+  Histogram.t option
 
-(** All registered histograms, sorted by name. *)
+(** All registered histograms, sorted by name then by rendered labels,
+    so every series of one metric is contiguous. *)
 val histograms : ?registry:t -> unit -> Histogram.t list
 
 (** {1 Counters}

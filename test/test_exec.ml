@@ -223,6 +223,59 @@ let mutate_refresh_stress () =
         | _ -> ()
       done)
 
+(* {1 Satellite: adaptive claim halving} *)
+
+(* One hot tail: chunks past the midpoint each burn ~3ms while the
+   head chunks are free, so some claimed span's wall time dominates
+   the job's running mean and the claim size must halve at least
+   once. *)
+let adaptive_claims_rebalance () =
+  let spin_ms ms =
+    let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+    while Unix.gettimeofday () < deadline do
+      ignore (Sys.opaque_identity 0)
+    done
+  in
+  Pool.with_pool ~size:2 (fun pool ->
+      Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:64 (fun lo _ ->
+          if lo >= 32 then spin_ms 3);
+      let s = Pool.stats pool in
+      Alcotest.(check bool)
+        (Printf.sprintf "claim halvings recorded (got %d)"
+           s.Pool.claim_adaptations)
+        true
+        (s.Pool.claim_adaptations >= 1))
+
+(* {1 Satellite: staleness payload} *)
+
+let stale_payload_carries_stamps () =
+  let doc =
+    Parser.parse_string "<a><probe><leaf/></probe><probe/></a>"
+  in
+  let ldoc = Labeled_doc.of_document doc in
+  let pager = Pager.create (Counters.create ()) in
+  let store = Shredder.shred_label pager ldoc in
+  let snap = Read_snapshot.of_store pager store ldoc in
+  let root = Option.get doc.Dom.root in
+  Labeled_doc.insert_subtree ldoc ~parent:root ~index:0
+    (Parser.parse_fragment "<probe/>");
+  match Read_snapshot.ensure_fresh snap with
+  | () -> Alcotest.fail "stale snapshot accepted"
+  | exception Read_snapshot.Stale st ->
+    (* The document mutated but no flush ran: the version stamp moved,
+       the index generation did not. *)
+    Alcotest.(check bool) "live version advanced" true
+      (st.Read_snapshot.stale_live_version
+       > st.Read_snapshot.stale_snap_version);
+    Alcotest.(check int) "index generation unchanged"
+      st.Read_snapshot.stale_snap_generation
+      st.Read_snapshot.stale_live_generation;
+    let rendered = Read_snapshot.staleness_to_string st in
+    Alcotest.(check bool)
+      (Printf.sprintf "rendering names both stamps: %s" rendered)
+      true
+      (String.length rendered > 0)
+
 let suite =
   ( "exec",
     [
@@ -238,4 +291,8 @@ let suite =
       case "stale snapshots refuse, refresh rebuilds" `Quick
         staleness_detected;
       case "2-domain mutate/flush/refresh stress" `Slow mutate_refresh_stress;
+      case "skewed chunk halves the claim size" `Quick
+        adaptive_claims_rebalance;
+      case "Stale carries version + generation stamps" `Quick
+        stale_payload_carries_stamps;
     ] )

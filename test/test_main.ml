@@ -47,5 +47,6 @@ let () =
        Test_workload.suite;
        Test_exec.suite;
        Test_columnar.suite;
-       Test_replication.suite ]
+       Test_replication.suite;
+       Test_shard.suite ]
     @ scheme_suites)

@@ -116,7 +116,7 @@ let ring_wraparound () =
 
 let histogram_buckets () =
   let h =
-    Histogram.create ~name:"h" ~help:"test" ~bounds:[| 1.; 2.; 4. |]
+    Histogram.create ~name:"h" ~help:"test" ~bounds:[| 1.; 2.; 4. |] ()
   in
   (* Boundary values land in their own le bucket (le is inclusive). *)
   List.iter (Histogram.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.0; 5.0 ];
@@ -134,7 +134,7 @@ let histogram_buckets () =
     (Histogram.counts h);
   Alcotest.(check bool) "non-increasing bounds rejected" true
     (try
-       ignore (Histogram.create ~name:"bad" ~help:"" ~bounds:[| 2.; 2. |]);
+       ignore (Histogram.create ~name:"bad" ~help:"" ~bounds:[| 2.; 2. |] ());
        false
      with Invalid_argument _ -> true);
   Alcotest.(check (array (float 1e-9))) "log2 layout" [| 0.5; 1.; 2.; 4. |]
@@ -510,6 +510,49 @@ let causal_ids_and_stamps () =
   | Ok _ -> ()
   | Error e -> Alcotest.fail e
 
+(* {1 Labeled histogram series} *)
+
+let labeled_histogram_series () =
+  let registry = Registry.create () in
+  let mk shard =
+    Registry.histogram ~registry ~name:"shard_commit_seconds"
+      ~help:"per-shard commit latency"
+      ~labels:[ ("shard", shard) ]
+      ~bounds:[| 0.1; 1.0 |] ()
+  in
+  let h1 = mk "1" and h2 = mk "2" in
+  Alcotest.(check bool) "distinct label sets are distinct series" true
+    (h1 != h2);
+  Alcotest.(check bool) "same labels return the same series" true
+    (mk "1" == h1);
+  Alcotest.(check (option bool)) "find by labels" (Some true)
+    (Option.map
+       (fun h -> h == h2)
+       (Registry.find ~registry ~labels:[ ("shard", "2") ]
+          "shard_commit_seconds"));
+  Histogram.observe h1 0.05;
+  Histogram.observe h2 5.0;
+  let text = Registry.expose ~registry () in
+  Alcotest.(check bool) "series 1 bucket line" true
+    (contains text "shard_commit_seconds_bucket{shard=\"1\",le=\"0.1\"} 1");
+  Alcotest.(check bool) "series 2 sum line" true
+    (contains text "shard_commit_seconds_sum{shard=\"2\"} 5");
+  (* One HELP header for the whole metric, not one per series. *)
+  let help_count =
+    let needle = "# HELP shard_commit_seconds" in
+    let rec go i acc =
+      if i + String.length needle > String.length text then acc
+      else if String.sub text i (String.length needle) = needle then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one HELP header" 1 help_count;
+  let json = Registry.expose_json ~registry () in
+  Alcotest.(check bool) "json carries the labels object" true
+    (contains json "\"labels\":{\"shard\":\"1\"}")
+
 let suite =
   ( "obs",
     [ case "span nesting" `Quick span_nesting;
@@ -529,4 +572,5 @@ let suite =
       case "expose_json golden" `Quick expose_json_golden;
       case "recorder ring + bundle" `Quick recorder_ring_and_bundle;
       case "telemetry sampler" `Quick telemetry_sampler;
-      case "causal ids + stamps" `Quick causal_ids_and_stamps ] )
+      case "causal ids + stamps" `Quick causal_ids_and_stamps;
+      case "labeled histogram series" `Quick labeled_histogram_series ] )

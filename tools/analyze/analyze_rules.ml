@@ -96,6 +96,11 @@ let default_config =
         ( "Ltree_recovery.Crash_matrix.run.*",
           "matrix cells share the replay cache and progress counter \
            under cache_mu/progress_mu; audited in DESIGN.md section 9" );
+        ( "Ltree_shard.Shard_matrix.run.*",
+          "shard-matrix cells are fully independent (each arms its own \
+           sim and rebuilds the whole sharded store); the only shared \
+           state is the progress counter under progress_mu; audited in \
+           DESIGN.md section 13" );
         ( "Ltree_replication.Repl_matrix.run.*",
           "replica-matrix cells are fully independent (own sims, \
            channels and stores); the only shared state is the progress \
